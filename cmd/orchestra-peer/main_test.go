@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/store"
+	"orchestra/internal/store/central"
+	"orchestra/internal/store/remote"
+	"orchestra/internal/trust"
+)
+
+// newTestPeer wires a peer to an in-process TCP store server, as the
+// binary would.
+func newTestPeer(t *testing.T, id string) (*store.Peer, *core.Schema) {
+	t.Helper()
+	schema, err := builtinSchema("protein")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := central.MustOpenMemory(schema)
+	srv := remote.NewServer(backend, schema)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		backend.Close()
+	})
+	policy := trust.NewPolicy().MustAdd(1, "true").WithSchema(schema)
+	p, err := store.NewPeer(context.Background(), core.PeerID(id), schema, policy, remote.NewClient(id, addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, schema
+}
+
+func run(t *testing.T, p *store.Peer, schema *core.Schema, line string) error {
+	t.Helper()
+	return dispatch(context.Background(), p, schema, strings.Fields(line))
+}
+
+func TestDispatchEditPublishShow(t *testing.T) {
+	p, schema := newTestPeer(t, "p1")
+	if err := run(t, p, schema, "insert F rat prot1 immune"); err != nil {
+		t.Fatal(err)
+	}
+	if p.PendingCount() != 1 {
+		t.Fatalf("pending = %d", p.PendingCount())
+	}
+	if err := run(t, p, schema, "publish"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, p, schema, "reconcile"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, p, schema, "show"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, p, schema, "show F"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, p, schema, "status"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, p, schema, "modify F 3 rat prot1 immune rat prot1 metab"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, p, schema, "sync"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := p.Instance().Lookup("F", core.Strs("rat", "prot1"))
+	if !ok || got[2].Str() != "metab" {
+		t.Fatalf("instance after modify: %v %v", got, ok)
+	}
+	if err := run(t, p, schema, "delete F rat prot1 metab"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, p, schema, "sync"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Instance().Len("F") != 0 {
+		t.Fatal("delete did not apply")
+	}
+}
+
+func TestDispatchConflictsAndResolve(t *testing.T) {
+	p, schema := newTestPeer(t, "q")
+	// Create a conflict by a second peer on the same backend? The test
+	// peer is alone, so simulate a local-only path: conflicts with no
+	// groups prints cleanly.
+	if err := run(t, p, schema, "conflicts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, p, schema, "resolve 0 0"); err == nil {
+		t.Error("resolve with no groups should error")
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	p, schema := newTestPeer(t, "p1")
+	bad := []string{
+		"insert F",
+		"modify F",
+		"modify F x a b c",
+		"modify F 3 rat prot1",
+		"bogus",
+		"resolve",
+		"resolve a b",
+	}
+	for _, line := range bad {
+		if err := run(t, p, schema, line); err == nil {
+			t.Errorf("%q should error", line)
+		}
+	}
+	if err := run(t, p, schema, "quit"); err != errQuit {
+		t.Errorf("quit: %v", err)
+	}
+	// A local-instance violation surfaces as an error.
+	if err := run(t, p, schema, "insert F rat prot1 a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, p, schema, "insert F rat prot1 b"); err == nil {
+		t.Error("conflicting local insert should error")
+	}
+}
+
+func TestBuiltinSchemas(t *testing.T) {
+	if _, err := builtinSchema("protein"); err != nil {
+		t.Error(err)
+	}
+	if s, err := builtinSchema("swissprot"); err != nil || s.Len() != 2 {
+		t.Errorf("swissprot: %v %v", s, err)
+	}
+	if _, err := builtinSchema("nope"); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}

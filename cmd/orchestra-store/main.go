@@ -1,0 +1,70 @@
+// Command orchestra-store hosts the centralized update store (§5.2.1) as a
+// TCP server so that orchestra-peer processes can form a confederation
+// across machines. The store is durable: epochs, transactions, and
+// decisions survive restarts via the embedded relational engine's WAL.
+//
+// Usage:
+//
+//	orchestra-store -listen :7400 -dir /var/lib/orchestra -schema swissprot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"orchestra/internal/core"
+	"orchestra/internal/store/central"
+	"orchestra/internal/store/remote"
+	"orchestra/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7400", "address to listen on")
+	dir := flag.String("dir", "", "durability directory (empty = in-memory)")
+	schemaName := flag.String("schema", "protein", "built-in schema: protein|swissprot")
+	flag.Parse()
+
+	schema, err := builtinSchema(*schemaName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend, err := central.Open(schema, *dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer backend.Close()
+
+	srv := remote.NewServer(backend, schema)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("orchestra-store: serving schema %q on %s (dir=%q)", *schemaName, addr, *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("orchestra-store: shutting down")
+	if *dir != "" {
+		if err := backend.Checkpoint(); err != nil {
+			log.Printf("checkpoint: %v", err)
+		}
+	}
+}
+
+// builtinSchema resolves the named schema.
+func builtinSchema(name string) (*core.Schema, error) {
+	switch name {
+	case "protein":
+		return core.NewSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	case "swissprot":
+		return workload.Schema(), nil
+	default:
+		return nil, fmt.Errorf("unknown schema %q (want protein|swissprot)", name)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import "testing"
+
+func TestAppendOnlyBasicAccept(t *testing.T) {
+	s := proteinSchema(t)
+	e := NewAppendOnlyEngine("q", s, TrustAll(1))
+	x := NewTransaction(xid("a", 0), Insert("F", Strs("rat", "p1", "v"), "a"))
+	acc := e.ReconcileEpoch([]*Transaction{x})
+	wantIDs(t, "accepted", acc, x.ID)
+	wantTuples(t, e.Instance(), "F", Strs("rat", "p1", "v"))
+	if e.Peer() != "q" {
+		t.Errorf("Peer = %s", e.Peer())
+	}
+}
+
+func TestAppendOnlyIntraEpochConflict(t *testing.T) {
+	// Two equal-priority conflicting inserts in one epoch: neither applies.
+	s := proteinSchema(t)
+	e := NewAppendOnlyEngine("q", s, TrustAll(1))
+	xa := NewTransaction(xid("a", 0), Insert("F", Strs("rat", "p1", "va"), "a"))
+	xb := NewTransaction(xid("b", 0), Insert("F", Strs("rat", "p1", "vb"), "b"))
+	acc := e.ReconcileEpoch([]*Transaction{xa, xb})
+	wantIDs(t, "accepted", acc)
+	if e.Instance().Len("F") != 0 {
+		t.Errorf("instance = %v", e.Instance().Tuples("F"))
+	}
+}
+
+func TestAppendOnlyPriorityWins(t *testing.T) {
+	s := proteinSchema(t)
+	e := NewAppendOnlyEngine("q", s, TrustOrigins(map[PeerID]int{"a": 2, "b": 1}))
+	xa := NewTransaction(xid("a", 0), Insert("F", Strs("rat", "p1", "va"), "a"))
+	xb := NewTransaction(xid("b", 0), Insert("F", Strs("rat", "p1", "vb"), "b"))
+	acc := e.ReconcileEpoch([]*Transaction{xa, xb})
+	wantIDs(t, "accepted", acc, xa.ID)
+	wantTuples(t, e.Instance(), "F", Strs("rat", "p1", "va"))
+}
+
+func TestAppendOnlyCrossEpochConflict(t *testing.T) {
+	// A later-epoch insert conflicting with an earlier-epoch transaction is
+	// not applied, even if the earlier one was itself rejected.
+	s := proteinSchema(t)
+	e := NewAppendOnlyEngine("q", s, TrustAll(1))
+	xa := NewTransaction(xid("a", 0), Insert("F", Strs("rat", "p1", "va"), "a"))
+	xb := NewTransaction(xid("b", 0), Insert("F", Strs("rat", "p1", "vb"), "b"))
+	e.ReconcileEpoch([]*Transaction{xa, xb}) // both blocked
+	xc := NewTransaction(xid("c", 0), Insert("F", Strs("rat", "p1", "vc"), "c"))
+	acc := e.ReconcileEpoch([]*Transaction{xc})
+	wantIDs(t, "accepted", acc)
+	// But a non-conflicting insert goes through.
+	xd := NewTransaction(xid("d", 0), Insert("F", Strs("mouse", "p2", "vd"), "d"))
+	acc = e.ReconcileEpoch([]*Transaction{xd})
+	wantIDs(t, "accepted", acc, xd.ID)
+}
+
+func TestAppendOnlyUntrustedSkipped(t *testing.T) {
+	s := proteinSchema(t)
+	e := NewAppendOnlyEngine("q", s, TrustOrigins(map[PeerID]int{"a": 1}))
+	xz := NewTransaction(xid("z", 0), Insert("F", Strs("rat", "p1", "vz"), "z"))
+	acc := e.ReconcileEpoch([]*Transaction{xz})
+	wantIDs(t, "accepted", acc)
+	if e.Instance().Len("F") != 0 {
+		t.Error("untrusted insert applied")
+	}
+}
+
+func TestAppendOnlyIdenticalInsertsBothAccepted(t *testing.T) {
+	s := proteinSchema(t)
+	e := NewAppendOnlyEngine("q", s, TrustAll(1))
+	xa := NewTransaction(xid("a", 0), Insert("F", Strs("rat", "p1", "same"), "a"))
+	xb := NewTransaction(xid("b", 0), Insert("F", Strs("rat", "p1", "same"), "b"))
+	acc := e.ReconcileEpoch([]*Transaction{xa, xb})
+	wantIDs(t, "accepted", acc, xa.ID, xb.ID)
+	wantTuples(t, e.Instance(), "F", Strs("rat", "p1", "same"))
+}
+
+func TestAppendOnlyIgnoresNonInserts(t *testing.T) {
+	s := proteinSchema(t)
+	e := NewAppendOnlyEngine("q", s, TrustAll(1))
+	x := NewTransaction(xid("a", 0),
+		Insert("F", Strs("rat", "p1", "v"), "a"),
+		Modify("F", Strs("rat", "p1", "v"), Strs("rat", "p1", "w"), "a"))
+	e.ReconcileEpoch([]*Transaction{x})
+	// Only the insert is applied in the append-only model.
+	wantTuples(t, e.Instance(), "F", Strs("rat", "p1", "v"))
+}

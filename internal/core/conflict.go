@@ -1,0 +1,241 @@
+package core
+
+import "fmt"
+
+// ConflictType classifies why two updates conflict, following §3 and §4 of
+// the paper. Conflict groups are keyed by (type, value).
+type ConflictType uint8
+
+const (
+	// ConflictKeyValue: two updates produce different tuple values for the
+	// same key ("updates that change a single antecedent data value into two
+	// different values", and writer/writer key-constraint violations).
+	ConflictKeyValue ConflictType = iota + 1
+	// ConflictDeleteWrite: one update deletes a tuple while the other
+	// inserts or replaces a tuple with the same key ("updates that
+	// simultaneously remove and replace a data value").
+	ConflictDeleteWrite
+	// ConflictModifySource: two replacement operations share the same source
+	// tuple value but produce different replacements.
+	ConflictModifySource
+)
+
+// String names the conflict type.
+func (t ConflictType) String() string {
+	switch t {
+	case ConflictKeyValue:
+		return "key-value"
+	case ConflictDeleteWrite:
+		return "delete-write"
+	case ConflictModifySource:
+		return "modify-source"
+	default:
+		return fmt.Sprintf("conflict(%d)", uint8(t))
+	}
+}
+
+// Conflict identifies one conflict: its type, the relation, and the encoded
+// key or source value the conflict is about. Conflicts with equal fields are
+// the same conflict (and land in the same conflict group).
+type Conflict struct {
+	Type ConflictType
+	Rel  string
+	// Value is the encoded key (ConflictKeyValue, ConflictDeleteWrite) or
+	// the encoded source tuple (ConflictModifySource).
+	Value string
+}
+
+// String renders the conflict for diagnostics.
+func (c Conflict) String() string {
+	t, err := DecodeTuple(c.Value)
+	if err != nil {
+		return fmt.Sprintf("%s on %s<%q>", c.Type, c.Rel, c.Value)
+	}
+	return fmt.Sprintf("%s on %s%s", c.Type, c.Rel, t)
+}
+
+// UpdatesConflict reports whether two updates conflict under the paper's
+// definition (§4), returning the conflicts found. Identical operations never
+// conflict. Updates over different relations never conflict.
+//
+// The rules are:
+//  1. both updates produce tuples with the same key but different values
+//     (covers insert/insert from the paper's first bullet, and
+//     insert-vs-replacement-target, which violates the key constraint);
+//  2. one is a deletion and the other inserts or replaces a tuple with the
+//     same key, or replaces the very tuple being deleted;
+//  3. both are replacements with the same source tuple value but different
+//     replacement values.
+func UpdatesConflict(s *Schema, a, b Update) []Conflict {
+	if a.Rel != b.Rel || a.Equal(b) {
+		return nil
+	}
+	rel, ok := s.Relation(a.Rel)
+	if !ok {
+		return nil
+	}
+	var out []Conflict
+
+	// Rule 3: same source, different replacement.
+	if a.Op == OpModify && b.Op == OpModify && a.Tuple.Equal(b.Tuple) && !a.New.Equal(b.New) {
+		out = append(out, Conflict{Type: ConflictModifySource, Rel: a.Rel, Value: a.Tuple.Encode()})
+	}
+
+	// Rule 1: both produce values for the same key with different contents.
+	pa, pb := a.Produces(), b.Produces()
+	if pa != nil && pb != nil {
+		if rel.KeyEnc(pa) == rel.KeyEnc(pb) && !pa.Equal(pb) {
+			out = append(out, Conflict{Type: ConflictKeyValue, Rel: a.Rel, Value: rel.KeyEnc(pa)})
+		}
+	}
+
+	// Rule 2: deletion vs insertion/replacement on the same key.
+	if c, ok := deleteWriteConflict(rel, a, b); ok {
+		out = append(out, c)
+	} else if c, ok := deleteWriteConflict(rel, b, a); ok {
+		out = append(out, c)
+	}
+	return out
+}
+
+// deleteWriteConflict checks rule 2 with d as the deletion candidate.
+func deleteWriteConflict(rel *Relation, d, w Update) (Conflict, bool) {
+	if d.Op != OpDelete {
+		return Conflict{}, false
+	}
+	dk := rel.KeyEnc(d.Tuple)
+	switch w.Op {
+	case OpInsert:
+		if rel.KeyEnc(w.Tuple) == dk {
+			return Conflict{Type: ConflictDeleteWrite, Rel: d.Rel, Value: dk}, true
+		}
+	case OpModify:
+		// The replacement consumes the deleted tuple, or produces a tuple
+		// with the deleted key.
+		if w.Tuple.Equal(d.Tuple) || rel.KeyEnc(w.New) == dk || rel.KeyEnc(w.Tuple) == dk {
+			return Conflict{Type: ConflictDeleteWrite, Rel: d.Rel, Value: dk}, true
+		}
+	}
+	return Conflict{}, false
+}
+
+// conflictIndex supports hash-based conflict detection between flattened
+// update sets, as required for the O(t² + t·u·a) bound in §5.1: each update
+// is indexed under a small number of derived keys, and probing an update
+// touches only the buckets its own keys select.
+type conflictIndex struct {
+	s *Schema
+	// byKey indexes updates by the key encodings of the tuples they produce
+	// or delete.
+	byKey map[tupleKey][]Update
+	// bySource indexes replacements by their full source encoding.
+	bySource map[tupleKey][]Update
+}
+
+func newConflictIndex(s *Schema, us []Update) *conflictIndex {
+	ci := &conflictIndex{
+		s:        s,
+		byKey:    make(map[tupleKey][]Update),
+		bySource: make(map[tupleKey][]Update),
+	}
+	for _, u := range us {
+		ci.add(u)
+	}
+	return ci
+}
+
+func (ci *conflictIndex) add(u Update) {
+	rel, ok := ci.s.Relation(u.Rel)
+	if !ok {
+		return
+	}
+	seen := map[tupleKey]bool{}
+	addKey := func(t Tuple) {
+		k := tupleKey{rel: u.Rel, enc: rel.KeyEnc(t)}
+		if !seen[k] {
+			seen[k] = true
+			ci.byKey[k] = append(ci.byKey[k], u)
+		}
+	}
+	switch u.Op {
+	case OpInsert:
+		addKey(u.Tuple)
+	case OpDelete:
+		addKey(u.Tuple)
+	case OpModify:
+		addKey(u.Tuple)
+		addKey(u.New)
+		sk := mkTupleKey(u.Rel, u.Tuple)
+		ci.bySource[sk] = append(ci.bySource[sk], u)
+	}
+}
+
+// probe returns all conflicts between u and the indexed updates.
+func (ci *conflictIndex) probe(u Update) []Conflict {
+	rel, ok := ci.s.Relation(u.Rel)
+	if !ok {
+		return nil
+	}
+	var cands []Update
+	addCands := func(t Tuple) {
+		k := tupleKey{rel: u.Rel, enc: rel.KeyEnc(t)}
+		cands = append(cands, ci.byKey[k]...)
+	}
+	switch u.Op {
+	case OpInsert, OpDelete:
+		addCands(u.Tuple)
+	case OpModify:
+		addCands(u.Tuple)
+		addCands(u.New)
+		cands = append(cands, ci.bySource[mkTupleKey(u.Rel, u.Tuple)]...)
+	}
+	var out []Conflict
+	dedup := map[Conflict]bool{}
+	for _, v := range cands {
+		for _, c := range UpdatesConflict(ci.s, u, v) {
+			if !dedup[c] {
+				dedup[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// SetsConflict returns the conflicts between two flattened update sets using
+// hash-based detection. It is symmetric.
+func SetsConflict(s *Schema, a, b []Update) []Conflict {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	idx := newConflictIndex(s, b)
+	var out []Conflict
+	dedup := map[Conflict]bool{}
+	for _, u := range a {
+		for _, c := range idx.probe(u) {
+			if !dedup[c] {
+				dedup[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// SetsConflictNaive is the O(|a|·|b|) pairwise reference implementation,
+// retained for property tests and the conflict-detection ablation benchmark.
+func SetsConflictNaive(s *Schema, a, b []Update) []Conflict {
+	var out []Conflict
+	dedup := map[Conflict]bool{}
+	for _, u := range a {
+		for _, v := range b {
+			for _, c := range UpdatesConflict(s, u, v) {
+				if !dedup[c] {
+					dedup[c] = true
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}

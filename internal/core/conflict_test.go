@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUpdatesConflictRules(t *testing.T) {
+	s := flatSchema(t)
+	insA := Insert("F", Strs("rat", "p1", "a"), "x")
+	insB := Insert("F", Strs("rat", "p1", "b"), "y")
+	insSame := Insert("F", Strs("rat", "p1", "a"), "y")
+	insOther := Insert("F", Strs("mouse", "p2", "a"), "y")
+	delA := Delete("F", Strs("rat", "p1", "a"), "y")
+	delOther := Delete("F", Strs("mouse", "p2", "a"), "y")
+	modAB := Modify("F", Strs("rat", "p1", "a"), Strs("rat", "p1", "b"), "x")
+	modAC := Modify("F", Strs("rat", "p1", "a"), Strs("rat", "p1", "c"), "y")
+	modAB2 := Modify("F", Strs("rat", "p1", "a"), Strs("rat", "p1", "b"), "y")
+	modKeyMove := Modify("F", Strs("rat", "p1", "a"), Strs("rat", "p9", "a"), "y")
+
+	cases := []struct {
+		name  string
+		a, b  Update
+		types []ConflictType
+	}{
+		{"ins/ins same key diff value", insA, insB, []ConflictType{ConflictKeyValue}},
+		{"ins/ins identical", insA, insSame, nil},
+		{"ins/ins different keys", insA, insOther, nil},
+		{"del vs ins same key", delA, insB, []ConflictType{ConflictDeleteWrite}},
+		{"del vs ins other key", delA, insOther, nil},
+		{"del vs del", delA, Delete("F", Strs("rat", "p1", "a"), "z"), nil},
+		{"del vs mod consuming same", delA, modAB, []ConflictType{ConflictDeleteWrite}},
+		{"del vs mod other", delOther, modAB, nil},
+		{"mod/mod same source diff target", modAB, modAC, []ConflictType{ConflictModifySource, ConflictKeyValue}},
+		{"mod/mod identical", modAB, modAB2, nil},
+		{"ins vs mod target same key", insA, Modify("F", Strs("rat", "p9", "z"), Strs("rat", "p1", "b"), "y"), []ConflictType{ConflictKeyValue}},
+		{"mod moving key away vs del", modKeyMove, delA, []ConflictType{ConflictDeleteWrite}},
+		{"different relations never conflict", insA, Insert("G", Strs("rat", "p1", "b"), "y"), nil},
+	}
+	for _, c := range cases {
+		got := UpdatesConflict(s, c.a, c.b)
+		rev := UpdatesConflict(s, c.b, c.a)
+		if len(got) != len(rev) {
+			t.Errorf("%s: asymmetric conflict detection: %v vs %v", c.name, got, rev)
+		}
+		if len(got) != len(c.types) {
+			t.Errorf("%s: got %v, want types %v", c.name, got, c.types)
+			continue
+		}
+		found := map[ConflictType]bool{}
+		for _, g := range got {
+			found[g.Type] = true
+		}
+		for _, want := range c.types {
+			if !found[want] {
+				t.Errorf("%s: missing conflict type %v in %v", c.name, want, got)
+			}
+		}
+	}
+}
+
+func TestConflictStringAndTypeString(t *testing.T) {
+	c := Conflict{Type: ConflictKeyValue, Rel: "F", Value: Strs("rat", "p1").Encode()}
+	if got := c.String(); got != "key-value on F(rat, p1)" {
+		t.Errorf("Conflict.String() = %q", got)
+	}
+	for ct, want := range map[ConflictType]string{
+		ConflictKeyValue: "key-value", ConflictDeleteWrite: "delete-write",
+		ConflictModifySource: "modify-source", ConflictType(9): "conflict(9)",
+	} {
+		if ct.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ct, ct.String(), want)
+		}
+	}
+	bad := Conflict{Type: ConflictKeyValue, Rel: "F", Value: "\x01"}
+	if bad.String() == "" {
+		t.Error("undecodable conflict value should still render")
+	}
+}
+
+func randomUpdateSet(r *rand.Rand, n int) []Update {
+	orgs := []string{"rat", "mouse", "dog"}
+	prots := []string{"p0", "p1"}
+	fns := []string{"a", "b", "c"}
+	tup := func() Tuple {
+		return Strs(orgs[r.Intn(len(orgs))], prots[r.Intn(len(prots))], fns[r.Intn(len(fns))])
+	}
+	out := make([]Update, n)
+	for i := range out {
+		switch r.Intn(3) {
+		case 0:
+			out[i] = Insert("F", tup(), "x")
+		case 1:
+			out[i] = Delete("F", tup(), "x")
+		default:
+			out[i] = Modify("F", tup(), tup(), "x")
+		}
+	}
+	return out
+}
+
+// TestSetsConflictMatchesNaive: the hash-based detector and the quadratic
+// reference produce the same conflict sets.
+func TestSetsConflictMatchesNaive(t *testing.T) {
+	s := flatSchema(t)
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		a := randomUpdateSet(r, 1+r.Intn(8))
+		b := randomUpdateSet(r, 1+r.Intn(8))
+		fast := SetsConflict(s, a, b)
+		slow := SetsConflictNaive(s, a, b)
+		fs := map[Conflict]bool{}
+		for _, c := range fast {
+			fs[c] = true
+		}
+		ss := map[Conflict]bool{}
+		for _, c := range slow {
+			ss[c] = true
+		}
+		if len(fs) != len(ss) {
+			t.Fatalf("trial %d: fast=%v slow=%v\na=%v\nb=%v", trial, fast, slow, a, b)
+		}
+		for c := range fs {
+			if !ss[c] {
+				t.Fatalf("trial %d: conflict %v only in fast set", trial, c)
+			}
+		}
+	}
+}
+
+// TestSetsConflictSymmetric: SetsConflict(a, b) == SetsConflict(b, a).
+func TestSetsConflictSymmetric(t *testing.T) {
+	s := flatSchema(t)
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		a := randomUpdateSet(r, 1+r.Intn(6))
+		b := randomUpdateSet(r, 1+r.Intn(6))
+		ab := SetsConflict(s, a, b)
+		ba := SetsConflict(s, b, a)
+		if len(ab) != len(ba) {
+			t.Fatalf("asymmetric: %v vs %v", ab, ba)
+		}
+	}
+}
+
+func TestSetsConflictUnknownRelationIgnored(t *testing.T) {
+	s := flatSchema(t)
+	a := []Update{Insert("Zed", Strs("q", "r", "s"), "x")}
+	b := []Update{Insert("Zed", Strs("q", "r", "t"), "y")}
+	if got := SetsConflict(s, a, b); len(got) != 0 {
+		t.Errorf("unknown relation should yield no conflicts, got %v", got)
+	}
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Engine is the client-centric reconciliation engine for one participant.
+// It owns the participant's materialized instance, its applied/rejected
+// transaction sets, and the reconstructable soft state (deferred
+// transactions, dirty values, conflict groups). The update store feeds it
+// Candidates; the engine implements ReconcileUpdates of Figure 4 with the
+// helper procedures of Figure 5.
+//
+// Engine is not safe for concurrent use; each participant drives its engine
+// from a single goroutine (reconciliation is "done frequently but not in
+// real time, by each specific participant").
+type Engine struct {
+	peer   PeerID
+	schema *Schema
+	trust  Trust
+	inst   *Instance
+
+	applied  TxnSet
+	rejected TxnSet
+
+	// deferredCands carries deferred candidates across reconciliations so
+	// ReconcileUpdates can reconsider them without re-fetching.
+	deferredCands map[TxnID]*Candidate
+	// dirty is the dirty value set: keys touched by deferred transactions.
+	dirty map[tupleKey]bool
+	// groups are the conflict groups recorded by the last reconciliation.
+	groups map[Conflict]*ConflictGroup
+
+	// ownSince accumulates the peer's own transactions applied locally
+	// since the last reconciliation ("the delta for recno").
+	ownSince []*Transaction
+
+	// producers maps each tuple value in the instance to the transaction
+	// that produced it (provenance; see provenance.go).
+	producers map[tupleKey]TxnID
+	// localAntes records the antecedent sets of the peer's own
+	// transactions, computed at creation time for publishing.
+	localAntes map[TxnID][]TxnID
+
+	recno   int
+	nextSeq uint64
+}
+
+// NewEngine returns an engine for the participant with an empty instance.
+func NewEngine(peer PeerID, schema *Schema, trust Trust) *Engine {
+	return &Engine{
+		peer:          peer,
+		schema:        schema,
+		trust:         trust,
+		inst:          NewInstance(schema),
+		applied:       make(TxnSet),
+		rejected:      make(TxnSet),
+		deferredCands: make(map[TxnID]*Candidate),
+		dirty:         make(map[tupleKey]bool),
+		groups:        make(map[Conflict]*ConflictGroup),
+		producers:     make(map[tupleKey]TxnID),
+		localAntes:    make(map[TxnID][]TxnID),
+	}
+}
+
+// Peer returns the participant's ID.
+func (e *Engine) Peer() PeerID { return e.peer }
+
+// Schema returns the shared schema.
+func (e *Engine) Schema() *Schema { return e.schema }
+
+// Instance returns the participant's live instance. Callers must treat it
+// as read-only.
+func (e *Engine) Instance() *Instance { return e.inst }
+
+// Trust returns the participant's trust policy.
+func (e *Engine) Trust() Trust { return e.trust }
+
+// SetTrust replaces the trust policy; it affects future reconciliations
+// only ("once an update has been accepted ... it will not be rolled back").
+func (e *Engine) SetTrust(t Trust) { e.trust = t }
+
+// Recno returns the engine's last reconciliation number.
+func (e *Engine) Recno() int { return e.recno }
+
+// Applied reports whether the peer has applied the transaction.
+func (e *Engine) Applied(id TxnID) bool { return e.applied.Has(id) }
+
+// Rejected reports whether the peer has rejected the transaction.
+func (e *Engine) Rejected(id TxnID) bool { return e.rejected.Has(id) }
+
+// DeferredIDs returns the currently deferred transactions, sorted.
+func (e *Engine) DeferredIDs() []TxnID {
+	s := make(TxnSet, len(e.deferredCands))
+	for id := range e.deferredCands {
+		s.Add(id)
+	}
+	return s.Sorted()
+}
+
+// DirtyKeyCount returns the size of the dirty value set.
+func (e *Engine) DirtyKeyCount() int { return len(e.dirty) }
+
+// NewLocalTransaction builds, applies, and records a transaction of the
+// peer's own edits. The updates must be compatible with the local instance
+// — a participant's own instance is always internally consistent. The
+// returned transaction carries the next local sequence number and is ready
+// to be published.
+func (e *Engine) NewLocalTransaction(updates ...Update) (*Transaction, error) {
+	x := NewTransaction(TxnID{Origin: e.peer, Seq: e.nextSeq}, updates...)
+	if err := x.Validate(e.schema); err != nil {
+		return nil, err
+	}
+	if err := e.inst.CompatibleAll(x.Updates); err != nil {
+		return nil, fmt.Errorf("core: local transaction %s: %w", x.ID, err)
+	}
+	e.localAntes[x.ID] = e.antecedentIDs(x)
+	for _, u := range x.Updates {
+		e.inst.applyUnchecked(u)
+	}
+	e.noteProducers([]*Transaction{x})
+	e.nextSeq++
+	e.applied.Add(x.ID)
+	e.ownSince = append(e.ownSince, x)
+	return x, nil
+}
+
+// LocalAntecedents returns the antecedent set computed when the peer's own
+// transaction was created; the publisher ships it to the update store.
+func (e *Engine) LocalAntecedents(id TxnID) []TxnID { return e.localAntes[id] }
+
+// candidateState pairs a candidate with its per-reconciliation soft state.
+type candidateState struct {
+	cand     *Candidate
+	upEx     *UpdateExtension
+	decision Decision
+	carried  bool // previously deferred, reconsidered this run
+}
+
+// Reconcile runs ReconcileUpdates (Figure 4) for the next reconciliation:
+// fresh holds the newly relevant fully-trusted transactions fetched from the
+// update store; previously deferred transactions are reconsidered
+// automatically. It returns the decisions made and updates the instance,
+// the applied/rejected sets, and the soft state.
+func (e *Engine) Reconcile(fresh []*Candidate) (*Result, error) {
+	e.recno++
+	res := &Result{Recno: e.recno}
+
+	// Line 1: the undecided fully trusted transactions: new arrivals plus
+	// carried-over deferred ones.
+	states := make(map[TxnID]*candidateState, len(fresh)+len(e.deferredCands))
+	var order []*candidateState
+	addCand := func(c *Candidate, carried bool) {
+		if c.Priority <= 0 {
+			return // untrusted: never a root
+		}
+		if e.applied.Has(c.Txn.ID) || e.rejected.Has(c.Txn.ID) {
+			return // already decided
+		}
+		if _, dup := states[c.Txn.ID]; dup {
+			return
+		}
+		st := &candidateState{cand: c, carried: carried}
+		states[c.Txn.ID] = st
+		order = append(order, st)
+	}
+	for id := range e.deferredCands {
+		addCand(e.deferredCands[id], true)
+		res.Stats.DeferredCarried++
+	}
+	for _, c := range fresh {
+		addCand(c, false)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i].cand.Txn, order[j].cand.Txn
+		if a.Order != b.Order {
+			return a.Order < b.Order
+		}
+		return a.ID.Less(b.ID)
+	})
+	res.Stats.Candidates = len(order)
+
+	// The peer's own delta for this recno, used by CheckState line 7.
+	ownDelta, err := Flatten(e.schema, UpdateFootprint(e.ownSince))
+	if err != nil {
+		// A peer's own applied transactions always flatten; failure here
+		// indicates a bug upstream.
+		return nil, fmt.Errorf("core: flatten own delta: %v", err)
+	}
+
+	// Lines 5-8: flattened update extensions + CheckState.
+	for _, st := range order {
+		ext := e.filterApplied(st.cand.Ext, st.cand.Txn)
+		st.upEx = NewUpdateExtension(e.schema, st.cand.Txn.ID, ext, st.cand.Priority)
+		res.Stats.ExtensionTxns += len(ext)
+		res.Stats.FlattenedOps += len(st.upEx.Operation)
+		st.decision = e.checkState(st.upEx, ownDelta, st.carried)
+	}
+
+	// Line 9: FindConflicts over the flattened extensions.
+	conflicts := e.findConflicts(order, &res.Stats)
+
+	// Lines 10-12: DoGroup per priority, in decreasing order.
+	prios := map[int]bool{}
+	for _, st := range order {
+		prios[st.upEx.Priority] = true
+	}
+	sortedPrios := make([]int, 0, len(prios))
+	for p := range prios {
+		sortedPrios = append(sortedPrios, p)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sortedPrios)))
+	for _, p := range sortedPrios {
+		e.doGroup(p, order, conflicts, states)
+	}
+
+	// Lines 13-19: record decisions and apply accepted extensions in global
+	// order, recomputing each extension against the Used set.
+	//
+	// A transaction rejected standalone earlier in this run (e.g. its own
+	// flattened chain is instance-incompatible) may still ride along as the
+	// superseded prefix of an accepted chain — the §4.2 least-interaction
+	// example. Applying the chain rescinds such same-run rejections so the
+	// final decision sets stay disjoint; rejections from earlier
+	// reconciliations are final (CheckState already rejected any dependent
+	// root before it reached this loop).
+	used := make(TxnSet)
+	runRejected := make(TxnSet)
+	reject := func(id TxnID) {
+		runRejected.Add(id)
+		e.rejected.Add(id)
+		delete(e.deferredCands, id)
+	}
+	for _, st := range order {
+		switch st.decision {
+		case DecisionAccept:
+			ext := e.filterAppliedOrUsed(st.cand.Ext, st.cand.Txn, used)
+			flat, ferr := Flatten(e.schema, UpdateFootprint(ext))
+			if ferr != nil {
+				st.decision = DecisionReject
+				reject(st.cand.Txn.ID)
+				continue
+			}
+			if cerr := e.inst.CompatibleAll(flat); cerr != nil {
+				// Defensive: Proposition 1 says this cannot happen for
+				// greedy processing; reject rather than corrupt the
+				// instance if it ever does.
+				st.decision = DecisionReject
+				reject(st.cand.Txn.ID)
+				continue
+			}
+			for _, u := range flat {
+				e.inst.applyUnchecked(u)
+			}
+			e.noteProducers(ext)
+			res.Stats.AppliedUpdates += len(flat)
+			for _, x := range ext {
+				used.Add(x.ID)
+				e.applied.Add(x.ID)
+				res.Accepted = append(res.Accepted, x.ID)
+				delete(e.deferredCands, x.ID)
+				if runRejected.Has(x.ID) {
+					delete(runRejected, x.ID)
+					delete(e.rejected, x.ID)
+				}
+			}
+		case DecisionReject:
+			reject(st.cand.Txn.ID)
+		}
+	}
+	res.Rejected = runRejected.Sorted()
+
+	// Lines 20-21: UpdateSoftState for the deferred set. A transaction
+	// that was applied as part of an accepted dependent's extension in
+	// this very run (its conflicting intermediate state was superseded —
+	// "least interaction") is no longer deferred.
+	var deferred []*candidateState
+	for _, st := range order {
+		id := st.cand.Txn.ID
+		if st.decision == DecisionDefer && !e.applied.Has(id) && !e.rejected.Has(id) {
+			deferred = append(deferred, st)
+			res.Deferred = append(res.Deferred, id)
+		}
+	}
+	e.updateSoftState(deferred, res)
+	e.ownSince = nil
+	return res, nil
+}
+
+// filterApplied returns the extension with already-applied transactions
+// removed; the root is always kept.
+func (e *Engine) filterApplied(ext []*Transaction, root *Transaction) []*Transaction {
+	out := make([]*Transaction, 0, len(ext))
+	rootSeen := false
+	for _, x := range ext {
+		if x.ID == root.ID {
+			rootSeen = true
+			out = append(out, x)
+			continue
+		}
+		if !e.applied.Has(x.ID) {
+			out = append(out, x)
+		}
+	}
+	if !rootSeen {
+		out = append(out, root)
+		sort.Slice(out, func(i, j int) bool { return out[i].Order < out[j].Order })
+	}
+	return out
+}
+
+func (e *Engine) filterAppliedOrUsed(ext []*Transaction, root *Transaction, used TxnSet) []*Transaction {
+	out := make([]*Transaction, 0, len(ext))
+	rootSeen := false
+	for _, x := range ext {
+		if x.ID == root.ID {
+			rootSeen = true
+			out = append(out, x)
+			continue
+		}
+		if !e.applied.Has(x.ID) && !used.Has(x.ID) {
+			out = append(out, x)
+		}
+	}
+	if !rootSeen {
+		out = append(out, root)
+		sort.Slice(out, func(i, j int) bool { return out[i].Order < out[j].Order })
+	}
+	return out
+}
+
+// checkState implements CheckState of Figure 5: it classifies one update
+// extension against the dirty value set, the decided transactions, the
+// materialized instance, and the peer's own delta for this reconciliation.
+//
+// Carried candidates — the previously deferred transactions being
+// reconsidered by this run — skip the dirty-value and deferred-dependency
+// checks: every deferred transaction is itself a candidate again, so their
+// mutual conflicts are re-detected by FindConflicts/DoGroup, and blocking
+// them on their own dirty marks would make deferral permanent.
+func (e *Engine) checkState(upEx *UpdateExtension, ownDelta []Update, carried bool) Decision {
+	if !carried {
+		// Line 1: anything touching a dirty value is deferred so that a
+		// previously deferred transaction can always be accepted later.
+		if len(e.dirty) > 0 {
+			for _, k := range upEx.TouchedKeys(e.schema) {
+				if e.dirty[k] {
+					return DecisionDefer
+				}
+			}
+		}
+		// Dependency on a deferred transaction defers (the dirty check
+		// catches this in almost all cases; this is the explicit guarantee).
+		for id := range upEx.IDs {
+			if id == upEx.Root {
+				continue
+			}
+			if _, isDeferred := e.deferredCands[id]; isDeferred {
+				return DecisionDefer
+			}
+		}
+	}
+	// Line 3: an extension containing an already rejected transaction is
+	// rejected.
+	for id := range upEx.IDs {
+		if e.rejected.Has(id) {
+			return DecisionReject
+		}
+	}
+	// A malformed (un-flattenable) extension can never be applied.
+	if upEx.Malformed() != nil {
+		return DecisionReject
+	}
+	// Line 5: incompatible with the instance at recno.
+	if err := e.inst.CompatibleAll(upEx.Operation); err != nil {
+		return DecisionReject
+	}
+	// Line 7: conflicts with the peer's own delta — the participant always
+	// picks its own version first.
+	if len(ownDelta) > 0 && len(SetsConflict(e.schema, upEx.Operation, ownDelta)) > 0 {
+		return DecisionReject
+	}
+	return DecisionAccept
+}
+
+// findConflicts implements FindConflicts of Figure 5 over the candidates'
+// flattened update extensions, skipping pairs where one extension subsumes
+// the other. To avoid t² full comparisons it prunes with an inverted index
+// from touched keys to candidates; only candidates sharing a touched key
+// are compared.
+func (e *Engine) findConflicts(order []*candidateState, stats *ReconcileStats) map[TxnID][]*candidateState {
+	conflicts := make(map[TxnID][]*candidateState)
+	if len(order) < 2 {
+		return conflicts
+	}
+	byKey := make(map[tupleKey][]int)
+	for i, st := range order {
+		for _, k := range st.upEx.TouchedKeys(e.schema) {
+			byKey[k] = append(byKey[k], i)
+		}
+	}
+	pairSeen := make(map[[2]int]bool)
+	for _, idxs := range byKey {
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				i, j := idxs[a], idxs[b]
+				if i > j {
+					i, j = j, i
+				}
+				p := [2]int{i, j}
+				if pairSeen[p] {
+					continue
+				}
+				pairSeen[p] = true
+				stats.ConflictPairs++
+				si, sj := order[i], order[j]
+				if len(si.upEx.Conflicts(e.schema, sj.upEx)) == 0 {
+					continue
+				}
+				if si.upEx.Subsumes(sj.upEx) || sj.upEx.Subsumes(si.upEx) {
+					continue
+				}
+				stats.ConflictsFound++
+				conflicts[si.cand.Txn.ID] = append(conflicts[si.cand.Txn.ID], sj)
+				conflicts[sj.cand.Txn.ID] = append(conflicts[sj.cand.Txn.ID], si)
+			}
+		}
+	}
+	return conflicts
+}
+
+// doGroup implements DoGroup of Figure 5 for one priority level: reject
+// members that conflict with higher-priority accepted transactions, defer
+// members that conflict with higher-priority deferred ones, then defer every
+// conflicting pair within the group.
+func (e *Engine) doGroup(prio int, order []*candidateState, conflicts map[TxnID][]*candidateState, states map[TxnID]*candidateState) {
+	var grp []*candidateState
+	for _, st := range order {
+		if st.upEx.Priority == prio && st.decision != DecisionReject {
+			grp = append(grp, st)
+		}
+	}
+	// Lines 4-12: interactions with strictly higher priorities.
+	kept := grp[:0]
+	for _, st := range grp {
+		rejected := false
+		for _, c := range conflicts[st.cand.Txn.ID] {
+			if c.upEx.Priority <= prio {
+				continue
+			}
+			switch c.decision {
+			case DecisionAccept:
+				st.decision = DecisionReject
+				rejected = true
+			case DecisionDefer:
+				st.decision = DecisionDefer
+			}
+			if rejected {
+				break
+			}
+		}
+		if !rejected {
+			kept = append(kept, st)
+		}
+	}
+	grp = kept
+	// Lines 13-17: conflicts within the group defer both sides.
+	for _, st := range grp {
+		for _, c := range conflicts[st.cand.Txn.ID] {
+			if c.upEx.Priority != prio || c.decision == DecisionReject {
+				continue
+			}
+			if states[c.cand.Txn.ID] == nil {
+				continue
+			}
+			st.decision = DecisionDefer
+			c.decision = DecisionDefer
+		}
+	}
+}

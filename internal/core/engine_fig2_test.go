@@ -1,0 +1,207 @@
+package core
+
+import "testing"
+
+// TestFigure2 reproduces the paper's running example (Figure 2) verbatim:
+// three participants sharing F(organism, protein, function) with the trust
+// topology of Figure 1, reconciling over four epochs.
+func TestFigure2(t *testing.T) {
+	s := proteinSchema(t)
+	log := newTestLog(t, s)
+
+	// Figure 1 trust topology.
+	p1 := NewEngine("p1", s, TrustOrigins(map[PeerID]int{"p2": 1, "p3": 1}))
+	p2 := NewEngine("p2", s, TrustOrigins(map[PeerID]int{"p1": 2, "p3": 1}))
+	p3 := NewEngine("p3", s, TrustOrigins(map[PeerID]int{"p2": 1}))
+
+	// Epoch 1: p3 inserts and revises, publishes and reconciles.
+	x30 := mustLocal(t, p3, Insert("F", Strs("rat", "prot1", "cell-metab"), "p3"))
+	x31 := mustLocal(t, p3, Modify("F", Strs("rat", "prot1", "cell-metab"), Strs("rat", "prot1", "immune"), "p3"))
+	log.publish(x30, x31)
+	res := log.reconcile(p3)
+	if len(res.Accepted)+len(res.Rejected)+len(res.Deferred) != 0 {
+		t.Fatalf("epoch 1: p3 should see no foreign transactions, got %+v", res)
+	}
+	wantTuples(t, p3.Instance(), "F", Strs("rat", "prot1", "immune"))
+
+	// Epoch 2: p2 inserts two tuples, publishes and reconciles. It trusts
+	// p3's updates but they conflict with its own local state, so both are
+	// rejected.
+	x20 := mustLocal(t, p2, Insert("F", Strs("mouse", "prot2", "immune"), "p2"))
+	x21 := mustLocal(t, p2, Insert("F", Strs("rat", "prot1", "cell-resp"), "p2"))
+	log.publish(x20, x21)
+	res = log.reconcile(p2)
+	wantIDs(t, "epoch 2 rejected", res.Rejected, x30.ID, x31.ID)
+	wantIDs(t, "epoch 2 accepted", res.Accepted)
+	wantTuples(t, p2.Instance(), "F",
+		Strs("mouse", "prot2", "immune"),
+		Strs("rat", "prot1", "cell-resp"))
+
+	// Epoch 3: p3 reconciles again: accepts the mouse tuple, rejects the
+	// rat tuple that is incompatible with its local state.
+	res = log.reconcile(p3)
+	wantIDs(t, "epoch 3 accepted", res.Accepted, x20.ID)
+	wantIDs(t, "epoch 3 rejected", res.Rejected, x21.ID)
+	wantTuples(t, p3.Instance(), "F",
+		Strs("mouse", "prot2", "immune"),
+		Strs("rat", "prot1", "immune"))
+
+	// Epoch 4: p1 reconciles, trusting p2 and p3 equally: it accepts the
+	// non-conflicting mouse update and defers all three rat transactions.
+	res = log.reconcile(p1)
+	wantIDs(t, "epoch 4 accepted", res.Accepted, x20.ID)
+	wantIDs(t, "epoch 4 deferred", res.Deferred, x30.ID, x31.ID, x21.ID)
+	wantIDs(t, "epoch 4 rejected", res.Rejected)
+	wantTuples(t, p1.Instance(), "F", Strs("mouse", "prot2", "immune"))
+
+	// The deferred transactions form one conflict group over key
+	// (rat, prot1) with three options: cell-metab, immune, cell-resp.
+	groups := p1.ConflictGroups()
+	if len(groups) != 1 {
+		t.Fatalf("epoch 4: got %d conflict groups (%v), want 1", len(groups), groups)
+	}
+	g := groups[0]
+	if g.Conflict.Type != ConflictKeyValue || g.Conflict.Rel != "F" {
+		t.Fatalf("conflict group: got %v", g.Conflict)
+	}
+	if len(g.Options) != 3 {
+		t.Fatalf("conflict group options: got %v, want 3 options", g)
+	}
+	// The immune option must carry its antecedent X3:0.
+	var immuneOpt *Option
+	for _, o := range g.Options {
+		for _, id := range o.Txns {
+			if id == x31.ID {
+				immuneOpt = o
+			}
+		}
+	}
+	if immuneOpt == nil {
+		t.Fatalf("no option contains %s: %v", x31.ID, g)
+	}
+	wantIDs(t, "immune option txns", immuneOpt.Txns, x30.ID, x31.ID)
+}
+
+// TestFigure2ResolveImmune continues Figure 2: p1's user resolves the
+// (rat, prot1) conflict in favour of p3's immune chain. The cell-resp
+// transaction is rejected and the immune chain is applied.
+func TestFigure2ResolveImmune(t *testing.T) {
+	s := proteinSchema(t)
+	log := newTestLog(t, s)
+	p1 := NewEngine("p1", s, TrustOrigins(map[PeerID]int{"p2": 1, "p3": 1}))
+	p2 := NewEngine("p2", s, TrustOrigins(map[PeerID]int{"p1": 2, "p3": 1}))
+	p3 := NewEngine("p3", s, TrustOrigins(map[PeerID]int{"p2": 1}))
+
+	x30 := mustLocal(t, p3, Insert("F", Strs("rat", "prot1", "cell-metab"), "p3"))
+	x31 := mustLocal(t, p3, Modify("F", Strs("rat", "prot1", "cell-metab"), Strs("rat", "prot1", "immune"), "p3"))
+	log.publish(x30, x31)
+	log.reconcile(p3)
+	x20 := mustLocal(t, p2, Insert("F", Strs("mouse", "prot2", "immune"), "p2"))
+	x21 := mustLocal(t, p2, Insert("F", Strs("rat", "prot1", "cell-resp"), "p2"))
+	log.publish(x20, x21)
+	log.reconcile(p2)
+	log.reconcile(p1)
+
+	g := p1.ConflictGroups()[0]
+	winner := -1
+	for i, o := range g.Options {
+		for _, id := range o.Txns {
+			if id == x31.ID {
+				winner = i
+			}
+		}
+	}
+	if winner < 0 {
+		t.Fatalf("immune option not found in %v", g)
+	}
+	res, err := p1.Resolve(g.Conflict, winner)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	wantIDs(t, "post-resolve accepted", res.Accepted, x30.ID, x31.ID)
+	wantTuples(t, p1.Instance(), "F",
+		Strs("mouse", "prot2", "immune"),
+		Strs("rat", "prot1", "immune"))
+	if !p1.Rejected(x21.ID) {
+		t.Errorf("x21 should be rejected after resolution")
+	}
+	if len(p1.ConflictGroups()) != 0 {
+		t.Errorf("conflict groups should be empty after resolution: %v", p1.ConflictGroups())
+	}
+	if p1.DirtyKeyCount() != 0 {
+		t.Errorf("dirty keys should be cleared, have %d", p1.DirtyKeyCount())
+	}
+}
+
+// TestFigure2ResolveCellMetab picks the pre-revision option (+cell-metab,
+// X3:0 alone): the revision X3:1 and the cell-resp insert are rejected, and
+// only the original insert is applied.
+func TestFigure2ResolveCellMetab(t *testing.T) {
+	s := proteinSchema(t)
+	log := newTestLog(t, s)
+	p1 := NewEngine("p1", s, TrustOrigins(map[PeerID]int{"p2": 1, "p3": 1}))
+	p2 := NewEngine("p2", s, TrustOrigins(map[PeerID]int{"p1": 2, "p3": 1}))
+	p3 := NewEngine("p3", s, TrustOrigins(map[PeerID]int{"p2": 1}))
+
+	x30 := mustLocal(t, p3, Insert("F", Strs("rat", "prot1", "cell-metab"), "p3"))
+	x31 := mustLocal(t, p3, Modify("F", Strs("rat", "prot1", "cell-metab"), Strs("rat", "prot1", "immune"), "p3"))
+	log.publish(x30, x31)
+	log.reconcile(p3)
+	x20 := mustLocal(t, p2, Insert("F", Strs("mouse", "prot2", "immune"), "p2"))
+	x21 := mustLocal(t, p2, Insert("F", Strs("rat", "prot1", "cell-resp"), "p2"))
+	log.publish(x20, x21)
+	log.reconcile(p2)
+	log.reconcile(p1)
+
+	g := p1.ConflictGroups()[0]
+	winner := -1
+	for i, o := range g.Options {
+		if len(o.Txns) == 1 && o.Txns[0] == x30.ID {
+			winner = i
+		}
+	}
+	if winner < 0 {
+		t.Fatalf("cell-metab option not found in %v", g)
+	}
+	if _, err := p1.Resolve(g.Conflict, winner); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	wantTuples(t, p1.Instance(), "F",
+		Strs("mouse", "prot2", "immune"),
+		Strs("rat", "prot1", "cell-metab"))
+	if !p1.Rejected(x31.ID) || !p1.Rejected(x21.ID) {
+		t.Errorf("x31 and x21 should be rejected; rejected(x31)=%v rejected(x21)=%v",
+			p1.Rejected(x31.ID), p1.Rejected(x21.ID))
+	}
+}
+
+// TestFigure2RejectAll rejects every option: the key stays absent at p1 and
+// all three transactions are rejected.
+func TestFigure2RejectAll(t *testing.T) {
+	s := proteinSchema(t)
+	log := newTestLog(t, s)
+	p1 := NewEngine("p1", s, TrustOrigins(map[PeerID]int{"p2": 1, "p3": 1}))
+	p2 := NewEngine("p2", s, TrustOrigins(map[PeerID]int{"p1": 2, "p3": 1}))
+	p3 := NewEngine("p3", s, TrustOrigins(map[PeerID]int{"p2": 1}))
+
+	x30 := mustLocal(t, p3, Insert("F", Strs("rat", "prot1", "cell-metab"), "p3"))
+	x31 := mustLocal(t, p3, Modify("F", Strs("rat", "prot1", "cell-metab"), Strs("rat", "prot1", "immune"), "p3"))
+	log.publish(x30, x31)
+	log.reconcile(p3)
+	x20 := mustLocal(t, p2, Insert("F", Strs("mouse", "prot2", "immune"), "p2"))
+	x21 := mustLocal(t, p2, Insert("F", Strs("rat", "prot1", "cell-resp"), "p2"))
+	log.publish(x20, x21)
+	log.reconcile(p2)
+	log.reconcile(p1)
+
+	g := p1.ConflictGroups()[0]
+	if _, err := p1.Resolve(g.Conflict, -1); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	wantTuples(t, p1.Instance(), "F", Strs("mouse", "prot2", "immune"))
+	for _, id := range []TxnID{x30.ID, x31.ID, x21.ID} {
+		if !p1.Rejected(id) {
+			t.Errorf("%s should be rejected", id)
+		}
+	}
+}

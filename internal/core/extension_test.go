@@ -1,0 +1,123 @@
+package core
+
+import "testing"
+
+func buildChain(t *testing.T, s *Schema) (*AntecedentGraph, []*Transaction) {
+	t.Helper()
+	g := NewAntecedentGraph(s)
+	x0 := NewTransaction(xid("a", 0), Insert("F", Strs("rat", "p1", "v0"), "a"))
+	x1 := NewTransaction(xid("b", 0), Modify("F", Strs("rat", "p1", "v0"), Strs("rat", "p1", "v1"), "b"))
+	x2 := NewTransaction(xid("c", 0), Modify("F", Strs("rat", "p1", "v1"), Strs("rat", "p1", "v2"), "c"))
+	for _, x := range []*Transaction{x0, x1, x2} {
+		if err := g.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, []*Transaction{x0, x1, x2}
+}
+
+func TestUpdateExtensionFlattening(t *testing.T) {
+	s := flatSchema(t)
+	_, xs := buildChain(t, s)
+	ue := NewUpdateExtension(s, xs[2].ID, xs, 1)
+	if ue.Malformed() != nil {
+		t.Fatal(ue.Malformed())
+	}
+	if len(ue.Operation) != 1 || ue.Operation[0].Op != OpInsert ||
+		!ue.Operation[0].Tuple.Equal(Strs("rat", "p1", "v2")) {
+		t.Fatalf("operation = %v", ue.Operation)
+	}
+	if ue.Priority != 1 || ue.Root != xs[2].ID || len(ue.IDs) != 3 {
+		t.Errorf("fields: %+v", ue)
+	}
+}
+
+func TestUpdateExtensionSubsumption(t *testing.T) {
+	s := flatSchema(t)
+	_, xs := buildChain(t, s)
+	full := NewUpdateExtension(s, xs[2].ID, xs, 1)
+	prefix := NewUpdateExtension(s, xs[1].ID, xs[:2], 1)
+	other := NewUpdateExtension(s, xid("z", 0),
+		[]*Transaction{NewTransaction(xid("z", 0), Insert("F", Strs("dog", "p9", "q"), "z"))}, 1)
+	if !full.Subsumes(prefix) {
+		t.Error("full should subsume prefix")
+	}
+	if prefix.Subsumes(full) {
+		t.Error("prefix should not subsume full")
+	}
+	if full.Subsumes(other) || other.Subsumes(full) {
+		t.Error("disjoint extensions should not subsume")
+	}
+	if !full.Subsumes(full) {
+		t.Error("subsumption is reflexive")
+	}
+}
+
+func TestUpdateExtensionConflictsExcludeShared(t *testing.T) {
+	s := flatSchema(t)
+	g := NewAntecedentGraph(s)
+	root := NewTransaction(xid("a", 0), Insert("F", Strs("rat", "p1", "v"), "a"))
+	left := NewTransaction(xid("b", 0), Modify("F", Strs("rat", "p1", "v"), Strs("rat", "p1", "L"), "b"))
+	right := NewTransaction(xid("c", 0), Modify("F", Strs("rat", "p1", "v"), Strs("rat", "p1", "R"), "c"))
+	for _, x := range []*Transaction{root, left, right} {
+		if err := g.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ueL := NewUpdateExtension(s, left.ID, []*Transaction{root, left}, 1)
+	ueR := NewUpdateExtension(s, right.ID, []*Transaction{root, right}, 1)
+	cs := ueL.Conflicts(s, ueR)
+	if len(cs) == 0 {
+		t.Fatal("diverging branches should conflict")
+	}
+	// The conflict must be attributed to the diverging modifications (the
+	// shared root is excluded), i.e. a modify-source conflict on value v.
+	foundModSrc := false
+	for _, c := range cs {
+		if c.Type == ConflictModifySource {
+			foundModSrc = true
+		}
+	}
+	if !foundModSrc {
+		t.Errorf("conflicts = %v, want modify-source on shared root's value", cs)
+	}
+	shared := ueL.SharedWith(ueR)
+	if len(shared) != 1 || !shared.Has(root.ID) {
+		t.Errorf("shared = %v", shared)
+	}
+}
+
+func TestUpdateExtensionMalformed(t *testing.T) {
+	s := flatSchema(t)
+	// Two inserts landing on the same live value via modify: malformed.
+	x := NewTransaction(xid("a", 0),
+		Insert("F", Strs("rat", "p1", "v"), "a"),
+		Insert("F", Strs("rat", "p2", "w"), "a"),
+	)
+	y := NewTransaction(xid("b", 0),
+		Modify("F", Strs("rat", "p2", "w"), Strs("rat", "p1", "v"), "b"),
+	)
+	ue := NewUpdateExtension(s, y.ID, []*Transaction{x, y}, 1)
+	if ue.Malformed() == nil {
+		t.Error("colliding chain should be malformed")
+	}
+	// TouchedKeys falls back to the raw footprint.
+	if len(ue.TouchedKeys(s)) == 0 {
+		t.Error("malformed extension should still expose touched keys")
+	}
+}
+
+func TestTouchedKeys(t *testing.T) {
+	s := flatSchema(t)
+	x := NewTransaction(xid("a", 0),
+		Insert("F", Strs("rat", "p1", "v"), "a"),
+		Modify("F", Strs("rat", "p1", "v"), Strs("rat", "p2", "v"), "a"),
+	)
+	ue := NewUpdateExtension(s, x.ID, []*Transaction{x}, 1)
+	keys := ue.TouchedKeys(s)
+	// Flattened to +F(rat,p2,v): touches key (rat,p2) only... but the
+	// flatten keeps only the final insert, so one key.
+	if len(keys) != 1 {
+		t.Fatalf("touched keys = %v", keys)
+	}
+}

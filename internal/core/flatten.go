@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// flattenChain tracks one value chain during delta composition: the value it
+// started from (nil if created by an insert within the sequence), the value
+// it currently holds (nil once deleted), the relation it lives in, and the
+// origin of its last writer.
+type flattenChain struct {
+	rel    string
+	source Tuple
+	cur    Tuple
+	origin PeerID
+	seq    int
+}
+
+// Flatten takes an ordered sequence of updates and produces a set of
+// mutually independent updates with all dependency chains removed, in the
+// style of Heraclitus delta composition ([12] in the paper, as used by [14]).
+//
+// Value chains are composed: an insert followed by modifications of the
+// inserted value collapses to a single insert of the final value; a
+// modification chain a→b→c collapses to a→c; an insert followed by a delete
+// of the same chain vanishes; a delete of an existing value followed by an
+// insert with the same key collapses to a modification; a chain that returns
+// to its source value has no net effect.
+//
+// The schema is needed to compute key projections. The output is sorted
+// deterministically (by relation, then tuple encoding). Flatten returns an
+// error if the sequence is malformed, e.g. a modification would move a chain
+// onto a value already held live by another chain.
+func Flatten(s *Schema, updates []Update) ([]Update, error) {
+	// live chains indexed by the encoding of their current value; dead
+	// chains indexed by the key of their source value so a later insert
+	// with the same key revives them as a modification.
+	live := make(map[tupleKey]*flattenChain)
+	deadByKey := make(map[tupleKey]*flattenChain)
+	var all []*flattenChain
+
+	newChain := func(c *flattenChain) *flattenChain {
+		c.seq = len(all)
+		all = append(all, c)
+		return c
+	}
+
+	for i, u := range updates {
+		rel, ok := s.Relation(u.Rel)
+		if !ok {
+			return nil, fmt.Errorf("core: flatten: update %d over unknown relation %s", i, u.Rel)
+		}
+		switch u.Op {
+		case OpInsert:
+			vk := mkTupleKey(u.Rel, u.Tuple)
+			if _, exists := live[vk]; exists {
+				continue // duplicate insert of the same value: idempotent
+			}
+			kk := tupleKey{rel: u.Rel, enc: rel.KeyEnc(u.Tuple)}
+			if dc, ok := deadByKey[kk]; ok {
+				// −t then +t′ with the same key: revive as source→t′.
+				delete(deadByKey, kk)
+				dc.cur = u.Tuple
+				dc.origin = u.Origin
+				live[vk] = dc
+				continue
+			}
+			live[vk] = newChain(&flattenChain{rel: u.Rel, cur: u.Tuple, origin: u.Origin})
+		case OpModify:
+			srcK := mkTupleKey(u.Rel, u.Tuple)
+			dstK := mkTupleKey(u.Rel, u.New)
+			if srcK == dstK {
+				continue // identity modification: no net effect
+			}
+			if _, exists := live[dstK]; exists {
+				return nil, fmt.Errorf("core: flatten: update %d (%s) collides with a live value", i, u)
+			}
+			if c, ok := live[srcK]; ok {
+				delete(live, srcK)
+				c.cur = u.New
+				c.origin = u.Origin
+				live[dstK] = c
+				continue
+			}
+			live[dstK] = newChain(&flattenChain{rel: u.Rel, source: u.Tuple, cur: u.New, origin: u.Origin})
+		case OpDelete:
+			vk := mkTupleKey(u.Rel, u.Tuple)
+			if c, ok := live[vk]; ok {
+				delete(live, vk)
+				c.cur = nil
+				c.origin = u.Origin
+				if c.source == nil {
+					continue // insert followed by delete: the chain vanishes
+				}
+				kk := tupleKey{rel: u.Rel, enc: rel.KeyEnc(c.source)}
+				deadByKey[kk] = c
+				continue
+			}
+			kk := tupleKey{rel: u.Rel, enc: rel.KeyEnc(u.Tuple)}
+			if _, dup := deadByKey[kk]; dup {
+				continue // repeated delete with the same source key: idempotent
+			}
+			deadByKey[kk] = newChain(&flattenChain{rel: u.Rel, source: u.Tuple, origin: u.Origin})
+		default:
+			return nil, fmt.Errorf("core: flatten: update %d has unknown op %d", i, u.Op)
+		}
+	}
+
+	out := make([]Update, 0, len(all))
+	for _, c := range all {
+		switch {
+		case c.source == nil && c.cur != nil:
+			out = append(out, Update{Op: OpInsert, Rel: c.rel, Tuple: c.cur, Origin: c.origin})
+		case c.source != nil && c.cur != nil:
+			if c.source.Equal(c.cur) {
+				continue // chain returned to its source: no net effect
+			}
+			out = append(out, Update{Op: OpModify, Rel: c.rel, Tuple: c.source, New: c.cur, Origin: c.origin})
+		case c.source != nil && c.cur == nil:
+			out = append(out, Update{Op: OpDelete, Rel: c.rel, Tuple: c.source, Origin: c.origin})
+		}
+	}
+	sortUpdates(out)
+	return out, nil
+}
+
+// MustFlatten is Flatten that panics on malformed input; used where the
+// sequence is known to be well-formed (e.g. produced by the engine itself).
+func MustFlatten(s *Schema, updates []Update) []Update {
+	out, err := Flatten(s, updates)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// sortUpdates orders updates deterministically: by relation, tuple encoding,
+// op, then replacement encoding.
+func sortUpdates(us []Update) {
+	sort.Slice(us, func(i, j int) bool {
+		a, b := us[i], us[j]
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		ae, be := a.Tuple.Encode(), b.Tuple.Encode()
+		if ae != be {
+			return ae < be
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.New.Encode() < b.New.Encode()
+	})
+}

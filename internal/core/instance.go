@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Instance is one participant's materialized database instance I_i(Σ): for
+// each relation, a map from encoded key to the tuple holding that key.
+// Instances enforce the schema's integrity constraints (key uniqueness,
+// NOT NULL, foreign keys); an update that would violate them is
+// *incompatible* with the instance in the paper's sense.
+type Instance struct {
+	schema *Schema
+	rels   map[string]map[string]Tuple // rel -> keyEnc -> tuple
+	// fkCount tracks, per referenced relation, how many referencing tuples
+	// point at each referenced key (for reverse foreign-key checks).
+	fkCount map[string]map[string]int
+}
+
+// NewInstance returns an empty instance of the schema.
+func NewInstance(s *Schema) *Instance {
+	in := &Instance{
+		schema:  s,
+		rels:    make(map[string]map[string]Tuple, s.Len()),
+		fkCount: make(map[string]map[string]int),
+	}
+	for _, name := range s.Names() {
+		in.rels[name] = make(map[string]Tuple)
+	}
+	return in
+}
+
+// Schema returns the instance's schema.
+func (in *Instance) Schema() *Schema { return in.schema }
+
+// Lookup returns the tuple holding the given key, if any.
+func (in *Instance) Lookup(rel string, key Tuple) (Tuple, bool) {
+	m, ok := in.rels[rel]
+	if !ok {
+		return nil, false
+	}
+	t, ok := m[key.Encode()]
+	return t, ok
+}
+
+// lookupEnc is Lookup with a pre-encoded key.
+func (in *Instance) lookupEnc(rel, keyEnc string) (Tuple, bool) {
+	t, ok := in.rels[rel][keyEnc]
+	return t, ok
+}
+
+// Len returns the number of tuples in a relation.
+func (in *Instance) Len(rel string) int { return len(in.rels[rel]) }
+
+// TotalLen returns the number of tuples across all relations.
+func (in *Instance) TotalLen() int {
+	n := 0
+	for _, m := range in.rels {
+		n += len(m)
+	}
+	return n
+}
+
+// Tuples returns the tuples of a relation sorted by key encoding, for
+// deterministic iteration.
+func (in *Instance) Tuples(rel string) []Tuple {
+	m := in.rels[rel]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// Keys returns the encoded keys present in a relation, sorted.
+func (in *Instance) Keys(rel string) []string {
+	m := in.rels[rel]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone returns a deep copy of the instance (tuples are shared; they are
+// immutable by convention).
+func (in *Instance) Clone() *Instance {
+	cp := &Instance{
+		schema:  in.schema,
+		rels:    make(map[string]map[string]Tuple, len(in.rels)),
+		fkCount: make(map[string]map[string]int, len(in.fkCount)),
+	}
+	for name, m := range in.rels {
+		nm := make(map[string]Tuple, len(m))
+		for k, v := range m {
+			nm[k] = v
+		}
+		cp.rels[name] = nm
+	}
+	for name, m := range in.fkCount {
+		nm := make(map[string]int, len(m))
+		for k, v := range m {
+			nm[k] = v
+		}
+		cp.fkCount[name] = nm
+	}
+	return cp
+}
+
+// Equal reports whether two instances hold exactly the same tuples.
+func (in *Instance) Equal(other *Instance) bool {
+	if len(in.rels) != len(other.rels) {
+		return false
+	}
+	for name, m := range in.rels {
+		om, ok := other.rels[name]
+		if !ok || len(m) != len(om) {
+			return false
+		}
+		for k, t := range m {
+			ot, ok := om[k]
+			if !ok || !t.Equal(ot) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IncompatibleError describes why an update cannot be applied to an
+// instance without violating its integrity constraints.
+type IncompatibleError struct {
+	Update Update
+	Reason string
+}
+
+func (e *IncompatibleError) Error() string {
+	return fmt.Sprintf("core: update %s incompatible with instance: %s", e.Update, e.Reason)
+}
+
+func incompat(u Update, format string, args ...any) error {
+	return &IncompatibleError{Update: u, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Compatible reports whether applying u to the current instance preserves
+// all integrity constraints; it returns nil if so and an
+// *IncompatibleError otherwise. Inserting a tuple that is already present
+// verbatim is a compatible no-op.
+func (in *Instance) Compatible(u Update) error {
+	rel, ok := in.schema.Relation(u.Rel)
+	if !ok {
+		return incompat(u, "unknown relation %s", u.Rel)
+	}
+	switch u.Op {
+	case OpInsert:
+		if err := rel.Validate(u.Tuple); err != nil {
+			return incompat(u, "%v", err)
+		}
+		if cur, exists := in.lookupEnc(u.Rel, rel.KeyEnc(u.Tuple)); exists && !cur.Equal(u.Tuple) {
+			return incompat(u, "key already bound to %s", cur)
+		}
+		return in.checkForeignKeys(rel, u, u.Tuple)
+	case OpDelete:
+		cur, exists := in.lookupEnc(u.Rel, rel.KeyEnc(u.Tuple))
+		if !exists {
+			return incompat(u, "tuple absent")
+		}
+		if !cur.Equal(u.Tuple) {
+			return incompat(u, "key bound to different value %s", cur)
+		}
+		return in.checkNotReferenced(rel, u, u.Tuple)
+	case OpModify:
+		if err := rel.Validate(u.New); err != nil {
+			return incompat(u, "%v", err)
+		}
+		cur, exists := in.lookupEnc(u.Rel, rel.KeyEnc(u.Tuple))
+		if !exists {
+			return incompat(u, "source tuple absent")
+		}
+		if !cur.Equal(u.Tuple) {
+			return incompat(u, "source key bound to different value %s", cur)
+		}
+		oldKey, newKey := rel.KeyEnc(u.Tuple), rel.KeyEnc(u.New)
+		if oldKey != newKey {
+			if clash, exists := in.lookupEnc(u.Rel, newKey); exists {
+				return incompat(u, "replacement key already bound to %s", clash)
+			}
+			if err := in.checkNotReferenced(rel, u, u.Tuple); err != nil {
+				return err
+			}
+		}
+		return in.checkForeignKeys(rel, u, u.New)
+	default:
+		return incompat(u, "unknown op")
+	}
+}
+
+// checkForeignKeys verifies every foreign key of rel holds for tuple t.
+func (in *Instance) checkForeignKeys(rel *Relation, u Update, t Tuple) error {
+	for _, fk := range rel.ForeignKeys {
+		refEnc := t.Project(fk.Attrs).Encode()
+		if _, ok := in.lookupEnc(fk.RefRel, refEnc); !ok {
+			return incompat(u, "dangling reference into %s", fk.RefRel)
+		}
+	}
+	return nil
+}
+
+// checkNotReferenced verifies that removing tuple t from rel leaves no
+// dangling references from other relations.
+func (in *Instance) checkNotReferenced(rel *Relation, u Update, t Tuple) error {
+	refs := in.fkCount[rel.Name]
+	if refs == nil {
+		return nil
+	}
+	if n := refs[rel.KeyEnc(t)]; n > 0 {
+		return incompat(u, "key referenced by %d tuple(s)", n)
+	}
+	return nil
+}
+
+// Apply applies a single update after re-checking compatibility. The
+// instance is unchanged on error.
+func (in *Instance) Apply(u Update) error {
+	if err := in.Compatible(u); err != nil {
+		return err
+	}
+	in.applyUnchecked(u)
+	return nil
+}
+
+// applyUnchecked mutates the instance assuming Compatible(u) == nil.
+func (in *Instance) applyUnchecked(u Update) {
+	rel := in.schema.MustRelation(u.Rel)
+	switch u.Op {
+	case OpInsert:
+		in.put(rel, u.Tuple)
+	case OpDelete:
+		in.del(rel, u.Tuple)
+	case OpModify:
+		in.del(rel, u.Tuple)
+		in.put(rel, u.New)
+	}
+}
+
+func (in *Instance) put(rel *Relation, t Tuple) {
+	in.rels[rel.Name][rel.KeyEnc(t)] = t
+	for _, fk := range rel.ForeignKeys {
+		m := in.fkCount[fk.RefRel]
+		if m == nil {
+			m = make(map[string]int)
+			in.fkCount[fk.RefRel] = m
+		}
+		m[t.Project(fk.Attrs).Encode()]++
+	}
+}
+
+func (in *Instance) del(rel *Relation, t Tuple) {
+	delete(in.rels[rel.Name], rel.KeyEnc(t))
+	for _, fk := range rel.ForeignKeys {
+		if m := in.fkCount[fk.RefRel]; m != nil {
+			enc := t.Project(fk.Attrs).Encode()
+			if m[enc]--; m[enc] <= 0 {
+				delete(m, enc)
+			}
+		}
+	}
+}
+
+// ApplyAll applies a sequence of updates, checking compatibility against the
+// evolving instance. If any update is incompatible it returns the error and
+// rolls back nothing: callers that need atomicity use CompatibleAll first.
+func (in *Instance) ApplyAll(us []Update) error {
+	for _, u := range us {
+		if err := in.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompatibleAll reports whether the whole sequence can be applied in order
+// without violating integrity constraints, using a scratch overlay so the
+// instance itself is not modified.
+func (in *Instance) CompatibleAll(us []Update) error {
+	ov := newOverlay(in)
+	for _, u := range us {
+		if err := ov.apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// overlay is a copy-on-write view of an instance used for trial application
+// of update sequences without cloning the full instance.
+type overlay struct {
+	base *Instance
+	// mods maps (rel, keyEnc) to the overlaid tuple; nil tuple = deleted.
+	mods map[tupleKey]Tuple
+	// fkDelta tracks reference-count changes per referenced relation/key.
+	fkDelta map[tupleKey]int
+}
+
+func newOverlay(base *Instance) *overlay {
+	return &overlay{base: base, mods: make(map[tupleKey]Tuple), fkDelta: make(map[tupleKey]int)}
+}
+
+func (ov *overlay) lookup(rel, keyEnc string) (Tuple, bool) {
+	k := tupleKey{rel: rel, enc: keyEnc}
+	if t, ok := ov.mods[k]; ok {
+		if t == nil {
+			return nil, false
+		}
+		return t, true
+	}
+	return ov.base.lookupEnc(rel, keyEnc)
+}
+
+func (ov *overlay) refCount(rel, keyEnc string) int {
+	n := 0
+	if m := ov.base.fkCount[rel]; m != nil {
+		n = m[keyEnc]
+	}
+	return n + ov.fkDelta[tupleKey{rel: rel, enc: keyEnc}]
+}
+
+func (ov *overlay) bumpRefs(rel *Relation, t Tuple, delta int) {
+	for _, fk := range rel.ForeignKeys {
+		k := tupleKey{rel: fk.RefRel, enc: t.Project(fk.Attrs).Encode()}
+		ov.fkDelta[k] += delta
+	}
+}
+
+func (ov *overlay) apply(u Update) error {
+	rel, ok := ov.base.schema.Relation(u.Rel)
+	if !ok {
+		return incompat(u, "unknown relation %s", u.Rel)
+	}
+	checkFKs := func(t Tuple) error {
+		for _, fk := range rel.ForeignKeys {
+			refEnc := t.Project(fk.Attrs).Encode()
+			if _, ok := ov.lookup(fk.RefRel, refEnc); !ok {
+				return incompat(u, "dangling reference into %s", fk.RefRel)
+			}
+		}
+		return nil
+	}
+	switch u.Op {
+	case OpInsert:
+		if err := rel.Validate(u.Tuple); err != nil {
+			return incompat(u, "%v", err)
+		}
+		keyEnc := rel.KeyEnc(u.Tuple)
+		if cur, exists := ov.lookup(u.Rel, keyEnc); exists {
+			if cur.Equal(u.Tuple) {
+				return nil // idempotent
+			}
+			return incompat(u, "key already bound to %s", cur)
+		}
+		if err := checkFKs(u.Tuple); err != nil {
+			return err
+		}
+		ov.mods[tupleKey{rel: u.Rel, enc: keyEnc}] = u.Tuple
+		ov.bumpRefs(rel, u.Tuple, 1)
+		return nil
+	case OpDelete:
+		keyEnc := rel.KeyEnc(u.Tuple)
+		cur, exists := ov.lookup(u.Rel, keyEnc)
+		if !exists {
+			return incompat(u, "tuple absent")
+		}
+		if !cur.Equal(u.Tuple) {
+			return incompat(u, "key bound to different value %s", cur)
+		}
+		if n := ov.refCount(u.Rel, keyEnc); n > 0 {
+			return incompat(u, "key referenced by %d tuple(s)", n)
+		}
+		ov.mods[tupleKey{rel: u.Rel, enc: keyEnc}] = nil
+		ov.bumpRefs(rel, u.Tuple, -1)
+		return nil
+	case OpModify:
+		if err := rel.Validate(u.New); err != nil {
+			return incompat(u, "%v", err)
+		}
+		oldKey, newKey := rel.KeyEnc(u.Tuple), rel.KeyEnc(u.New)
+		cur, exists := ov.lookup(u.Rel, oldKey)
+		if !exists {
+			return incompat(u, "source tuple absent")
+		}
+		if !cur.Equal(u.Tuple) {
+			return incompat(u, "source key bound to different value %s", cur)
+		}
+		if oldKey != newKey {
+			if clash, exists := ov.lookup(u.Rel, newKey); exists {
+				return incompat(u, "replacement key already bound to %s", clash)
+			}
+			if n := ov.refCount(u.Rel, oldKey); n > 0 {
+				return incompat(u, "key referenced by %d tuple(s)", n)
+			}
+			ov.mods[tupleKey{rel: u.Rel, enc: oldKey}] = nil
+		}
+		if err := checkFKs(u.New); err != nil {
+			return err
+		}
+		ov.mods[tupleKey{rel: u.Rel, enc: newKey}] = u.New
+		ov.bumpRefs(rel, u.Tuple, -1)
+		ov.bumpRefs(rel, u.New, 1)
+		return nil
+	default:
+		return incompat(u, "unknown op")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// Resolve performs user-driven conflict resolution for one conflict group
+// (§4.2, end): the user selects the winning option by index, or passes
+// winner = -1 to reject every option. The transactions of the losing
+// options are rejected; the winners (if any) remain deferred and are
+// reconsidered — along with everything that was deferred behind them — by
+// the ReconcileUpdates re-run that Resolve triggers.
+//
+// Resolve returns the result of the re-run. Transactions that still
+// conflict in another group remain deferred.
+func (e *Engine) Resolve(c Conflict, winner int) (*Result, error) {
+	g, ok := e.groups[c]
+	if !ok {
+		return nil, fmt.Errorf("core: no conflict group for %s", c)
+	}
+	if winner < -1 || winner >= len(g.Options) {
+		return nil, fmt.Errorf("core: conflict %s has %d options; winner %d out of range",
+			c, len(g.Options), winner)
+	}
+	// The losers are the transactions of the losing options minus those of
+	// the winning option: a transaction that underlies both (a shared
+	// antecedent chain prefix) survives with the winner.
+	keep := make(TxnSet)
+	if winner >= 0 {
+		for _, id := range g.Options[winner].Txns {
+			keep.Add(id)
+		}
+	}
+	var losers []TxnID
+	for i, opt := range g.Options {
+		if i == winner {
+			continue
+		}
+		for _, id := range opt.Txns {
+			if keep.Has(id) || e.rejected.Has(id) {
+				continue
+			}
+			e.rejected.Add(id)
+			delete(e.deferredCands, id)
+			losers = append(losers, id)
+		}
+	}
+	// Re-run reconciliation with no new candidates: previously deferred
+	// transactions are reconsidered against the updated rejected set; those
+	// whose conflicts are fully resolved are accepted or rejected, and the
+	// soft state (dirty values, remaining groups) is rebuilt. The
+	// explicitly rejected losers are part of the result so the update
+	// store learns of them.
+	res, err := e.Reconcile(nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Rejected = append(losers, res.Rejected...)
+	return res, nil
+}
+
+// ResolveAll applies a decision to every outstanding conflict group using
+// the chooser callback (which returns the winning option index or -1) and
+// runs a single reconciliation afterwards. It loops until no conflict
+// groups remain or the chooser made no choice, returning the final result.
+func (e *Engine) ResolveAll(choose func(g *ConflictGroup) int) (*Result, error) {
+	var last *Result
+	for {
+		groups := e.ConflictGroups()
+		if len(groups) == 0 {
+			return last, nil
+		}
+		progressed := false
+		for _, g := range groups {
+			// Groups may disappear as earlier resolutions cascade.
+			if _, still := e.groups[g.Conflict]; !still {
+				continue
+			}
+			w := choose(g)
+			res, err := e.Resolve(g.Conflict, w)
+			if err != nil {
+				return last, err
+			}
+			last = res
+			progressed = true
+		}
+		if !progressed {
+			return last, nil
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LoggedTxn is one entry of the update store's replay log: a published
+// transaction and its antecedent set.
+type LoggedTxn struct {
+	Txn         *Transaction
+	Antecedents []TxnID
+}
+
+// RestoredDecision is a peer's recorded decision for one transaction,
+// together with its acceptance sequence: the order in which the peer's
+// decisions were recorded at the store. Acceptance order — not global
+// publication order — is the peer's valid local history: a peer may accept
+// its own revision of a value before importing a later-published identical
+// insert that is idempotent by then.
+type RestoredDecision struct {
+	Decision Decision
+	Seq      int64
+}
+
+// Restore rebuilds the engine's state from the update store's log and this
+// peer's recorded decisions — the §5.2 soft-state guarantee: "it is
+// possible to reconstruct the entire state of the participant, up to his or
+// her last reconciliation, from the update store".
+//
+// The instance is the net effect of every accepted transaction's updates in
+// acceptance order (flattened, so superseded intermediate states are
+// skipped exactly as the original reconciliations skipped them). Deferred
+// transactions are not recorded by the store; they are reconsidered
+// automatically by the next reconciliation, which the caller performs after
+// Restore.
+func (e *Engine) Restore(log []LoggedTxn, decisions map[TxnID]RestoredDecision) error {
+	if len(e.applied) > 0 || e.inst.TotalLen() > 0 {
+		return fmt.Errorf("core: Restore requires a fresh engine")
+	}
+	ordered := append([]LoggedTxn(nil), log...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Txn.Order < ordered[j].Txn.Order })
+
+	var accepted []*Transaction
+	var maxOwnSeq uint64
+	haveOwn := false
+	for _, lt := range ordered {
+		id := lt.Txn.ID
+		if id.Origin == e.peer {
+			haveOwn = true
+			if id.Seq > maxOwnSeq {
+				maxOwnSeq = id.Seq
+			}
+		}
+		switch decisions[id].Decision {
+		case DecisionAccept:
+			accepted = append(accepted, lt.Txn)
+			e.applied.Add(id)
+		case DecisionReject:
+			e.rejected.Add(id)
+		}
+	}
+	// Acceptance order, breaking ties (within one reconciliation batch) by
+	// global order.
+	sort.SliceStable(accepted, func(i, j int) bool {
+		si, sj := decisions[accepted[i].ID].Seq, decisions[accepted[j].ID].Seq
+		if si != sj {
+			return si < sj
+		}
+		return accepted[i].Order < accepted[j].Order
+	})
+
+	flat, err := Flatten(e.schema, UpdateFootprint(accepted))
+	if err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	if err := e.inst.CompatibleAll(flat); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	for _, u := range flat {
+		e.inst.applyUnchecked(u)
+	}
+	e.noteProducers(accepted)
+	if haveOwn {
+		e.nextSeq = maxOwnSeq + 1
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRelation(t *testing.T) {
+	r := NewRelation("F", 2, "organism", "protein", "function")
+	if r.Arity() != 3 {
+		t.Fatalf("arity %d", r.Arity())
+	}
+	if len(r.Key) != 2 || r.Key[0] != 0 || r.Key[1] != 1 {
+		t.Fatalf("key %v", r.Key)
+	}
+	tp := Strs("rat", "prot1", "immune")
+	if got := r.KeyOf(tp); !got.Equal(Strs("rat", "prot1")) {
+		t.Errorf("KeyOf = %v", got)
+	}
+	if r.KeyEnc(tp) != Strs("rat", "prot1").Encode() {
+		t.Error("KeyEnc mismatch")
+	}
+	if r.AttrIndex("function") != 2 || r.AttrIndex("nope") != -1 {
+		t.Error("AttrIndex broken")
+	}
+}
+
+func TestRelationValidate(t *testing.T) {
+	r := NewRelation("F", 1, "a", "b")
+	if err := r.Validate(Strs("x", "y")); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if err := r.Validate(Strs("x")); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := r.Validate(T(S("x"), I(3))); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := r.Validate(T(S("x"), Null())); err == nil {
+		t.Error("NULL in NOT NULL attribute accepted")
+	}
+	anyKind := &Relation{
+		Name:  "G",
+		Attrs: []AttrDef{{Name: "a"}, {Name: "b"}},
+		Key:   []int{0},
+	}
+	if err := anyKind.Validate(T(S("x"), I(3))); err != nil {
+		t.Errorf("any-kind nullable attribute rejected: %v", err)
+	}
+	if err := anyKind.Validate(T(S("x"), Null())); err != nil {
+		t.Errorf("NULL in nullable attribute rejected: %v", err)
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	good := NewRelation("F", 1, "a")
+	cases := []struct {
+		name string
+		rels []*Relation
+		want string
+	}{
+		{"empty name", []*Relation{{Attrs: []AttrDef{{Name: "a"}}, Key: []int{0}}}, "empty name"},
+		{"no attrs", []*Relation{{Name: "X", Key: []int{0}}}, "no attributes"},
+		{"no key", []*Relation{{Name: "X", Attrs: []AttrDef{{Name: "a"}}}}, "no key"},
+		{"dup attr", []*Relation{{Name: "X", Attrs: []AttrDef{{Name: "a"}, {Name: "a"}}, Key: []int{0}}}, "duplicate attribute"},
+		{"bad key idx", []*Relation{{Name: "X", Attrs: []AttrDef{{Name: "a"}}, Key: []int{5}}}, "out of range"},
+		{"dup relation", []*Relation{good, NewRelation("F", 1, "z")}, "duplicate relation"},
+		{"unknown fk rel", []*Relation{{
+			Name: "X", Attrs: []AttrDef{{Name: "a"}}, Key: []int{0},
+			ForeignKeys: []ForeignKey{{Attrs: []int{0}, RefRel: "nope"}},
+		}}, "unknown relation"},
+		{"fk arity", []*Relation{good, {
+			Name: "X", Attrs: []AttrDef{{Name: "a"}, {Name: "b"}}, Key: []int{0},
+			ForeignKeys: []ForeignKey{{Attrs: []int{0, 1}, RefRel: "F"}},
+		}}, "arity"},
+		{"fk attr range", []*Relation{good, {
+			Name: "X", Attrs: []AttrDef{{Name: "a"}}, Key: []int{0},
+			ForeignKeys: []ForeignKey{{Attrs: []int{7}, RefRel: "F"}},
+		}}, "out of range"},
+	}
+	for _, c := range cases {
+		_, err := NewSchema(c.rels...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := MustSchema(NewRelation("B", 1, "x"), NewRelation("A", 1, "y"))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names = %v, want sorted [A B]", names)
+	}
+	if _, ok := s.Relation("A"); !ok {
+		t.Error("Relation(A) missing")
+	}
+	if _, ok := s.Relation("Z"); ok {
+		t.Error("Relation(Z) should be absent")
+	}
+	if s.MustRelation("B").Name != "B" {
+		t.Error("MustRelation broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRelation on unknown name should panic")
+		}
+	}()
+	s.MustRelation("Z")
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema should panic on invalid input")
+		}
+	}()
+	MustSchema(&Relation{})
+}
+
+func TestSchemaReferrers(t *testing.T) {
+	fn := NewRelation("Function", 2, "organism", "protein", "function")
+	xref := NewRelation("XRef", 3, "organism", "protein", "db")
+	xref.ForeignKeys = []ForeignKey{{Attrs: []int{0, 1}, RefRel: "Function"}}
+	s := MustSchema(fn, xref)
+	refs := s.referrers("Function")
+	if len(refs) != 1 || refs[0].rel.Name != "XRef" {
+		t.Errorf("referrers = %+v", refs)
+	}
+	if len(s.referrers("XRef")) != 0 {
+		t.Error("XRef should have no referrers")
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Option is a group of deferred transactions within a conflict group that
+// make the same modification to the conflicted value. At most one option per
+// conflict group can be accepted when the user resolves the conflict; the
+// transactions of the other options are rejected.
+type Option struct {
+	// Txns are the deferred transactions backing this option, sorted.
+	Txns []TxnID
+	// Effect describes the modification the option makes to the conflicted
+	// value, e.g. "+F(rat, prot1, immune)" or "delete".
+	Effect string
+}
+
+// ConflictGroup is a group of conflicts of the same type involving the same
+// key value, holding the mutually exclusive Options a user can choose from.
+type ConflictGroup struct {
+	Conflict Conflict
+	Options  []*Option
+}
+
+// String renders the group for diagnostics and CLI display.
+func (g *ConflictGroup) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conflict %s:", g.Conflict)
+	for i, o := range g.Options {
+		fmt.Fprintf(&b, " option[%d]{%v => %s}", i, o.Txns, o.Effect)
+	}
+	return b.String()
+}
+
+// updateSoftState implements UpdateSoftState of Figure 5: it rebuilds the
+// dirty value set and the conflict groups from the current deferred
+// transactions. Soft state is fully reconstructable from the deferred set
+// and the instance.
+func (e *Engine) updateSoftState(deferred []*candidateState, res *Result) {
+	// Line 1: clear all soft state.
+	e.dirty = make(map[tupleKey]bool)
+	e.groups = make(map[Conflict]*ConflictGroup)
+	e.deferredCands = make(map[TxnID]*Candidate, len(deferred))
+	if len(deferred) == 0 {
+		return
+	}
+
+	// Line 7: conflicts among the deferred extensions, recording the
+	// specific (type, value) conflicts for grouping. Subsumption does not
+	// suppress grouping here: the conflicts were already established. Only
+	// pairs sharing a touched key can conflict, so prune with an inverted
+	// index rather than comparing all pairs.
+	type pairConflict struct {
+		a, b *candidateState
+		cs   []Conflict
+	}
+	var pairs []pairConflict
+	byKey := make(map[tupleKey][]int)
+	for i, st := range deferred {
+		for _, k := range st.upEx.TouchedKeys(e.schema) {
+			byKey[k] = append(byKey[k], i)
+		}
+	}
+	pairSeen := make(map[[2]int]bool)
+	for _, idxs := range byKey {
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				i, j := idxs[a], idxs[b]
+				if i > j {
+					i, j = j, i
+				}
+				pk := [2]int{i, j}
+				if pairSeen[pk] {
+					continue
+				}
+				pairSeen[pk] = true
+				cs := deferred[i].upEx.Conflicts(e.schema, deferred[j].upEx)
+				if len(cs) > 0 {
+					pairs = append(pairs, pairConflict{a: deferred[i], b: deferred[j], cs: cs})
+				}
+			}
+		}
+	}
+
+	// Which conflict values involve each transaction (for line 4's removal
+	// of clean inapplicable updates).
+	conflictVals := make(map[TxnID]map[tupleKey]bool)
+	groupTxns := make(map[Conflict]map[TxnID]*candidateState)
+	noteTxn := func(c Conflict, st *candidateState) {
+		if groupTxns[c] == nil {
+			groupTxns[c] = make(map[TxnID]*candidateState)
+		}
+		groupTxns[c][st.cand.Txn.ID] = st
+		if conflictVals[st.cand.Txn.ID] == nil {
+			conflictVals[st.cand.Txn.ID] = make(map[tupleKey]bool)
+		}
+		conflictVals[st.cand.Txn.ID][tupleKey{rel: c.Rel, enc: c.Value}] = true
+	}
+	for _, p := range pairs {
+		for _, c := range p.cs {
+			noteTxn(c, p.a)
+			noteTxn(c, p.b)
+		}
+	}
+
+	// Lines 2-6: for each deferred transaction, trim clean updates that are
+	// inapplicable at this recno, then mark the remaining touched keys
+	// dirty and retain the candidate for the next reconciliation.
+	for _, st := range deferred {
+		trimmed := st.upEx.Operation[:0:0]
+		for _, u := range st.upEx.Operation {
+			if e.inst.Compatible(u) != nil && !e.touchesConflict(u, conflictVals[st.cand.Txn.ID]) {
+				continue // clean update, inapplicable at recno: drop
+			}
+			trimmed = append(trimmed, u)
+		}
+		if len(trimmed) == 0 && st.upEx.Malformed() == nil {
+			trimmed = st.upEx.Operation // keep everything rather than nothing
+		}
+		softEx := *st.upEx
+		softEx.Operation = trimmed
+		softEx.touched = nil // the memo belongs to the untrimmed operation
+		for _, k := range softEx.TouchedKeys(e.schema) {
+			e.dirty[k] = true
+		}
+		e.deferredCands[st.cand.Txn.ID] = st.cand
+	}
+	res.Stats.DirtyKeys = len(e.dirty)
+
+	// Lines 8-16: build conflict groups, combining compatible transactions
+	// (those making the same modification to the conflicted value) into the
+	// same option.
+	var conflictKeys []Conflict
+	for c := range groupTxns {
+		conflictKeys = append(conflictKeys, c)
+	}
+	sort.Slice(conflictKeys, func(i, j int) bool {
+		a, b := conflictKeys[i], conflictKeys[j]
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		return a.Type < b.Type
+	})
+	for _, c := range conflictKeys {
+		members := groupTxns[c]
+		bySig := make(map[string]*Option)
+		optMembers := make(map[string]TxnSet)
+		var sigOrder []string
+		for id, st := range members {
+			sig, effect := e.modificationSignature(c, st.upEx)
+			opt := bySig[sig]
+			if opt == nil {
+				opt = &Option{Effect: effect}
+				bySig[sig] = opt
+				optMembers[sig] = make(TxnSet)
+				sigOrder = append(sigOrder, sig)
+			}
+			set := optMembers[sig]
+			set.Add(id)
+			// An option carries the deferred antecedents of its members:
+			// accepting the option accepts their whole extensions, and the
+			// shared prefix of a losing chain must not be rejected when it
+			// also underlies the winner (see Resolve).
+			for anteID := range st.upEx.IDs {
+				if _, isDeferred := e.deferredCands[anteID]; isDeferred {
+					set.Add(anteID)
+				}
+			}
+		}
+		sort.Strings(sigOrder)
+		g := &ConflictGroup{Conflict: c}
+		for _, sig := range sigOrder {
+			opt := bySig[sig]
+			opt.Txns = optMembers[sig].Sorted()
+			g.Options = append(g.Options, opt)
+		}
+		e.groups[c] = g
+		res.Groups = append(res.Groups, g)
+	}
+}
+
+// touchesConflict reports whether the update reads or writes one of the
+// transaction's conflicted values.
+func (e *Engine) touchesConflict(u Update, vals map[tupleKey]bool) bool {
+	if len(vals) == 0 {
+		return false
+	}
+	rel, ok := e.schema.Relation(u.Rel)
+	if !ok {
+		return false
+	}
+	check := func(t Tuple) bool {
+		if t == nil {
+			return false
+		}
+		// Conflict values are either key encodings or full source
+		// encodings; test both projections.
+		if vals[tupleKey{rel: u.Rel, enc: rel.KeyEnc(t)}] {
+			return true
+		}
+		return vals[tupleKey{rel: u.Rel, enc: t.Encode()}]
+	}
+	return check(u.Tuple) || check(u.New)
+}
+
+// modificationSignature summarizes what an extension does to the conflicted
+// value: transactions with equal signatures are compatible and share an
+// option.
+func (e *Engine) modificationSignature(c Conflict, upEx *UpdateExtension) (sig, effect string) {
+	rel, ok := e.schema.Relation(c.Rel)
+	if !ok {
+		return "?", "?"
+	}
+	var parts []string
+	var display []string
+	for _, u := range upEx.Operation {
+		if u.Rel != c.Rel {
+			continue
+		}
+		touches := false
+		switch c.Type {
+		case ConflictModifySource:
+			touches = u.Consumes() != nil && u.Consumes().Encode() == c.Value
+		default:
+			if p := u.Produces(); p != nil && rel.KeyEnc(p) == c.Value {
+				touches = true
+			}
+			if t := u.Consumes(); t != nil && rel.KeyEnc(t) == c.Value {
+				touches = true
+			}
+			if u.Op == OpDelete && rel.KeyEnc(u.Tuple) == c.Value {
+				touches = true
+			}
+		}
+		if !touches {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%d|%s|%s|%s", u.Op, u.Rel, u.Tuple.Encode(), u.New.Encode()))
+		display = append(display, u.String())
+	}
+	sort.Strings(parts)
+	sort.Strings(display)
+	if len(display) == 0 {
+		return strings.Join(parts, ";"), "(no direct effect)"
+	}
+	return strings.Join(parts, ";"), strings.Join(display, ", ")
+}
+
+// ConflictGroups returns the conflict groups recorded by the most recent
+// reconciliation, sorted deterministically.
+func (e *Engine) ConflictGroups() []*ConflictGroup {
+	out := make([]*ConflictGroup, 0, len(e.groups))
+	for _, g := range e.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Conflict, out[j].Conflict
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		return a.Type < b.Type
+	})
+	return out
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleBasics(t *testing.T) {
+	a := Strs("rat", "prot1", "immune")
+	if a.String() != "(rat, prot1, immune)" {
+		t.Errorf("String = %q", a.String())
+	}
+	if !a.Equal(T(S("rat"), S("prot1"), S("immune"))) {
+		t.Error("Equal broken for identical tuples")
+	}
+	if a.Equal(Strs("rat", "prot1")) {
+		t.Error("Equal ignores arity")
+	}
+	if a.Equal(Strs("rat", "prot1", "cell")) {
+		t.Error("Equal ignores values")
+	}
+	b := a.Clone()
+	b[2] = S("changed")
+	if a[2].Str() != "immune" {
+		t.Error("Clone shares storage")
+	}
+	if got := a.Project([]int{0, 1}); !got.Equal(Strs("rat", "prot1")) {
+		t.Errorf("Project = %v", got)
+	}
+	var nilT Tuple
+	if nilT.Clone() != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		sign int
+	}{
+		{Strs("a"), Strs("a"), 0},
+		{Strs("a"), Strs("b"), -1},
+		{Strs("b"), Strs("a"), 1},
+		{Strs("a"), Strs("a", "b"), -1},
+		{Strs("a", "b"), Strs("a"), 1},
+		{T(I(1), S("x")), T(I(1), S("y")), -1},
+	}
+	for _, c := range cases {
+		got := c.a.Compare(c.b)
+		switch {
+		case c.sign == 0 && got != 0,
+			c.sign < 0 && got >= 0,
+			c.sign > 0 && got <= 0:
+			t.Errorf("Compare(%v, %v) = %d, want sign %d", c.a, c.b, got, c.sign)
+		}
+	}
+}
+
+type genTuple struct{ T Tuple }
+
+func (genTuple) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(5)
+	tp := make(Tuple, n)
+	for i := range tp {
+		tp[i] = randomValue(r)
+	}
+	return reflect.ValueOf(genTuple{T: tp})
+}
+
+func TestTupleEncodeRoundTrip(t *testing.T) {
+	prop := func(g genTuple) bool {
+		dec, err := DecodeTuple(g.T.Encode())
+		if err != nil {
+			return false
+		}
+		if len(g.T) == 0 {
+			return len(dec) == 0
+		}
+		return dec.Equal(g.T)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleEncodeInjective(t *testing.T) {
+	prop := func(a, b genTuple) bool {
+		return (a.T.Encode() == b.T.Encode()) == a.T.Equal(b.T) ||
+			(len(a.T) == 0 && len(b.T) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTupleError(t *testing.T) {
+	if _, err := DecodeTuple("\x01"); err == nil {
+		t.Error("truncated tuple should fail to decode")
+	}
+}
+
+func TestTupleKeyString(t *testing.T) {
+	k := mkTupleKey("F", Strs("rat", "prot1"))
+	if got := k.String(); got != "F(rat, prot1)" {
+		t.Errorf("tupleKey.String() = %q", got)
+	}
+	bad := tupleKey{rel: "F", enc: "\x01"}
+	if got := bad.String(); got == "" {
+		t.Error("bad key should still render")
+	}
+}

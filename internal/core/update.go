@@ -1,0 +1,142 @@
+package core
+
+import "fmt"
+
+// PeerID identifies a participant in the CDSS.
+type PeerID string
+
+// Op is the kind of a single tuple-level update.
+type Op uint8
+
+// The three update operations from the paper: insert +R(ā;i), delete
+// −R(ā;i), and modify (replacement) R(ā→ā′;i).
+const (
+	OpInsert Op = iota + 1
+	OpDelete
+	OpModify
+)
+
+// String returns the paper's notation sigil for the op.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "+"
+	case OpDelete:
+		return "-"
+	case OpModify:
+		return "~"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Update is one tuple-level change annotated with the identity of its
+// originating participant. For OpInsert and OpDelete, Tuple holds the
+// inserted/deleted tuple and New is nil. For OpModify, Tuple holds the
+// antecedent value ā and New holds the replacement ā′.
+type Update struct {
+	Op     Op
+	Rel    string
+	Tuple  Tuple
+	New    Tuple // only for OpModify
+	Origin PeerID
+}
+
+// Insert builds +rel(t; origin).
+func Insert(rel string, t Tuple, origin PeerID) Update {
+	return Update{Op: OpInsert, Rel: rel, Tuple: t, Origin: origin}
+}
+
+// Delete builds −rel(t; origin).
+func Delete(rel string, t Tuple, origin PeerID) Update {
+	return Update{Op: OpDelete, Rel: rel, Tuple: t, Origin: origin}
+}
+
+// Modify builds rel(old→new; origin).
+func Modify(rel string, old, new Tuple, origin PeerID) Update {
+	return Update{Op: OpModify, Rel: rel, Tuple: old, New: new, Origin: origin}
+}
+
+// Validate checks the update's tuples against the relation definition.
+func (u Update) Validate(s *Schema) error {
+	r, ok := s.Relation(u.Rel)
+	if !ok {
+		return fmt.Errorf("core: update over unknown relation %s", u.Rel)
+	}
+	switch u.Op {
+	case OpInsert, OpDelete:
+		if u.New != nil {
+			return fmt.Errorf("core: %v update must not carry a replacement tuple", u.Op)
+		}
+		return r.Validate(u.Tuple)
+	case OpModify:
+		if err := r.Validate(u.Tuple); err != nil {
+			return err
+		}
+		return r.Validate(u.New)
+	default:
+		return fmt.Errorf("core: unknown update op %d", u.Op)
+	}
+}
+
+// Equal reports whether two updates are identical operations (same op,
+// relation and tuples); origin is ignored, matching the paper's treatment of
+// duplicate updates as non-conflicting.
+func (u Update) Equal(v Update) bool {
+	return u.Op == v.Op && u.Rel == v.Rel && u.Tuple.Equal(v.Tuple) &&
+		((u.New == nil) == (v.New == nil)) && u.New.Equal(v.New)
+}
+
+// Produces returns the tuple value this update creates in the instance, or
+// nil: the inserted tuple for OpInsert, the replacement for OpModify.
+func (u Update) Produces() Tuple {
+	switch u.Op {
+	case OpInsert:
+		return u.Tuple
+	case OpModify:
+		return u.New
+	}
+	return nil
+}
+
+// Consumes returns the antecedent tuple value this update reads/destroys, or
+// nil: the deleted tuple for OpDelete, the source for OpModify.
+func (u Update) Consumes() Tuple {
+	switch u.Op {
+	case OpDelete:
+		return u.Tuple
+	case OpModify:
+		return u.Tuple
+	}
+	return nil
+}
+
+// String renders the update in the paper's notation, e.g.
+// "+F(rat, prot1, cell-metab; p3)".
+func (u Update) String() string {
+	switch u.Op {
+	case OpInsert:
+		return fmt.Sprintf("+%s%s; %s)", u.Rel, trimParen(u.Tuple.String()), u.Origin)
+	case OpDelete:
+		return fmt.Sprintf("-%s%s; %s)", u.Rel, trimParen(u.Tuple.String()), u.Origin)
+	case OpModify:
+		return fmt.Sprintf("%s(%s -> %s; %s)", u.Rel, inner(u.Tuple.String()), inner(u.New.String()), u.Origin)
+	default:
+		return fmt.Sprintf("?%s%s", u.Rel, u.Tuple)
+	}
+}
+
+// trimParen converts "(a, b)" to "(a, b" + "; origin)" composition helper.
+func trimParen(s string) string {
+	if len(s) >= 1 && s[len(s)-1] == ')' {
+		return s[:len(s)-1]
+	}
+	return s
+}
+
+func inner(s string) string {
+	if len(s) >= 2 && s[0] == '(' && s[len(s)-1] == ')' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChargedCentralRestoresFig10Shape: with the client↔RDBMS cost model,
+// smaller reconciliation intervals make the central store significantly
+// more expensive (the paper's Figure 10 trend), and store time dominates.
+func TestChargedCentralRestoresFig10Shape(t *testing.T) {
+	run := func(ri, rounds int) *Result {
+		res, err := Run(Config{
+			Peers: 5, TxnSize: 1, ReconInterval: ri, Rounds: rounds,
+			Trials: 2, Seed: 11,
+			CentralCallCost:   DefaultCentralCallCost,
+			CentralPerTxnCost: DefaultCentralPerTxnCost,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Same total transactions per peer (40), different reconciliation
+	// counts.
+	small := run(4, 10) // 10 reconciliations
+	large := run(20, 2) // 2 reconciliations
+	if small.TotalStore.Mean <= large.TotalStore.Mean {
+		t.Errorf("central store time should grow with reconciliation count: ri=4 %v vs ri=20 %v",
+			small.TotalStore, large.TotalStore)
+	}
+	if small.TotalStore.Mean <= small.TotalLocal.Mean {
+		t.Errorf("charged central store time should dominate local: %v vs %v",
+			small.TotalStore, small.TotalLocal)
+	}
+}
+
+// TestChargedDisabledByDefault: without the cost model the virtual charge
+// is zero.
+func TestChargedDisabledByDefault(t *testing.T) {
+	res, err := Run(Config{Peers: 3, TxnSize: 1, ReconInterval: 2, Rounds: 2, Trials: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalStore.Mean > 0.05 {
+		t.Errorf("raw central store time unexpectedly high: %v", res.TotalStore)
+	}
+}
+
+// TestChargedAccounting: the decorator charges per call and per shipped
+// transaction.
+func TestChargedAccounting(t *testing.T) {
+	cs := newChargedStore(nil, 10*time.Millisecond, time.Millisecond)
+	cs.charge(2, 5)
+	if got := cs.virtual(); got != 25*time.Millisecond {
+		t.Errorf("virtual = %v, want 25ms", got)
+	}
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCentral(t *testing.T) {
+	res, err := Run(Config{Peers: 5, TxnSize: 2, ReconInterval: 4, Rounds: 3, Trials: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StateRatio.Mean < 1 || res.StateRatio.Mean > 5 {
+		t.Errorf("state ratio %v outside [1, peers]", res.StateRatio)
+	}
+	if res.TotalLocal.Mean <= 0 {
+		t.Error("no local time measured")
+	}
+	if res.Messages.Mean != 0 {
+		t.Error("central store should report no fabric messages")
+	}
+}
+
+func TestRunDHT(t *testing.T) {
+	res, err := Run(Config{Peers: 5, TxnSize: 2, ReconInterval: 4, Rounds: 3, Trials: 2, Seed: 1, Store: DHT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages.Mean <= 0 {
+		t.Error("DHT store should report fabric traffic")
+	}
+	// The paper's headline time result: with the distributed store, store
+	// time (requests to follow antecedent chains and fetch transactions)
+	// dominates local time.
+	if res.TotalStore.Mean <= res.TotalLocal.Mean {
+		t.Errorf("DHT store time (%v) should dominate local time (%v)",
+			res.TotalStore, res.TotalLocal)
+	}
+}
+
+// TestStoreKindsAgreeOnStateRatio: the state ratio is a pure function of
+// the decisions, so both stores must produce identical sharing quality for
+// the same seed.
+func TestStoreKindsAgreeOnStateRatio(t *testing.T) {
+	base := Config{Peers: 4, TxnSize: 1, ReconInterval: 3, Rounds: 3, Trials: 2, Seed: 77}
+	c := base
+	c.Store = Central
+	d := base
+	d.Store = DHT
+	rc, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.StateRatio.Mean != rd.StateRatio.Mean {
+		t.Errorf("state ratios diverge: central %v vs dht %v", rc.StateRatio, rd.StateRatio)
+	}
+}
+
+// TestDHTStoreTimeExceedsCentral: the cost relationship behind Figures 10
+// and 12 — per-transaction round trips make the distributed store far more
+// expensive than the central one.
+func TestDHTStoreTimeExceedsCentral(t *testing.T) {
+	base := Config{Peers: 5, TxnSize: 1, ReconInterval: 4, Rounds: 3, Trials: 2, Seed: 3}
+	c := base
+	c.Store = Central
+	d := base
+	d.Store = DHT
+	rc, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.TotalStore.Mean <= rc.TotalStore.Mean {
+		t.Errorf("distributed store time %v should exceed central %v",
+			rd.TotalStore, rc.TotalStore)
+	}
+}
+
+func TestConfigDefaultsAndStrings(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Peers != 10 || cfg.Trials != 5 || cfg.TxnSize != 1 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if Central.String() != "central" || DHT.String() != "distributed" {
+		t.Error("StoreKind names")
+	}
+	if _, err := Run(Config{Store: StoreKind(9), Trials: 1, Rounds: 1, Peers: 2}); err == nil {
+		t.Error("unknown store kind accepted")
+	}
+}
+
+func TestFigureIDs(t *testing.T) {
+	ids := FigureIDs()
+	want := []string{"8", "9", "10", "11", "12"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestFigurePrint(t *testing.T) {
+	fig, err := Figure9(Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	fig.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Figure 9") || !strings.Contains(out, "state ratio") {
+		t.Errorf("rendered figure:\n%s", out)
+	}
+	if len(fig.Rows) != 7 {
+		t.Errorf("rows = %d", len(fig.Rows))
+	}
+}

@@ -1,0 +1,294 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"orchestra/internal/metrics"
+)
+
+// Row is one data point of a figure: the x-axis value, a label, and the
+// measured series.
+type Row struct {
+	Label  string
+	X      float64
+	Series map[string]metrics.Summary
+}
+
+// Figure is a reproduced evaluation figure.
+type Figure struct {
+	ID      string
+	Title   string
+	XLabel  string
+	Columns []string
+	Rows    []Row
+}
+
+// Fprint renders the figure as an aligned table.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "%-28s", f.XLabel)
+	for _, c := range f.Columns {
+		fmt.Fprintf(w, " %24s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "%-28s", r.Label)
+		for _, c := range f.Columns {
+			fmt.Fprintf(w, " %24s", r.Series[c].String())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Options scale the experiment suite: Quick shrinks trials and rounds so
+// the full suite finishes in seconds (CI), while the defaults mirror the
+// paper's setup (≥5 trials, 95% CIs).
+type Options struct {
+	Quick bool
+	Seed  int64
+}
+
+func (o Options) trials() int {
+	if o.Quick {
+		return 2
+	}
+	return 5
+}
+
+func (o Options) rounds() int {
+	if o.Quick {
+		return 3
+	}
+	return 5
+}
+
+// Figure8 reproduces "The effect of varying transaction size on state
+// ratio, while holding the number of updates between reconciliations
+// constant": 10 peers, equal trust, transaction size swept 1-10 with
+// updatesPerInterval = 20.
+func Figure8(o Options) (*Figure, error) {
+	const updatesPerInterval = 20
+	fig := &Figure{
+		ID:      "8",
+		Title:   "state ratio vs transaction size (updates between reconciliations held at 20)",
+		XLabel:  "transaction size",
+		Columns: []string{"state ratio"},
+	}
+	for _, size := range []int{1, 2, 3, 4, 5, 6, 7, 8, 10} {
+		ri := updatesPerInterval / size
+		if ri < 1 {
+			ri = 1
+		}
+		res, err := Run(Config{
+			Peers:         10,
+			TxnSize:       size,
+			ReconInterval: ri,
+			Rounds:        o.rounds(),
+			Store:         Central,
+			Trials:        o.trials(),
+			Seed:          o.Seed + int64(size),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, Row{
+			Label: fmt.Sprintf("%d", size),
+			X:     float64(size),
+			Series: map[string]metrics.Summary{
+				"state ratio": res.StateRatio,
+			},
+		})
+	}
+	return fig, nil
+}
+
+// Figure9 reproduces "The effect on state ratio of varying reconciliation
+// interval": transaction size 1, interval swept.
+func Figure9(o Options) (*Figure, error) {
+	fig := &Figure{
+		ID:      "9",
+		Title:   "state ratio vs reconciliation interval (transaction size 1)",
+		XLabel:  "txns between reconciliations",
+		Columns: []string{"state ratio"},
+	}
+	for _, ri := range []int{1, 2, 4, 8, 12, 16, 20} {
+		res, err := Run(Config{
+			Peers:         10,
+			TxnSize:       1,
+			ReconInterval: ri,
+			Rounds:        o.rounds(),
+			Store:         Central,
+			Trials:        o.trials(),
+			Seed:          o.Seed + int64(ri)*31,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, Row{
+			Label: fmt.Sprintf("%d", ri),
+			X:     float64(ri),
+			Series: map[string]metrics.Summary{
+				"state ratio": res.StateRatio,
+			},
+		})
+	}
+	return fig, nil
+}
+
+// Figure10 reproduces "The effect on execution time of varying
+// reconciliation interval, while holding transaction size at one": total
+// reconciliation time per participant, split into store and local time,
+// for RI ∈ {4, 20, 50} × {central, distributed}. The total number of
+// published transactions per peer is held constant so that smaller
+// intervals mean more reconciliations.
+func Figure10(o Options) (*Figure, error) {
+	totalTxns := 100
+	if o.Quick {
+		totalTxns = 40
+	}
+	fig := &Figure{
+		ID:      "10",
+		Title:   fmt.Sprintf("total reconciliation time per participant (txn size 1, %d txns per peer)", totalTxns),
+		XLabel:  "RI, store",
+		Columns: []string{"store time (s)", "local time (s)", "total (s)"},
+	}
+	for _, ri := range []int{4, 20, 50} {
+		for _, kind := range []StoreKind{Central, DHT} {
+			rounds := totalTxns / ri
+			if rounds < 1 {
+				rounds = 1
+			}
+			res, err := Run(Config{
+				Peers:             10,
+				TxnSize:           1,
+				ReconInterval:     ri,
+				Rounds:            rounds,
+				Store:             kind,
+				Trials:            o.trials(),
+				Seed:              o.Seed + int64(ri)*7,
+				CentralCallCost:   DefaultCentralCallCost,
+				CentralPerTxnCost: DefaultCentralPerTxnCost,
+				DHTRequestCost:    DefaultDHTRequestCost,
+			})
+			if err != nil {
+				return nil, err
+			}
+			total := metrics.Summarize([]float64{res.TotalStore.Mean + res.TotalLocal.Mean})
+			fig.Rows = append(fig.Rows, Row{
+				Label: fmt.Sprintf("RI=%d, %s", ri, kind),
+				X:     float64(ri),
+				Series: map[string]metrics.Summary{
+					"store time (s)": res.TotalStore,
+					"local time (s)": res.TotalLocal,
+					"total (s)":      total,
+				},
+			})
+		}
+	}
+	return fig, nil
+}
+
+// Figure11 reproduces "The change in state ratio when the number of peers
+// is increased": transaction size 1, peers swept to 50.
+func Figure11(o Options) (*Figure, error) {
+	fig := &Figure{
+		ID:      "11",
+		Title:   "state ratio vs number of participants (transaction size 1)",
+		XLabel:  "participants",
+		Columns: []string{"state ratio"},
+	}
+	sweep := []int{5, 10, 20, 30, 40, 50}
+	if o.Quick {
+		sweep = []int{5, 10, 25, 50}
+	}
+	for _, n := range sweep {
+		res, err := Run(Config{
+			Peers:         n,
+			TxnSize:       1,
+			ReconInterval: 4,
+			Rounds:        o.rounds(),
+			Store:         Central,
+			Trials:        o.trials(),
+			Seed:          o.Seed + int64(n)*13,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, Row{
+			Label: fmt.Sprintf("%d", n),
+			X:     float64(n),
+			Series: map[string]metrics.Summary{
+				"state ratio": res.StateRatio,
+			},
+		})
+	}
+	return fig, nil
+}
+
+// Figure12 reproduces "The effect on execution time when the number of
+// peers is increased": average time per reconciliation, split into store
+// and local time, for peers ∈ {10, 25, 50} × {central, distributed}.
+func Figure12(o Options) (*Figure, error) {
+	fig := &Figure{
+		ID:      "12",
+		Title:   "average time per reconciliation (transaction size 1, RI 4)",
+		XLabel:  "peers, store",
+		Columns: []string{"store time (s)", "local time (s)", "total (s)"},
+	}
+	for _, n := range []int{10, 25, 50} {
+		for _, kind := range []StoreKind{Central, DHT} {
+			res, err := Run(Config{
+				Peers:             n,
+				TxnSize:           1,
+				ReconInterval:     4,
+				Rounds:            o.rounds(),
+				Store:             kind,
+				Trials:            o.trials(),
+				Seed:              o.Seed + int64(n)*17,
+				CentralCallCost:   DefaultCentralCallCost,
+				CentralPerTxnCost: DefaultCentralPerTxnCost,
+				DHTRequestCost:    DefaultDHTRequestCost,
+			})
+			if err != nil {
+				return nil, err
+			}
+			total := metrics.Summarize([]float64{res.PerReconStore.Mean + res.PerReconLocal.Mean})
+			fig.Rows = append(fig.Rows, Row{
+				Label: fmt.Sprintf("%d peers, %s", n, kind),
+				X:     float64(n),
+				Series: map[string]metrics.Summary{
+					"store time (s)": res.PerReconStore,
+					"local time (s)": res.PerReconLocal,
+					"total (s)":      total,
+				},
+			})
+		}
+	}
+	return fig, nil
+}
+
+// Figures maps figure IDs to their runners.
+var Figures = map[string]func(Options) (*Figure, error){
+	"8":  Figure8,
+	"9":  Figure9,
+	"10": Figure10,
+	"11": Figure11,
+	"12": Figure12,
+}
+
+// FigureIDs returns the available figure IDs in order.
+func FigureIDs() []string {
+	out := make([]string, 0, len(Figures))
+	for id := range Figures {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

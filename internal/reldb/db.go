@@ -1,0 +1,416 @@
+package reldb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"orchestra/internal/btree"
+	"orchestra/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = errors.New("reldb: database closed")
+
+// ErrDuplicateKey is returned when an insert or unique index would create a
+// duplicate.
+var ErrDuplicateKey = errors.New("reldb: duplicate key")
+
+// ErrNoTable is returned for operations on undeclared tables.
+var ErrNoTable = errors.New("reldb: no such table")
+
+const snapshotFile = "snapshot.db"
+
+// DB is the database handle. All access goes through View (shared) and
+// Update (exclusive) transactions; an Update is atomic (rolled back on
+// error) and durable (WAL-appended at commit) when the DB was opened with a
+// directory.
+type DB struct {
+	mu     sync.RWMutex
+	dir    string
+	log    *wal.Log
+	sync   bool
+	tables map[string]*table
+	seqs   map[string]int64
+	closed bool
+}
+
+type table struct {
+	def     TableDef
+	rows    *btree.Tree[string, Row]
+	indexes []*index
+}
+
+type index struct {
+	def IndexDef
+	// entries are keyed by encoded(index cols) + encoded(pk); values are
+	// the pk encoding, so prefix scans enumerate matching rows.
+	tree *btree.Tree[string, string]
+}
+
+func newTable(def TableDef) *table {
+	t := &table{def: def, rows: btree.New[string, Row](func(a, b string) bool { return a < b })}
+	for _, ix := range def.Indexes {
+		t.indexes = append(t.indexes, &index{
+			def:  ix,
+			tree: btree.New[string, string](func(a, b string) bool { return a < b }),
+		})
+	}
+	return t
+}
+
+// Options configure a DB.
+type Options struct {
+	// Dir is the durability directory; empty means a volatile in-memory
+	// database.
+	Dir string
+	// SyncOnCommit fsyncs the WAL at every commit.
+	SyncOnCommit bool
+}
+
+// Open opens (or creates) a database, recovering from the snapshot and WAL
+// if present.
+func Open(opts Options) (*DB, error) {
+	db := &DB{
+		dir:    opts.Dir,
+		sync:   opts.SyncOnCommit,
+		tables: make(map[string]*table),
+		seqs:   make(map[string]int64),
+	}
+	if opts.Dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("reldb: %w", err)
+	}
+	if err := db.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	db.log = l
+	if err := l.Replay(func(payload []byte) error {
+		var batch []walOp
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&batch); err != nil {
+			return fmt.Errorf("reldb: decode wal record: %w", err)
+		}
+		return db.applyOps(batch)
+	}); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// MustOpenMemory returns a volatile in-memory database, panicking on error;
+// for tests and examples.
+func MustOpenMemory() *DB {
+	db, err := Open(Options{})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.closed = true
+	if db.log != nil {
+		return db.log.Close()
+	}
+	return nil
+}
+
+// View runs fn with shared read access.
+func (db *DB) View(fn func(tx *Tx) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return fn(&Tx{db: db})
+}
+
+// Update runs fn with exclusive access; all writes are applied atomically
+// (rolled back if fn errors) and logged to the WAL at commit.
+func (db *DB) Update(fn func(tx *Tx) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	tx := &Tx{db: db, writable: true}
+	if err := fn(tx); err != nil {
+		tx.rollback()
+		return err
+	}
+	return tx.commit()
+}
+
+// TableNames returns the declared tables, unsorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TableDef returns a table's definition.
+func (db *DB) TableDef(name string) (TableDef, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return TableDef{}, false
+	}
+	return t.def, true
+}
+
+// walOp is one logged mutation.
+type walOp struct {
+	Kind  opKind
+	Table string
+	PK    string
+	Row   Row
+	Def   TableDef
+	Seq   string
+	SeqV  int64
+}
+
+type opKind uint8
+
+const (
+	opPut opKind = iota + 1
+	opDelete
+	opCreate
+	opSeq
+)
+
+// applyOps replays logged operations without re-logging; used by recovery.
+func (db *DB) applyOps(batch []walOp) error {
+	for _, op := range batch {
+		switch op.Kind {
+		case opCreate:
+			if _, dup := db.tables[op.Def.Name]; dup {
+				return fmt.Errorf("reldb: recovery: duplicate table %s", op.Def.Name)
+			}
+			db.tables[op.Def.Name] = newTable(op.Def)
+		case opPut:
+			t, ok := db.tables[op.Table]
+			if !ok {
+				return fmt.Errorf("reldb: recovery: %w: %s", ErrNoTable, op.Table)
+			}
+			t.put(op.Row)
+		case opDelete:
+			t, ok := db.tables[op.Table]
+			if !ok {
+				return fmt.Errorf("reldb: recovery: %w: %s", ErrNoTable, op.Table)
+			}
+			t.deleteByPK(op.PK)
+		case opSeq:
+			db.seqs[op.Seq] = op.SeqV
+		default:
+			return fmt.Errorf("reldb: recovery: unknown op %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+// put inserts or replaces a row (no constraint checks; callers check).
+func (t *table) put(r Row) {
+	pk := t.def.pkEnc(r)
+	if old, existed := t.rows.Get(pk); existed {
+		t.unindex(old, pk)
+	}
+	t.rows.Put(pk, r)
+	t.index(r, pk)
+}
+
+func (t *table) deleteByPK(pk string) (Row, bool) {
+	old, ok := t.rows.Get(pk)
+	if !ok {
+		return nil, false
+	}
+	t.rows.Delete(pk)
+	t.unindex(old, pk)
+	return old, true
+}
+
+func (t *table) index(r Row, pk string) {
+	for _, ix := range t.indexes {
+		ix.tree.Put(encodeVals(r.project(ix.def.Cols))+pk, pk)
+	}
+}
+
+func (t *table) unindex(r Row, pk string) {
+	for _, ix := range t.indexes {
+		ix.tree.Delete(encodeVals(r.project(ix.def.Cols)) + pk)
+	}
+}
+
+// uniqueViolated reports whether inserting r (with pk) would violate a
+// unique index.
+func (t *table) uniqueViolated(r Row, pk string) bool {
+	for _, ix := range t.indexes {
+		if !ix.def.Unique {
+			continue
+		}
+		prefix := encodeVals(r.project(ix.def.Cols))
+		violated := false
+		ix.tree.AscendRange(prefix, prefix+"\xff\xff\xff\xff", func(k, existingPK string) bool {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix && existingPK != pk {
+				violated = true
+				return false
+			}
+			return true
+		})
+		if violated {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot is the gob-serialized full-state checkpoint.
+type snapshot struct {
+	Defs []TableDef
+	Rows map[string][]Row
+	Seqs map[string]int64
+}
+
+// Checkpoint writes a full snapshot to disk and truncates the WAL. It is a
+// no-op for in-memory databases.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.log == nil {
+		return nil
+	}
+	snap := snapshot{Rows: make(map[string][]Row), Seqs: make(map[string]int64)}
+	for name, t := range db.tables {
+		snap.Defs = append(snap.Defs, t.def)
+		var rows []Row
+		t.rows.Ascend(func(_ string, r Row) bool {
+			rows = append(rows, r)
+			return true
+		})
+		snap.Rows[name] = rows
+	}
+	for k, v := range db.seqs {
+		snap.Seqs[k] = v
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return fmt.Errorf("reldb: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("reldb: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("reldb: install snapshot: %w", err)
+	}
+	return db.log.Reset()
+}
+
+// loadSnapshot restores state from the snapshot file if present.
+func (db *DB) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(db.dir, snapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("reldb: read snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("reldb: decode snapshot: %w", err)
+	}
+	for _, def := range snap.Defs {
+		t := newTable(def)
+		for _, r := range snap.Rows[def.Name] {
+			t.put(r)
+		}
+		db.tables[def.Name] = t
+	}
+	for k, v := range snap.Seqs {
+		db.seqs[k] = v
+	}
+	return nil
+}
+
+// GobEncode implements gob encoding for V (fields are unexported).
+func (v V) GobEncode() ([]byte, error) { return v.appendEncoded(nil), nil }
+
+// GobDecode implements gob decoding for V.
+func (v *V) GobDecode(data []byte) error {
+	dec, rest, err := decodeV(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("reldb: trailing bytes in V encoding")
+	}
+	*v = dec
+	return nil
+}
+
+// decodeV decodes one value from the canonical encoding.
+func decodeV(src []byte) (V, []byte, error) {
+	if len(src) == 0 {
+		return V{}, nil, fmt.Errorf("reldb: decode value: empty input")
+	}
+	t := ColType(src[0])
+	src = src[1:]
+	switch t {
+	case 0:
+		return V{}, src, nil
+	case ColString, ColBytes:
+		n, sz := uvarint(src)
+		if sz <= 0 || uint64(len(src)-sz) < n {
+			return V{}, nil, fmt.Errorf("reldb: decode value: bad string")
+		}
+		return V{t: t, s: string(src[sz : sz+int(n)])}, src[sz+int(n):], nil
+	case ColInt, ColFloat, ColBool:
+		n, sz := uvarint(src)
+		if sz <= 0 {
+			return V{}, nil, fmt.Errorf("reldb: decode value: bad number")
+		}
+		return V{t: t, n: n}, src[sz:], nil
+	default:
+		return V{}, nil, fmt.Errorf("reldb: decode value: unknown type %d", t)
+	}
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+		if s > 63 {
+			return 0, -1
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,246 @@
+package reldb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Tx is a transaction handle passed to View/Update callbacks. Writable
+// transactions buffer their operations for the WAL and an undo list for
+// rollback; reads always see the transaction's own writes.
+type Tx struct {
+	db       *DB
+	writable bool
+	ops      []walOp
+	undo     []func()
+}
+
+func (tx *Tx) table(name string) (*table, error) {
+	t, ok := tx.db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+func (tx *Tx) requireWritable() error {
+	if !tx.writable {
+		return fmt.Errorf("reldb: write inside a read-only transaction")
+	}
+	return nil
+}
+
+// CreateTable declares a new table.
+func (tx *Tx) CreateTable(def TableDef) error {
+	if err := tx.requireWritable(); err != nil {
+		return err
+	}
+	if err := def.validate(); err != nil {
+		return err
+	}
+	if _, dup := tx.db.tables[def.Name]; dup {
+		return fmt.Errorf("reldb: table %s already exists", def.Name)
+	}
+	tx.db.tables[def.Name] = newTable(def)
+	name := def.Name
+	tx.undo = append(tx.undo, func() { delete(tx.db.tables, name) })
+	tx.ops = append(tx.ops, walOp{Kind: opCreate, Def: def})
+	return nil
+}
+
+// HasTable reports whether a table exists.
+func (tx *Tx) HasTable(name string) bool {
+	_, ok := tx.db.tables[name]
+	return ok
+}
+
+// Insert adds a row; it fails with ErrDuplicateKey if the primary key or a
+// unique index already holds a matching entry.
+func (tx *Tx) Insert(tableName string, r Row) error {
+	return tx.write(tableName, r, false)
+}
+
+// Upsert adds or replaces the row with the same primary key; unique index
+// constraints against *other* rows still apply.
+func (tx *Tx) Upsert(tableName string, r Row) error {
+	return tx.write(tableName, r, true)
+}
+
+func (tx *Tx) write(tableName string, r Row, replace bool) error {
+	if err := tx.requireWritable(); err != nil {
+		return err
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := t.def.checkRow(r); err != nil {
+		return err
+	}
+	r = r.Clone()
+	pk := t.def.pkEnc(r)
+	old, existed := t.rows.Get(pk)
+	if existed && !replace {
+		return fmt.Errorf("%w: table %s", ErrDuplicateKey, tableName)
+	}
+	if t.uniqueViolated(r, pk) {
+		return fmt.Errorf("%w: unique index on table %s", ErrDuplicateKey, tableName)
+	}
+	t.put(r)
+	if existed {
+		oldRow := old
+		tx.undo = append(tx.undo, func() { t.put(oldRow) })
+	} else {
+		tx.undo = append(tx.undo, func() { t.deleteByPK(pk) })
+	}
+	tx.ops = append(tx.ops, walOp{Kind: opPut, Table: tableName, Row: r})
+	return nil
+}
+
+// Delete removes the row with the given primary-key values, reporting
+// whether it existed.
+func (tx *Tx) Delete(tableName string, key ...V) (bool, error) {
+	if err := tx.requireWritable(); err != nil {
+		return false, err
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return false, err
+	}
+	pk := encodeVals(key)
+	old, ok := t.deleteByPK(pk)
+	if !ok {
+		return false, nil
+	}
+	tx.undo = append(tx.undo, func() { t.put(old) })
+	tx.ops = append(tx.ops, walOp{Kind: opDelete, Table: tableName, PK: pk})
+	return true, nil
+}
+
+// Get fetches the row with the given primary-key values.
+func (tx *Tx) Get(tableName string, key ...V) (Row, bool, error) {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	r, ok := t.rows.Get(encodeVals(key))
+	if !ok {
+		return nil, false, nil
+	}
+	return r.Clone(), true, nil
+}
+
+// Count returns the number of rows in the table.
+func (tx *Tx) Count(tableName string) (int, error) {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return t.rows.Len(), nil
+}
+
+// Scan visits every row in primary-key order until fn returns false.
+func (tx *Tx) Scan(tableName string, fn func(r Row) bool) error {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	t.rows.Ascend(func(_ string, r Row) bool { return fn(r.Clone()) })
+	return nil
+}
+
+// ScanPrefix visits rows whose primary key begins with the given values, in
+// key order, until fn returns false.
+func (tx *Tx) ScanPrefix(tableName string, prefix []V, fn func(r Row) bool) error {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	p := encodeVals(prefix)
+	t.rows.AscendRange(p, p+"\xff\xff\xff\xff", func(k string, r Row) bool {
+		if len(k) < len(p) || k[:len(p)] != p {
+			return false
+		}
+		return fn(r.Clone())
+	})
+	return nil
+}
+
+// ScanIndex visits rows matching the given values on the named secondary
+// index (a prefix of the index columns), in index order, until fn returns
+// false.
+func (tx *Tx) ScanIndex(tableName, indexName string, vals []V, fn func(r Row) bool) error {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	var ix *index
+	for _, cand := range t.indexes {
+		if cand.def.Name == indexName {
+			ix = cand
+			break
+		}
+	}
+	if ix == nil {
+		return fmt.Errorf("reldb: table %s has no index %s", tableName, indexName)
+	}
+	p := encodeVals(vals)
+	ix.tree.AscendRange(p, p+"\xff\xff\xff\xff", func(k, pk string) bool {
+		if len(k) < len(p) || k[:len(p)] != p {
+			return false
+		}
+		r, ok := t.rows.Get(pk)
+		if !ok {
+			return true // index entry racing a delete cannot happen under the lock; defensive
+		}
+		return fn(r.Clone())
+	})
+	return nil
+}
+
+// NextSeq increments and returns the named sequence (starting at 1), like
+// an SQL sequence; used by the central store for the epoch counter.
+func (tx *Tx) NextSeq(name string) (int64, error) {
+	if err := tx.requireWritable(); err != nil {
+		return 0, err
+	}
+	prev := tx.db.seqs[name]
+	next := prev + 1
+	tx.db.seqs[name] = next
+	tx.undo = append(tx.undo, func() { tx.db.seqs[name] = prev })
+	tx.ops = append(tx.ops, walOp{Kind: opSeq, Seq: name, SeqV: next})
+	return next, nil
+}
+
+// CurrentSeq returns the named sequence's current value without advancing.
+func (tx *Tx) CurrentSeq(name string) int64 { return tx.db.seqs[name] }
+
+// rollback undoes every buffered write in reverse order.
+func (tx *Tx) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	tx.ops, tx.undo = nil, nil
+}
+
+// commit logs the buffered operations to the WAL.
+func (tx *Tx) commit() error {
+	if len(tx.ops) == 0 || tx.db.log == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tx.ops); err != nil {
+		// Encoding failures would corrupt recovery: roll back.
+		tx.rollback()
+		return fmt.Errorf("reldb: encode wal batch: %w", err)
+	}
+	if err := tx.db.log.Append(buf.Bytes()); err != nil {
+		tx.rollback()
+		return err
+	}
+	if tx.db.sync {
+		return tx.db.log.Sync()
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package rpc defines the request/response transport abstraction shared by
+// the simulated network fabric (internal/simnet) and the TCP transport in
+// this package, plus gob codec helpers. The update stores and the DHT are
+// written against Caller/Handler and run unchanged over either transport.
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+)
+
+// Request is one incoming call.
+type Request struct {
+	// From is the caller's address.
+	From string
+	// Method selects the handler behaviour, e.g. "epoch.alloc".
+	Method string
+	// Body is the gob-encoded argument.
+	Body []byte
+}
+
+// Handler processes requests at an endpoint.
+type Handler interface {
+	ServeRPC(req Request) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req Request) ([]byte, error)
+
+// ServeRPC implements Handler.
+func (f HandlerFunc) ServeRPC(req Request) ([]byte, error) { return f(req) }
+
+// Caller issues requests to remote endpoints.
+type Caller interface {
+	// Call sends a request to the endpoint at address `to` and waits for
+	// its response.
+	Call(ctx context.Context, to, method string, body []byte) ([]byte, error)
+}
+
+// Mux dispatches requests by method name.
+type Mux struct {
+	handlers map[string]HandlerFunc
+}
+
+// NewMux returns an empty mux.
+func NewMux() *Mux { return &Mux{handlers: make(map[string]HandlerFunc)} }
+
+// Handle registers a handler for a method; it panics on duplicates (a
+// programming error).
+func (m *Mux) Handle(method string, h HandlerFunc) {
+	if _, dup := m.handlers[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for %s", method))
+	}
+	m.handlers[method] = h
+}
+
+// ServeRPC implements Handler.
+func (m *Mux) ServeRPC(req Request) ([]byte, error) {
+	h, ok := m.handlers[req.Method]
+	if !ok {
+		return nil, fmt.Errorf("rpc: unknown method %q", req.Method)
+	}
+	return h(req)
+}
+
+// Encode gob-encodes a value for a request or response body.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("rpc: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// MustEncode is Encode that panics on error; for values whose encodability
+// is guaranteed by construction.
+func MustEncode(v any) []byte {
+	b, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode gob-decodes a request or response body into v.
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("rpc: decode: %w", err)
+	}
+	return nil
+}
+
+// Invoke encodes args, performs the call, and decodes the reply into reply
+// (which may be nil for calls without results).
+func Invoke(ctx context.Context, c Caller, to, method string, args, reply any) error {
+	var body []byte
+	if args != nil {
+		var err error
+		body, err = Encode(args)
+		if err != nil {
+			return err
+		}
+	}
+	resp, err := c.Call(ctx, to, method, body)
+	if err != nil {
+		return err
+	}
+	if reply == nil {
+		return nil
+	}
+	return Decode(resp, reply)
+}

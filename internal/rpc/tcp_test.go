@@ -1,0 +1,158 @@
+package rpc
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startEcho(t *testing.T) (addr string, srv *Server) {
+	t.Helper()
+	srv = NewServer(HandlerFunc(func(req Request) ([]byte, error) {
+		return append([]byte(req.From+"/"+req.Method+":"), req.Body...), nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, srv
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	addr, _ := startEcho(t)
+	cl := NewClient("me")
+	defer cl.Close()
+	resp, err := cl.Call(context.Background(), addr, "hello", []byte("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "me/hello:world" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestTCPConnectionReuse(t *testing.T) {
+	addr, _ := startEcho(t)
+	cl := NewClient("me")
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Call(context.Background(), addr, "m", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPHandlerError(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(Request) ([]byte, error) {
+		return nil, context.DeadlineExceeded
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient("me")
+	defer cl.Close()
+	_, err = cl.Call(context.Background(), addr, "m", nil)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("err = %v", err)
+	}
+	// The connection survives handler errors.
+	if _, err := cl.Call(context.Background(), addr, "m", nil); err == nil {
+		t.Error("second call should also return the handler error")
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	cl := NewClient("me")
+	defer cl.Close()
+	if _, err := cl.Call(context.Background(), "127.0.0.1:1", "m", nil); err == nil {
+		t.Error("dial to closed port should fail")
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	addr, _ := startEcho(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := NewClient("client")
+			defer cl.Close()
+			for j := 0; j < 25; j++ {
+				if _, err := cl.Call(context.Background(), addr, "m", []byte{byte(id)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTCPServerClose(t *testing.T) {
+	addr, srv := startEcho(t)
+	cl := NewClient("me")
+	defer cl.Close()
+	if _, err := cl.Call(context.Background(), addr, "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Call(ctx, addr, "m", nil); err == nil {
+		t.Error("call after server close should fail")
+	}
+	// Double close is safe.
+	if err := srv.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestTCPReconnectAfterDrop(t *testing.T) {
+	addr, srv := startEcho(t)
+	cl := NewClient("me")
+	defer cl.Close()
+	if _, err := cl.Call(context.Background(), addr, "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address.
+	srv.Close()
+	srv2 := NewServer(HandlerFunc(func(req Request) ([]byte, error) { return []byte("v2"), nil }))
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	// First call may fail on the stale pooled connection; the retry dials
+	// fresh.
+	var resp []byte
+	var err error
+	for i := 0; i < 3; i++ {
+		resp, err = cl.Call(context.Background(), addr, "m", nil)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil || string(resp) != "v2" {
+		t.Errorf("after reconnect: %q %v", resp, err)
+	}
+}
+
+func TestEncodeDecodeErrors(t *testing.T) {
+	if err := Decode([]byte("garbage"), &struct{ X int }{}); err == nil {
+		t.Error("decoding garbage should fail")
+	}
+	if _, err := Encode(make(chan int)); err == nil {
+		t.Error("encoding a channel should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode should panic on unencodable value")
+		}
+	}()
+	MustEncode(make(chan int))
+}

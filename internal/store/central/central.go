@@ -1,0 +1,569 @@
+// Package central implements the centralized update store of §5.2.1 on top
+// of the reldb relational engine (standing in for the commercial RDBMS the
+// paper used). An epoch sequence timestamps each published batch; because
+// publishing is not instantaneous, each peer records when it starts and
+// finishes publishing, and a reconciling peer uses the latest epoch not
+// preceded by an unfinished epoch as its reconciliation point. Trust
+// predicates and update extensions are evaluated inside the store, so only
+// relevant transactions travel to the client.
+package central
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"orchestra/internal/core"
+	"orchestra/internal/reldb"
+	"orchestra/internal/rpc"
+	"orchestra/internal/store"
+)
+
+// OrderStride spaces the global order values of consecutive epochs; both
+// store implementations assign Order = epoch*OrderStride + position so
+// their orderings agree exactly.
+const OrderStride = 1 << 20
+
+// Store is the centralized update store.
+type Store struct {
+	mu     sync.Mutex
+	db     *reldb.DB
+	schema *core.Schema
+
+	txns    map[core.TxnID]*entry
+	ordered []*entry
+	epochs  map[core.Epoch]*epochMeta
+	maxE    core.Epoch
+	peers   map[core.PeerID]*peerMeta
+}
+
+type entry struct {
+	pub   store.PublishedTxn
+	epoch core.Epoch
+}
+
+type epochMeta struct {
+	peer     core.PeerID
+	finished bool
+	txns     []core.TxnID
+}
+
+type peerMeta struct {
+	trust     core.Trust
+	lastEpoch core.Epoch
+	recno     int
+	decided   map[core.TxnID]core.Decision
+	// decidedSeq orders the peer's decisions: the valid replay order for
+	// reconstruction (store.Replayer).
+	decidedSeq map[core.TxnID]int64
+	nextSeq    int64
+}
+
+// recordDecisionLocked updates the decision caches.
+func (pm *peerMeta) recordDecisionLocked(id core.TxnID, d core.Decision) int64 {
+	pm.nextSeq++
+	pm.decided[id] = d
+	pm.decidedSeq[id] = pm.nextSeq
+	return pm.nextSeq
+}
+
+// Open creates (or recovers) a store. dir == "" keeps everything in memory.
+func Open(schema *core.Schema, dir string) (*Store, error) {
+	db, err := reldb.Open(reldb.Options{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		db:     db,
+		schema: schema,
+		txns:   make(map[core.TxnID]*entry),
+		epochs: make(map[core.Epoch]*epochMeta),
+		peers:  make(map[core.PeerID]*peerMeta),
+	}
+	if err := s.initTables(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if err := s.loadCaches(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustOpenMemory opens an in-memory store or panics.
+func MustOpenMemory(schema *core.Schema) *Store {
+	s, err := Open(schema, "")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Close closes the backing database.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Close()
+}
+
+func (s *Store) initTables() error {
+	return s.db.Update(func(tx *reldb.Tx) error {
+		create := func(def reldb.TableDef) error {
+			if tx.HasTable(def.Name) {
+				return nil
+			}
+			return tx.CreateTable(def)
+		}
+		if err := create(reldb.TableDef{
+			Name: "epochs",
+			Cols: []reldb.ColDef{
+				{Name: "epoch", Type: reldb.ColInt},
+				{Name: "peer", Type: reldb.ColString},
+				{Name: "finished", Type: reldb.ColBool},
+			},
+			Key: []int{0},
+		}); err != nil {
+			return err
+		}
+		if err := create(reldb.TableDef{
+			Name: "txns",
+			Cols: []reldb.ColDef{
+				{Name: "ord", Type: reldb.ColInt},
+				{Name: "origin", Type: reldb.ColString},
+				{Name: "seq", Type: reldb.ColInt},
+				{Name: "epoch", Type: reldb.ColInt},
+				{Name: "payload", Type: reldb.ColBytes},
+			},
+			Key: []int{0},
+			Indexes: []reldb.IndexDef{
+				{Name: "by_epoch", Cols: []int{3}},
+			},
+		}); err != nil {
+			return err
+		}
+		if err := create(reldb.TableDef{
+			Name: "peers",
+			Cols: []reldb.ColDef{
+				{Name: "peer", Type: reldb.ColString},
+				{Name: "last_epoch", Type: reldb.ColInt},
+				{Name: "recno", Type: reldb.ColInt},
+			},
+			Key: []int{0},
+		}); err != nil {
+			return err
+		}
+		return create(reldb.TableDef{
+			Name: "decisions",
+			Cols: []reldb.ColDef{
+				{Name: "peer", Type: reldb.ColString},
+				{Name: "origin", Type: reldb.ColString},
+				{Name: "seq", Type: reldb.ColInt},
+				{Name: "decision", Type: reldb.ColInt},
+				{Name: "dseq", Type: reldb.ColInt},
+			},
+			Key: []int{0, 1, 2},
+		})
+	})
+}
+
+// loadCaches rebuilds the in-memory indexes from the tables after recovery.
+func (s *Store) loadCaches() error {
+	return s.db.View(func(tx *reldb.Tx) error {
+		if err := tx.Scan("epochs", func(r reldb.Row) bool {
+			e := core.Epoch(r[0].I())
+			s.epochs[e] = &epochMeta{peer: core.PeerID(r[1].S()), finished: r[2].B()}
+			if e > s.maxE {
+				s.maxE = e
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		var scanErr error
+		if err := tx.Scan("txns", func(r reldb.Row) bool {
+			var pub store.PublishedTxn
+			if err := rpc.Decode(r[4].Raw(), &pub); err != nil {
+				scanErr = err
+				return false
+			}
+			en := &entry{pub: pub, epoch: core.Epoch(r[3].I())}
+			s.txns[pub.Txn.ID] = en
+			s.ordered = append(s.ordered, en)
+			if em := s.epochs[en.epoch]; em != nil {
+				em.txns = append(em.txns, pub.Txn.ID)
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if scanErr != nil {
+			return scanErr
+		}
+		sort.Slice(s.ordered, func(i, j int) bool {
+			return s.ordered[i].pub.Txn.Order < s.ordered[j].pub.Txn.Order
+		})
+		if err := tx.Scan("peers", func(r reldb.Row) bool {
+			s.peers[core.PeerID(r[0].S())] = &peerMeta{
+				lastEpoch:  core.Epoch(r[1].I()),
+				recno:      int(r[2].I()),
+				decided:    make(map[core.TxnID]core.Decision),
+				decidedSeq: make(map[core.TxnID]int64),
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		return tx.Scan("decisions", func(r reldb.Row) bool {
+			pm := s.peers[core.PeerID(r[0].S())]
+			if pm == nil {
+				return true
+			}
+			id := core.TxnID{Origin: core.PeerID(r[1].S()), Seq: uint64(r[2].I())}
+			pm.decided[id] = core.Decision(r[3].I())
+			pm.decidedSeq[id] = r[4].I()
+			if r[4].I() > pm.nextSeq {
+				pm.nextSeq = r[4].I()
+			}
+			return true
+		})
+	})
+}
+
+// RegisterPeer implements store.Store. Re-registering an existing peer
+// (e.g. after recovery) replaces its trust policy and keeps its history.
+func (s *Store) RegisterPeer(_ context.Context, peer core.PeerID, trust core.Trust) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pm, ok := s.peers[peer]; ok {
+		pm.trust = trust
+		return nil
+	}
+	err := s.db.Update(func(tx *reldb.Tx) error {
+		return tx.Insert("peers", reldb.Row{reldb.Str(string(peer)), reldb.Int(0), reldb.Int(0)})
+	})
+	if err != nil {
+		return err
+	}
+	s.peers[peer] = &peerMeta{
+		trust:      trust,
+		decided:    make(map[core.TxnID]core.Decision),
+		decidedSeq: make(map[core.TxnID]int64),
+	}
+	return nil
+}
+
+// PublishBegin allocates an epoch and records that the peer has started
+// publishing into it. Exposed separately so tests and the failure-injection
+// benchmarks can hold an epoch open.
+func (s *Store) PublishBegin(peer core.PeerID) (core.Epoch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.peers[peer]; !ok {
+		return 0, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	}
+	var epoch core.Epoch
+	err := s.db.Update(func(tx *reldb.Tx) error {
+		e, err := tx.NextSeq("epoch")
+		if err != nil {
+			return err
+		}
+		epoch = core.Epoch(e)
+		return tx.Insert("epochs", reldb.Row{reldb.Int(e), reldb.Str(string(peer)), reldb.Bool(false)})
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.epochs[epoch] = &epochMeta{peer: peer}
+	if epoch > s.maxE {
+		s.maxE = epoch
+	}
+	return epoch, nil
+}
+
+// PublishWrite appends the batch's transactions under the open epoch,
+// assigning global orders, and records them as accepted by the publisher.
+func (s *Store) PublishWrite(peer core.PeerID, epoch core.Epoch, txns []store.PublishedTxn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	em, ok := s.epochs[epoch]
+	if !ok || em.peer != peer {
+		return fmt.Errorf("central: epoch %d not open for %s", epoch, peer)
+	}
+	if em.finished {
+		return fmt.Errorf("central: epoch %d already finished", epoch)
+	}
+	pm := s.peers[peer]
+	err := s.db.Update(func(tx *reldb.Tx) error {
+		for i, pt := range txns {
+			pt.Txn.Epoch = epoch
+			pt.Txn.Order = uint64(epoch)*OrderStride + uint64(i)
+			payload, err := rpc.Encode(&pt)
+			if err != nil {
+				return err
+			}
+			if err := tx.Insert("txns", reldb.Row{
+				reldb.Int(int64(pt.Txn.Order)),
+				reldb.Str(string(pt.Txn.ID.Origin)),
+				reldb.Int(int64(pt.Txn.ID.Seq)),
+				reldb.Int(int64(epoch)),
+				reldb.Bytes(payload),
+			}); err != nil {
+				return err
+			}
+			if err := tx.Insert("decisions", reldb.Row{
+				reldb.Str(string(peer)),
+				reldb.Str(string(pt.Txn.ID.Origin)),
+				reldb.Int(int64(pt.Txn.ID.Seq)),
+				reldb.Int(int64(core.DecisionAccept)),
+				reldb.Int(pm.nextSeq + int64(i) + 1),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, pt := range txns {
+		en := &entry{pub: pt, epoch: epoch}
+		s.txns[pt.Txn.ID] = en
+		s.ordered = append(s.ordered, en)
+		em.txns = append(em.txns, pt.Txn.ID)
+		pm.recordDecisionLocked(pt.Txn.ID, core.DecisionAccept)
+	}
+	return nil
+}
+
+// PublishFinish marks the epoch complete, making it visible to stable-epoch
+// computation.
+func (s *Store) PublishFinish(peer core.PeerID, epoch core.Epoch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	em, ok := s.epochs[epoch]
+	if !ok || em.peer != peer {
+		return fmt.Errorf("central: epoch %d not open for %s", epoch, peer)
+	}
+	err := s.db.Update(func(tx *reldb.Tx) error {
+		return tx.Upsert("epochs", reldb.Row{reldb.Int(int64(epoch)), reldb.Str(string(peer)), reldb.Bool(true)})
+	})
+	if err != nil {
+		return err
+	}
+	em.finished = true
+	return nil
+}
+
+// Publish implements store.Store: begin, write, finish.
+func (s *Store) Publish(_ context.Context, peer core.PeerID, txns []store.PublishedTxn) (core.Epoch, error) {
+	if len(txns) == 0 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.peers[peer]; !ok {
+			return 0, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+		}
+		return s.maxE, nil
+	}
+	epoch, err := s.PublishBegin(peer)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.PublishWrite(peer, epoch, txns); err != nil {
+		return 0, err
+	}
+	if err := s.PublishFinish(peer, epoch); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// stableEpochLocked returns the most recent epoch not preceded by an
+// unfinished epoch.
+func (s *Store) stableEpochLocked() core.Epoch {
+	var stable core.Epoch
+	for e := core.Epoch(1); e <= s.maxE; e++ {
+		em, ok := s.epochs[e]
+		if !ok || !em.finished {
+			break
+		}
+		stable = e
+	}
+	return stable
+}
+
+// BeginReconciliation implements store.Store.
+func (s *Store) BeginReconciliation(_ context.Context, peer core.PeerID) (*store.Reconciliation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pm, ok := s.peers[peer]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	}
+	stable := s.stableEpochLocked()
+	from := pm.lastEpoch
+	if stable < from {
+		stable = from
+	}
+	recno := pm.recno + 1
+	// Record the reconciliation point immediately and commit, as §5.2.1
+	// prescribes, so the epochs table is released for publishers.
+	err := s.db.Update(func(tx *reldb.Tx) error {
+		return tx.Upsert("peers", reldb.Row{
+			reldb.Str(string(peer)), reldb.Int(int64(stable)), reldb.Int(int64(recno)),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	pm.lastEpoch = stable
+	pm.recno = recno
+
+	rec := &store.Reconciliation{Recno: recno, FromEpoch: from, ToEpoch: stable}
+	for _, en := range s.ordered {
+		if en.epoch <= from || en.epoch > stable {
+			continue
+		}
+		x := en.pub.Txn
+		if x.ID.Origin == peer {
+			continue
+		}
+		if _, decided := pm.decided[x.ID]; decided {
+			continue
+		}
+		prio := core.TxnPriority(pm.trust, x)
+		if prio <= 0 {
+			continue
+		}
+		rec.Candidates = append(rec.Candidates, &core.Candidate{
+			Txn:      x,
+			Priority: prio,
+			Ext:      s.extensionLocked(x.ID, pm),
+		})
+	}
+	return rec, nil
+}
+
+// extensionLocked computes the transaction extension of root for the peer:
+// the antecedent closure excluding transactions the peer has accepted,
+// sorted by global order.
+func (s *Store) extensionLocked(root core.TxnID, pm *peerMeta) []*core.Transaction {
+	visited := map[core.TxnID]bool{root: true}
+	var out []*core.Transaction
+	stack := []core.TxnID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		en, ok := s.txns[id]
+		if !ok {
+			continue // antecedent from before this store's history
+		}
+		if id != root && pm.decided[id] == core.DecisionAccept {
+			continue
+		}
+		out = append(out, en.pub.Txn)
+		for _, a := range en.pub.Antecedents {
+			if !visited[a] {
+				visited[a] = true
+				stack = append(stack, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Order < out[j].Order })
+	return out
+}
+
+// RecordDecisions implements store.Store.
+func (s *Store) RecordDecisions(_ context.Context, peer core.PeerID, recno int, accepted, rejected []core.TxnID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pm, ok := s.peers[peer]
+	if !ok {
+		return fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	}
+	if recno > pm.recno {
+		return fmt.Errorf("central: decisions for future reconciliation %d (current %d)", recno, pm.recno)
+	}
+	err := s.db.Update(func(tx *reldb.Tx) error {
+		dseq := pm.nextSeq
+		put := func(id core.TxnID, d core.Decision) error {
+			dseq++
+			return tx.Upsert("decisions", reldb.Row{
+				reldb.Str(string(peer)),
+				reldb.Str(string(id.Origin)),
+				reldb.Int(int64(id.Seq)),
+				reldb.Int(int64(d)),
+				reldb.Int(dseq),
+			})
+		}
+		for _, id := range accepted {
+			if err := put(id, core.DecisionAccept); err != nil {
+				return err
+			}
+		}
+		for _, id := range rejected {
+			if err := put(id, core.DecisionReject); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, id := range accepted {
+		pm.recordDecisionLocked(id, core.DecisionAccept)
+	}
+	for _, id := range rejected {
+		pm.recordDecisionLocked(id, core.DecisionReject)
+	}
+	return nil
+}
+
+// CurrentRecno implements store.Store.
+func (s *Store) CurrentRecno(_ context.Context, peer core.PeerID) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pm, ok := s.peers[peer]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	}
+	return pm.recno, nil
+}
+
+// Checkpoint snapshots the backing database and truncates its WAL.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Checkpoint()
+}
+
+// TxnCount returns the number of published transactions (for tests and the
+// bench harness).
+func (s *Store) TxnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.txns)
+}
+
+// ReplayFor implements store.Replayer: the full published log in global
+// order together with the peer's recorded decisions in acceptance order,
+// from which a lost client reconstructs itself (§5.2).
+func (s *Store) ReplayFor(_ context.Context, peer core.PeerID) ([]store.PublishedTxn, map[core.TxnID]core.RestoredDecision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pm, ok := s.peers[peer]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	}
+	log := make([]store.PublishedTxn, len(s.ordered))
+	for i, en := range s.ordered {
+		log[i] = en.pub
+	}
+	decisions := make(map[core.TxnID]core.RestoredDecision, len(pm.decided))
+	for id, d := range pm.decided {
+		decisions[id] = core.RestoredDecision{Decision: d, Seq: pm.decidedSeq[id]}
+	}
+	return log, decisions, nil
+}

@@ -1,0 +1,131 @@
+package dhtstore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/simnet"
+	"orchestra/internal/store"
+	"orchestra/internal/store/storetest"
+)
+
+// TestPartitionFailsThenHeals: a partitioned fabric makes store operations
+// fail cleanly (no corruption), and after healing the peer completes the
+// same work.
+func TestPartitionFailsThenHeals(t *testing.T) {
+	net := simnet.NewVirtual(simnet.DefaultLatency)
+	cluster := NewCluster(net)
+	schema := storetest.Schema(t)
+	ctx := context.Background()
+
+	var clients []store.Store
+	for i := 0; i < 6; i++ {
+		cl, err := cluster.AddNode(fmt.Sprintf("node-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, cl)
+	}
+	pa, err := store.NewPeer(ctx, "pa", schema, core.TrustAll(1), clients[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := store.NewPeer(ctx, "pb", schema, core.TrustAll(1), clients[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := pa.Edit(core.Insert("F", core.Strs("rat", "p1", "v"), "pa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pa.PublishAndReconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition pb's node: its reconciliation must fail with an error.
+	net.Partition("node-1")
+	if _, err := pb.Reconcile(ctx); err == nil {
+		t.Fatal("reconciliation through a partitioned node should fail")
+	}
+	net.Heal("node-1")
+
+	res, err := pb.Reconcile(ctx)
+	if err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	if len(res.Accepted) != 1 {
+		t.Fatalf("after heal accepted %v", res.Accepted)
+	}
+	if pb.Instance().Len("F") != 1 {
+		t.Errorf("pb instance: %v", pb.Instance().Tuples("F"))
+	}
+}
+
+// TestPartitionedOwnerBlocksPublish: when the node owning the epoch
+// allocator key is partitioned, publishes fail; the publisher's pending
+// transactions survive for a later retry.
+func TestPartitionedOwnerBlocksPublish(t *testing.T) {
+	net := simnet.NewVirtual(simnet.DefaultLatency)
+	cluster := NewCluster(net)
+	schema := storetest.Schema(t)
+	ctx := context.Background()
+
+	var addrs []string
+	for i := 0; i < 6; i++ {
+		addr := fmt.Sprintf("node-%d", i)
+		addrs = append(addrs, addr)
+		if _, err := cluster.AddNode(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The peer's own client node must not be the allocator owner for this
+	// test; find the owner and use a different node's client.
+	owner := cluster.Ring().OwnerOfString(allocKey).Addr()
+	var entry string
+	for _, a := range addrs {
+		if a != owner {
+			entry = a
+			break
+		}
+	}
+	cl, ok := cluster.Ring().Node(entry)
+	if !ok {
+		t.Fatal("entry node missing")
+	}
+	_ = cl
+	clientNode, err := cluster.AddNode("node-peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adding a node may change ownership; recompute and partition the
+	// current allocator owner (if it is the peer's node itself, skip).
+	owner = cluster.Ring().OwnerOfString(allocKey).Addr()
+	if owner == "node-peer" {
+		t.Skip("allocator landed on the peer's own node; direct delivery bypasses the fabric")
+	}
+
+	pa, err := store.NewPeer(ctx, "pa", schema, core.TrustAll(1), clientNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pa.Edit(core.Insert("F", core.Strs("rat", "p1", "v"), "pa")); err != nil {
+		t.Fatal(err)
+	}
+
+	net.Partition(owner)
+	if _, err := pa.Publish(ctx); err == nil {
+		t.Fatal("publish should fail while the allocator owner is partitioned")
+	}
+	if pa.PendingCount() != 1 {
+		t.Fatalf("pending lost on failed publish: %d", pa.PendingCount())
+	}
+	net.Heal(owner)
+	if _, err := pa.Publish(ctx); err != nil {
+		t.Fatalf("publish after heal: %v", err)
+	}
+	if pa.PendingCount() != 0 {
+		t.Error("pending not drained after successful publish")
+	}
+}

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"context"
+	"time"
+
+	"orchestra/internal/core"
+)
+
+// Peer couples a reconciliation engine with an update store and drives the
+// publish/reconcile cycle, splitting elapsed time into store time (update
+// store interactions, including network) and local time (the reconciliation
+// algorithm itself) — the breakdown reported in Figures 10 and 12.
+type Peer struct {
+	engine  *core.Engine
+	store   Store
+	pending []PublishedTxn
+
+	storeTime time.Duration
+	localTime time.Duration
+}
+
+// NewPeer registers the peer with the store and returns the wrapper.
+func NewPeer(ctx context.Context, id core.PeerID, schema *core.Schema, trust core.Trust, st Store) (*Peer, error) {
+	if err := st.RegisterPeer(ctx, id, trust); err != nil {
+		return nil, err
+	}
+	return &Peer{engine: core.NewEngine(id, schema, trust), store: st}, nil
+}
+
+// ID returns the peer's identifier.
+func (p *Peer) ID() core.PeerID { return p.engine.Peer() }
+
+// Engine exposes the underlying engine (instance, conflict groups,
+// resolution).
+func (p *Peer) Engine() *core.Engine { return p.engine }
+
+// Instance returns the peer's materialized instance.
+func (p *Peer) Instance() *core.Instance { return p.engine.Instance() }
+
+// StoreTime returns the cumulative time spent in update store calls.
+func (p *Peer) StoreTime() time.Duration { return p.storeTime }
+
+// LocalTime returns the cumulative time spent in local reconciliation work.
+func (p *Peer) LocalTime() time.Duration { return p.localTime }
+
+// ResetTimers zeroes the time accounting.
+func (p *Peer) ResetTimers() { p.storeTime, p.localTime = 0, 0 }
+
+// Edit applies a local transaction and queues it for the next publish.
+func (p *Peer) Edit(updates ...core.Update) (*core.Transaction, error) {
+	start := time.Now()
+	x, err := p.engine.NewLocalTransaction(updates...)
+	p.localTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	p.pending = append(p.pending, PublishedTxn{
+		Txn:         x,
+		Antecedents: p.engine.LocalAntecedents(x.ID),
+	})
+	return x, nil
+}
+
+// PendingCount returns the number of local transactions awaiting publish.
+func (p *Peer) PendingCount() int { return len(p.pending) }
+
+// Publish ships the pending local transactions to the update store.
+func (p *Peer) Publish(ctx context.Context) (core.Epoch, error) {
+	start := time.Now()
+	epoch, err := p.store.Publish(ctx, p.ID(), p.pending)
+	p.storeTime += time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	p.pending = nil
+	return epoch, nil
+}
+
+// Reconcile fetches the newly relevant transactions from the store, runs
+// the reconciliation algorithm, and records the decisions.
+func (p *Peer) Reconcile(ctx context.Context) (*core.Result, error) {
+	start := time.Now()
+	rec, err := p.store.BeginReconciliation(ctx, p.ID())
+	p.storeTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	res, err := p.engine.Reconcile(rec.Candidates)
+	p.localTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	err = p.store.RecordDecisions(ctx, p.ID(), rec.Recno, res.Accepted, res.Rejected)
+	p.storeTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// PublishAndReconcile performs the combined step of §3: publish pending
+// updates, then reconcile.
+func (p *Peer) PublishAndReconcile(ctx context.Context) (*core.Result, error) {
+	if _, err := p.Publish(ctx); err != nil {
+		return nil, err
+	}
+	return p.Reconcile(ctx)
+}
+
+// Resolve applies a conflict resolution and reports the resulting
+// accept/reject decisions to the store.
+func (p *Peer) Resolve(ctx context.Context, c core.Conflict, winner int) (*core.Result, error) {
+	start := time.Now()
+	res, err := p.engine.Resolve(c, winner)
+	p.localTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	// Resolution re-runs the peer's latest reconciliation rather than
+	// starting a new one; decisions are recorded under the store's current
+	// reconciliation number.
+	start = time.Now()
+	recno, err := p.store.CurrentRecno(ctx, p.ID())
+	if err != nil {
+		p.storeTime += time.Since(start)
+		return nil, err
+	}
+	err = p.store.RecordDecisions(ctx, p.ID(), recno, res.Accepted, res.Rejected)
+	p.storeTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,49 @@
+package store
+
+import (
+	"context"
+	"fmt"
+
+	"orchestra/internal/core"
+)
+
+// Replayer is the optional store capability behind §5.2's soft-state
+// guarantee: "it is possible to reconstruct the entire state of the
+// participant, up to his or her last reconciliation, from the update
+// store". The central store implements it; the DHT store does not (a full
+// scan of every transaction controller is exactly the kind of operation the
+// paper's design avoids).
+type Replayer interface {
+	// ReplayFor returns every published transaction in global order
+	// together with the peer's recorded decisions (with their acceptance
+	// sequence).
+	ReplayFor(ctx context.Context, peer core.PeerID) ([]PublishedTxn, map[core.TxnID]core.RestoredDecision, error)
+}
+
+// RebuildPeer reconstructs a participant's engine — instance, applied and
+// rejected sets, provenance — from the update store's log and the peer's
+// recorded decisions. Deferred state is not recorded in the store (it is
+// client soft state in the truest sense) and is reconstructed by the next
+// reconciliation, which reconsiders anything undecided.
+//
+// The returned peer is ready to continue reconciling where the lost one
+// stopped.
+func RebuildPeer(ctx context.Context, id core.PeerID, schema *core.Schema, trust core.Trust, st Store) (*Peer, error) {
+	rp, ok := st.(Replayer)
+	if !ok {
+		return nil, fmt.Errorf("store: %T cannot replay peer state", st)
+	}
+	log, decisions, err := rp.ReplayFor(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	logged := make([]core.LoggedTxn, len(log))
+	for i, pt := range log {
+		logged[i] = core.LoggedTxn{Txn: pt.Txn, Antecedents: pt.Antecedents}
+	}
+	engine := core.NewEngine(id, schema, trust)
+	if err := engine.Restore(logged, decisions); err != nil {
+		return nil, err
+	}
+	return &Peer{engine: engine, store: st}, nil
+}

@@ -1,0 +1,237 @@
+// Package remote exposes any store.Store over the TCP transport of
+// internal/rpc, so a confederation can run as separate OS processes: one
+// orchestra-store server hosting the central store and one orchestra-peer
+// process per participant. Trust policies travel as text in the predicate
+// language of internal/trust.
+package remote
+
+import (
+	"context"
+	"fmt"
+
+	"orchestra/internal/core"
+	"orchestra/internal/rpc"
+	"orchestra/internal/store"
+	"orchestra/internal/trust"
+)
+
+// Method names.
+const (
+	mRegister = "store.register"
+	mPublish  = "store.publish"
+	mBegin    = "store.begin"
+	mDecide   = "store.decide"
+	mRecno    = "store.recno"
+)
+
+type registerArgs struct {
+	Peer   core.PeerID
+	Policy string
+}
+
+type publishArgs struct {
+	Peer core.PeerID
+	Txns []store.PublishedTxn
+}
+
+type publishReply struct {
+	Epoch core.Epoch
+}
+
+type beginArgs struct {
+	Peer core.PeerID
+}
+
+type wireCandidate struct {
+	Txn      *core.Transaction
+	Priority int
+	Ext      []*core.Transaction
+}
+
+type beginReply struct {
+	Recno      int
+	FromEpoch  core.Epoch
+	ToEpoch    core.Epoch
+	Candidates []wireCandidate
+}
+
+type decideArgs struct {
+	Peer     core.PeerID
+	Recno    int
+	Accepted []core.TxnID
+	Rejected []core.TxnID
+}
+
+type recnoArgs struct {
+	Peer core.PeerID
+}
+
+type recnoReply struct {
+	Recno int
+}
+
+// Server adapts a store.Store to the RPC transport.
+type Server struct {
+	backend store.Store
+	schema  *core.Schema
+	srv     *rpc.Server
+}
+
+// NewServer wraps the backend; trust policies received from clients are
+// compiled against the schema.
+func NewServer(backend store.Store, schema *core.Schema) *Server {
+	s := &Server{backend: backend, schema: schema}
+	mux := rpc.NewMux()
+	mux.Handle(mRegister, s.register)
+	mux.Handle(mPublish, s.publish)
+	mux.Handle(mBegin, s.begin)
+	mux.Handle(mDecide, s.decide)
+	mux.Handle(mRecno, s.recno)
+	s.srv = rpc.NewServer(mux)
+	return s
+}
+
+// Listen binds addr and serves in the background, returning the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) register(req rpc.Request) ([]byte, error) {
+	var args registerArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	policy, err := trust.Parse(args.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("remote: peer %s policy: %w", args.Peer, err)
+	}
+	policy.WithSchema(s.schema)
+	if err := s.backend.RegisterPeer(context.Background(), args.Peer, policy); err != nil {
+		return nil, err
+	}
+	return rpc.Encode(&struct{}{})
+}
+
+func (s *Server) publish(req rpc.Request) ([]byte, error) {
+	var args publishArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	epoch, err := s.backend.Publish(context.Background(), args.Peer, args.Txns)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.Encode(&publishReply{Epoch: epoch})
+}
+
+func (s *Server) begin(req rpc.Request) ([]byte, error) {
+	var args beginArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	rec, err := s.backend.BeginReconciliation(context.Background(), args.Peer)
+	if err != nil {
+		return nil, err
+	}
+	reply := beginReply{Recno: rec.Recno, FromEpoch: rec.FromEpoch, ToEpoch: rec.ToEpoch}
+	for _, c := range rec.Candidates {
+		reply.Candidates = append(reply.Candidates, wireCandidate{
+			Txn: c.Txn, Priority: c.Priority, Ext: c.Ext,
+		})
+	}
+	return rpc.Encode(&reply)
+}
+
+func (s *Server) decide(req rpc.Request) ([]byte, error) {
+	var args decideArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	if err := s.backend.RecordDecisions(context.Background(), args.Peer, args.Recno, args.Accepted, args.Rejected); err != nil {
+		return nil, err
+	}
+	return rpc.Encode(&struct{}{})
+}
+
+func (s *Server) recno(req rpc.Request) ([]byte, error) {
+	var args recnoArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	n, err := s.backend.CurrentRecno(context.Background(), args.Peer)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.Encode(&recnoReply{Recno: n})
+}
+
+// Client implements store.Store against a remote Server. Trust policies
+// must be textual (*trust.Policy): predicate code cannot travel over the
+// wire.
+type Client struct {
+	caller rpc.Caller
+	addr   string
+}
+
+// NewClient returns a client for the server at addr.
+func NewClient(from, addr string) *Client {
+	return &Client{caller: rpc.NewClient(from), addr: addr}
+}
+
+// NewClientOn returns a client using an existing transport (e.g. a simnet
+// node in tests).
+func NewClientOn(caller rpc.Caller, addr string) *Client {
+	return &Client{caller: caller, addr: addr}
+}
+
+// RegisterPeer implements store.Store. The trust policy must be a
+// *trust.Policy.
+func (c *Client) RegisterPeer(ctx context.Context, peer core.PeerID, t core.Trust) error {
+	policy, ok := t.(*trust.Policy)
+	if !ok {
+		return fmt.Errorf("remote: peer %s: trust policy must be a *trust.Policy (textual rules)", peer)
+	}
+	return rpc.Invoke(ctx, c.caller, c.addr, mRegister,
+		&registerArgs{Peer: peer, Policy: policy.String()}, nil)
+}
+
+// Publish implements store.Store.
+func (c *Client) Publish(ctx context.Context, peer core.PeerID, txns []store.PublishedTxn) (core.Epoch, error) {
+	var reply publishReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mPublish, &publishArgs{Peer: peer, Txns: txns}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Epoch, nil
+}
+
+// BeginReconciliation implements store.Store.
+func (c *Client) BeginReconciliation(ctx context.Context, peer core.PeerID) (*store.Reconciliation, error) {
+	var reply beginReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mBegin, &beginArgs{Peer: peer}, &reply); err != nil {
+		return nil, err
+	}
+	rec := &store.Reconciliation{Recno: reply.Recno, FromEpoch: reply.FromEpoch, ToEpoch: reply.ToEpoch}
+	for _, wc := range reply.Candidates {
+		rec.Candidates = append(rec.Candidates, &core.Candidate{
+			Txn: wc.Txn, Priority: wc.Priority, Ext: wc.Ext,
+		})
+	}
+	return rec, nil
+}
+
+// RecordDecisions implements store.Store.
+func (c *Client) RecordDecisions(ctx context.Context, peer core.PeerID, recno int, accepted, rejected []core.TxnID) error {
+	return rpc.Invoke(ctx, c.caller, c.addr, mDecide,
+		&decideArgs{Peer: peer, Recno: recno, Accepted: accepted, Rejected: rejected}, nil)
+}
+
+// CurrentRecno implements store.Store.
+func (c *Client) CurrentRecno(ctx context.Context, peer core.PeerID) (int, error) {
+	var reply recnoReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mRecno, &recnoArgs{Peer: peer}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Recno, nil
+}

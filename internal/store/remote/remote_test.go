@@ -1,0 +1,157 @@
+package remote
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/rpc"
+	"orchestra/internal/store"
+	"orchestra/internal/store/central"
+	"orchestra/internal/store/storetest"
+	"orchestra/internal/trust"
+)
+
+// startServer hosts a central store over TCP and returns its address.
+func startServer(t *testing.T, schema *core.Schema) string {
+	t.Helper()
+	backend := central.MustOpenMemory(schema)
+	srv := NewServer(backend, schema)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		backend.Close()
+	})
+	return addr
+}
+
+func policyAll(t *testing.T) *trust.Policy {
+	t.Helper()
+	p, err := trust.Parse("priority 1 when true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRemoteEndToEnd(t *testing.T) {
+	schema := storetest.Schema(t)
+	addr := startServer(t, schema)
+	ctx := context.Background()
+
+	mk := func(id core.PeerID) *store.Peer {
+		p, err := store.NewPeer(ctx, id, schema, policyAll(t), NewClient(string(id), addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	alice := mk("alice")
+	bob := mk("bob")
+
+	if _, err := alice.Edit(core.Insert("F", core.Strs("rat", "p1", "immune"), "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.PublishAndReconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := bob.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 {
+		t.Fatalf("bob accepted %v", res.Accepted)
+	}
+	if bob.Instance().Len("F") != 1 {
+		t.Errorf("bob instance: %v", bob.Instance().Tuples("F"))
+	}
+	if n, err := NewClient("x", addr).CurrentRecno(ctx, "bob"); err != nil || n != 1 {
+		t.Errorf("recno over the wire: %d %v", n, err)
+	}
+}
+
+func TestRemoteAntecedentChains(t *testing.T) {
+	schema := storetest.Schema(t)
+	addr := startServer(t, schema)
+	ctx := context.Background()
+	a, _ := store.NewPeer(ctx, "a", schema, policyAll(t), NewClient("a", addr))
+	b, _ := store.NewPeer(ctx, "b", schema, policyAll(t), NewClient("b", addr))
+	c, _ := store.NewPeer(ctx, "c", schema, policyAll(t), NewClient("c", addr))
+
+	xa, _ := a.Edit(core.Insert("F", core.Strs("rat", "p1", "v0"), "a"))
+	a.PublishAndReconcile(ctx)
+	b.PublishAndReconcile(ctx)
+	xb, _ := b.Edit(core.Modify("F", core.Strs("rat", "p1", "v0"), core.Strs("rat", "p1", "v1"), "b"))
+	b.PublishAndReconcile(ctx)
+
+	res, err := c.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 2 {
+		t.Fatalf("c accepted %v, want chain %v+%v", res.Accepted, xa.ID, xb.ID)
+	}
+	got, _ := c.Instance().Lookup("F", core.Strs("rat", "p1"))
+	if got[2].Str() != "v1" {
+		t.Errorf("c sees %v", got)
+	}
+}
+
+func TestRemotePolicyOverTheWire(t *testing.T) {
+	schema := storetest.Schema(t)
+	addr := startServer(t, schema)
+	ctx := context.Background()
+
+	// q trusts only the curator, via a textual policy evaluated
+	// server-side.
+	qPolicy, err := trust.Parse("priority 1 when origin = 'curator'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	curator, _ := store.NewPeer(ctx, "curator", schema, policyAll(t), NewClient("curator", addr))
+	outsider, _ := store.NewPeer(ctx, "outsider", schema, policyAll(t), NewClient("outsider", addr))
+	q, err := store.NewPeer(ctx, "q", schema, qPolicy, NewClient("q", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	curator.Edit(core.Insert("F", core.Strs("rat", "p1", "t"), "curator"))
+	curator.PublishAndReconcile(ctx)
+	outsider.Edit(core.Insert("F", core.Strs("mouse", "p2", "u"), "outsider"))
+	outsider.PublishAndReconcile(ctx)
+
+	res, err := q.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 || q.Instance().Len("F") != 1 {
+		t.Fatalf("q accepted %v, instance %v", res.Accepted, q.Instance().Tuples("F"))
+	}
+}
+
+func TestRemoteRejectsNonTextualPolicy(t *testing.T) {
+	schema := storetest.Schema(t)
+	addr := startServer(t, schema)
+	cl := NewClient("x", addr)
+	err := cl.RegisterPeer(context.Background(), "x", core.TrustAll(1))
+	if err == nil || !strings.Contains(err.Error(), "textual") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRemoteBadPolicyRejectedServerSide(t *testing.T) {
+	schema := storetest.Schema(t)
+	addr := startServer(t, schema)
+	// Send a syntactically invalid policy text directly: the server must
+	// reject it when compiling.
+	cl := NewClient("x", addr)
+	err := rpc.Invoke(context.Background(), cl.caller, addr, mRegister,
+		&registerArgs{Peer: "x", Policy: "garbage"}, nil)
+	if err == nil {
+		t.Error("server accepted garbage policy")
+	}
+}

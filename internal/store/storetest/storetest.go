@@ -1,0 +1,310 @@
+// Package storetest provides a conformance suite run against every
+// store.Store implementation: the paper's Figure 2 scenario end-to-end,
+// trust and antecedent chasing, deferral and resolution, and a
+// cross-implementation equivalence check.
+package storetest
+
+import (
+	"context"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/store"
+)
+
+// Factory builds a fresh store for a schema, plus a per-peer store client
+// (some implementations, like the DHT store, give each peer its own entry
+// point) and a cleanup.
+type Factory func(t *testing.T, schema *core.Schema) (clientFor func(peer core.PeerID) store.Store, cleanup func())
+
+// Schema returns the paper's protein-function relation.
+func Schema(t *testing.T) *core.Schema {
+	t.Helper()
+	s, err := core.NewSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustEdit(t *testing.T, p *store.Peer, us ...core.Update) *core.Transaction {
+	t.Helper()
+	x, err := p.Edit(us...)
+	if err != nil {
+		t.Fatalf("edit at %s: %v", p.ID(), err)
+	}
+	return x
+}
+
+func mustCycle(t *testing.T, p *store.Peer) *core.Result {
+	t.Helper()
+	res, err := p.PublishAndReconcile(context.Background())
+	if err != nil {
+		t.Fatalf("publish+reconcile at %s: %v", p.ID(), err)
+	}
+	return res
+}
+
+func wantTuples(t *testing.T, in *core.Instance, rel string, want ...core.Tuple) {
+	t.Helper()
+	got := in.Tuples(rel)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", rel, got, want)
+	}
+	idx := map[string]bool{}
+	for _, w := range want {
+		idx[w.Encode()] = true
+	}
+	for _, g := range got {
+		if !idx[g.Encode()] {
+			t.Errorf("%s: unexpected tuple %v", rel, g)
+		}
+	}
+}
+
+func wantIDSet(t *testing.T, what string, got []core.TxnID, want ...core.TxnID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", what, got, want)
+	}
+	set := core.NewTxnSet(want...)
+	for _, id := range got {
+		if !set.Has(id) {
+			t.Errorf("%s: unexpected %v (want %v)", what, id, want)
+		}
+	}
+}
+
+// RunConformance runs the whole suite against the factory.
+func RunConformance(t *testing.T, factory Factory) {
+	t.Run("Figure2", func(t *testing.T) { testFigure2(t, factory) })
+	t.Run("Figure2Resolution", func(t *testing.T) { testFigure2Resolution(t, factory) })
+	t.Run("AntecedentChasing", func(t *testing.T) { testAntecedentChasing(t, factory) })
+	t.Run("UntrustedSkipped", func(t *testing.T) { testUntrustedSkipped(t, factory) })
+	t.Run("EmptyPublish", func(t *testing.T) { testEmptyPublish(t, factory) })
+	t.Run("RecnoAdvances", func(t *testing.T) { testRecnoAdvances(t, factory) })
+	t.Run("NoRedelivery", func(t *testing.T) { testNoRedelivery(t, factory) })
+	t.Run("PriorityConflict", func(t *testing.T) { testPriorityConflict(t, factory) })
+}
+
+// figure2Peers builds the Figure 1 trust topology over the store.
+func figure2Peers(t *testing.T, s *core.Schema, clientFor func(core.PeerID) store.Store) (p1, p2, p3 *store.Peer) {
+	ctx := context.Background()
+	var err error
+	p1, err = store.NewPeer(ctx, "p1", s, core.TrustOrigins(map[core.PeerID]int{"p2": 1, "p3": 1}), clientFor("p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err = store.NewPeer(ctx, "p2", s, core.TrustOrigins(map[core.PeerID]int{"p1": 2, "p3": 1}), clientFor("p2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err = store.NewPeer(ctx, "p3", s, core.TrustOrigins(map[core.PeerID]int{"p2": 1}), clientFor("p3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p1, p2, p3
+}
+
+// runFigure2 drives the four epochs and returns the transactions.
+func runFigure2(t *testing.T, p1, p2, p3 *store.Peer) (x30, x31, x20, x21 *core.Transaction) {
+	x30 = mustEdit(t, p3, core.Insert("F", core.Strs("rat", "prot1", "cell-metab"), "p3"))
+	x31 = mustEdit(t, p3, core.Modify("F", core.Strs("rat", "prot1", "cell-metab"), core.Strs("rat", "prot1", "immune"), "p3"))
+	mustCycle(t, p3)
+	x20 = mustEdit(t, p2, core.Insert("F", core.Strs("mouse", "prot2", "immune"), "p2"))
+	x21 = mustEdit(t, p2, core.Insert("F", core.Strs("rat", "prot1", "cell-resp"), "p2"))
+	mustCycle(t, p2)
+	mustCycle(t, p3)
+	mustCycle(t, p1)
+	return
+}
+
+func testFigure2(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	p1, p2, p3 := figure2Peers(t, s, clientFor)
+	x30, x31, x20, x21 := runFigure2(t, p1, p2, p3)
+
+	wantTuples(t, p3.Instance(), "F",
+		core.Strs("mouse", "prot2", "immune"),
+		core.Strs("rat", "prot1", "immune"))
+	wantTuples(t, p2.Instance(), "F",
+		core.Strs("mouse", "prot2", "immune"),
+		core.Strs("rat", "prot1", "cell-resp"))
+	wantTuples(t, p1.Instance(), "F", core.Strs("mouse", "prot2", "immune"))
+	wantIDSet(t, "p1 deferred", p1.Engine().DeferredIDs(), x30.ID, x31.ID, x21.ID)
+	if !p1.Engine().Applied(x20.ID) {
+		t.Error("p1 should have applied x20")
+	}
+	if !p2.Engine().Rejected(x30.ID) || !p2.Engine().Rejected(x31.ID) {
+		t.Error("p2 should have rejected p3's chain")
+	}
+	ctx := context.Background()
+	if n, err := clientFor("p1").CurrentRecno(ctx, "p1"); err != nil || n != 1 {
+		t.Errorf("p1 recno = %d, %v", n, err)
+	}
+}
+
+func testFigure2Resolution(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	p1, p2, p3 := figure2Peers(t, s, clientFor)
+	x30, x31, _, x21 := runFigure2(t, p1, p2, p3)
+
+	groups := p1.Engine().ConflictGroups()
+	if len(groups) != 1 || len(groups[0].Options) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	winner := -1
+	for i, o := range groups[0].Options {
+		for _, id := range o.Txns {
+			if id == x31.ID {
+				winner = i
+			}
+		}
+	}
+	res, err := p1.Resolve(context.Background(), groups[0].Conflict, winner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDSet(t, "resolution accepted", res.Accepted, x30.ID, x31.ID)
+	wantTuples(t, p1.Instance(), "F",
+		core.Strs("mouse", "prot2", "immune"),
+		core.Strs("rat", "prot1", "immune"))
+	if !p1.Engine().Rejected(x21.ID) {
+		t.Error("x21 should be rejected after resolution")
+	}
+}
+
+// testAntecedentChasing verifies the §3.2 exception: p3 trusts only p2, but
+// importing p2's revision pulls in p1's untrusted antecedent.
+func testAntecedentChasing(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	pa, err := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := store.NewPeer(ctx, "pb", s, core.TrustAll(1), clientFor("pb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := store.NewPeer(ctx, "pc", s, core.TrustOrigins(map[core.PeerID]int{"pb": 1}), clientFor("pc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xa := mustEdit(t, pa, core.Insert("F", core.Strs("rat", "p1", "orig"), "pa"))
+	mustCycle(t, pa)
+	mustCycle(t, pb)
+	xb := mustEdit(t, pb, core.Modify("F", core.Strs("rat", "p1", "orig"), core.Strs("rat", "p1", "revised"), "pb"))
+	mustCycle(t, pb)
+
+	res := mustCycle(t, pc)
+	wantIDSet(t, "pc accepted", res.Accepted, xa.ID, xb.ID)
+	wantTuples(t, pc.Instance(), "F", core.Strs("rat", "p1", "revised"))
+}
+
+func testUntrustedSkipped(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	pz, _ := store.NewPeer(ctx, "pz", s, core.TrustAll(1), clientFor("pz"))
+	pq, err := store.NewPeer(ctx, "pq", s, core.TrustOrigins(map[core.PeerID]int{"pa": 1}), clientFor("pq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEdit(t, pz, core.Insert("F", core.Strs("rat", "p1", "untrusted"), "pz"))
+	mustCycle(t, pz)
+	xa := mustEdit(t, pa, core.Insert("F", core.Strs("mouse", "p2", "trusted"), "pa"))
+	mustCycle(t, pa)
+	res := mustCycle(t, pq)
+	wantIDSet(t, "pq accepted", res.Accepted, xa.ID)
+	wantTuples(t, pq.Instance(), "F", core.Strs("mouse", "p2", "trusted"))
+}
+
+func testEmptyPublish(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	pa, err := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publishing with nothing pending allocates no epoch.
+	if _, err := pa.Publish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pa.Reconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted)+len(res.Rejected)+len(res.Deferred) != 0 {
+		t.Errorf("empty reconcile: %+v", res)
+	}
+}
+
+func testRecnoAdvances(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	for i := 0; i < 3; i++ {
+		if _, err := pa.Reconcile(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := clientFor("pa").CurrentRecno(ctx, "pa"); err != nil || n != 3 {
+		t.Errorf("recno = %d, %v", n, err)
+	}
+}
+
+// testNoRedelivery: a transaction is associated with one reconciliation
+// and never redelivered.
+func testNoRedelivery(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	pb, _ := store.NewPeer(ctx, "pb", s, core.TrustAll(1), clientFor("pb"))
+	mustEdit(t, pa, core.Insert("F", core.Strs("rat", "p1", "v"), "pa"))
+	mustCycle(t, pa)
+	res := mustCycle(t, pb)
+	if len(res.Accepted) != 1 {
+		t.Fatalf("first reconcile: %+v", res)
+	}
+	res = mustCycle(t, pb)
+	if len(res.Accepted)+len(res.Rejected)+len(res.Deferred) != 0 {
+		t.Errorf("redelivered: %+v", res)
+	}
+}
+
+func testPriorityConflict(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	pb, _ := store.NewPeer(ctx, "pb", s, core.TrustAll(1), clientFor("pb"))
+	pq, err := store.NewPeer(ctx, "pq", s, core.TrustOrigins(map[core.PeerID]int{"pa": 2, "pb": 1}), clientFor("pq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xa := mustEdit(t, pa, core.Insert("F", core.Strs("rat", "p1", "high"), "pa"))
+	mustCycle(t, pa)
+	xb := mustEdit(t, pb, core.Insert("F", core.Strs("rat", "p1", "low"), "pb"))
+	mustCycle(t, pb)
+	res := mustCycle(t, pq)
+	wantIDSet(t, "accepted", res.Accepted, xa.ID)
+	wantIDSet(t, "rejected", res.Rejected, xb.ID)
+	wantTuples(t, pq.Instance(), "F", core.Strs("rat", "p1", "high"))
+}

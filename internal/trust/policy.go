@@ -1,0 +1,156 @@
+package trust
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"orchestra/internal/core"
+)
+
+// Rule is one acceptance rule (θ, v): a compiled predicate and the integer
+// priority assigned to updates satisfying it.
+type Rule struct {
+	Priority  int
+	Predicate string
+	expr      expr
+}
+
+// Policy is a participant's ordered set of acceptance rules. It implements
+// core.Trust: the priority of an update is the maximum priority among
+// matching rules, or 0 (untrusted) if none match. The zero Policy trusts
+// nothing.
+type Policy struct {
+	rules  []Rule
+	schema *core.Schema
+}
+
+// NewPolicy returns an empty policy. Bind a schema with WithSchema to
+// resolve attribute names in predicates.
+func NewPolicy() *Policy { return &Policy{} }
+
+// WithSchema returns the policy with the schema used for attr('name')
+// resolution. The receiver is returned for chaining.
+func (p *Policy) WithSchema(s *core.Schema) *Policy {
+	p.schema = s
+	return p
+}
+
+// Add compiles and appends a rule. Priorities must be positive: priority 0
+// is the implicit "untrusted" default.
+func (p *Policy) Add(priority int, predicate string) error {
+	if priority <= 0 {
+		return fmt.Errorf("trust: rule priority must be positive, got %d", priority)
+	}
+	e, err := compile(predicate)
+	if err != nil {
+		return err
+	}
+	p.rules = append(p.rules, Rule{Priority: priority, Predicate: predicate, expr: e})
+	return nil
+}
+
+// MustAdd is Add that panics on error, for literals in tests and examples.
+func (p *Policy) MustAdd(priority int, predicate string) *Policy {
+	if err := p.Add(priority, predicate); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Rules returns a copy of the rules, for display.
+func (p *Policy) Rules() []Rule {
+	out := make([]Rule, len(p.rules))
+	copy(out, p.rules)
+	return out
+}
+
+// Len returns the number of rules.
+func (p *Policy) Len() int { return len(p.rules) }
+
+// Priority implements core.Trust.
+func (p *Policy) Priority(u core.Update) int {
+	best := 0
+	ctx := &evalCtx{u: u, schema: p.schema}
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Priority <= best {
+			continue
+		}
+		if r.expr.eval(ctx).truthy() {
+			best = r.Priority
+		}
+	}
+	return best
+}
+
+// String renders the policy in the textual rule format accepted by Parse.
+func (p *Policy) String() string {
+	var b strings.Builder
+	for _, r := range p.rules {
+		fmt.Fprintf(&b, "priority %d when %s\n", r.Priority, r.Predicate)
+	}
+	return b.String()
+}
+
+// Parse reads a policy in textual form: one rule per line,
+//
+//	priority <n> when <predicate>
+//
+// Blank lines and lines starting with '#' or '--' are ignored.
+func Parse(text string) (*Policy, error) {
+	p := NewPolicy()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "--") {
+			continue
+		}
+		rest, ok := cutKeyword(line, "priority")
+		if !ok {
+			return nil, fmt.Errorf("trust: line %d: expected 'priority <n> when <predicate>'", lineno)
+		}
+		rest = strings.TrimSpace(rest)
+		sp := strings.IndexFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' })
+		if sp < 0 {
+			return nil, fmt.Errorf("trust: line %d: missing predicate", lineno)
+		}
+		n, err := strconv.Atoi(rest[:sp])
+		if err != nil {
+			return nil, fmt.Errorf("trust: line %d: bad priority %q", lineno, rest[:sp])
+		}
+		pred, ok := cutKeyword(strings.TrimSpace(rest[sp:]), "when")
+		if !ok {
+			return nil, fmt.Errorf("trust: line %d: expected 'when' after priority", lineno)
+		}
+		if err := p.Add(n, strings.TrimSpace(pred)); err != nil {
+			return nil, fmt.Errorf("trust: line %d: %w", lineno, err)
+		}
+	}
+	return p, sc.Err()
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(text string) *Policy {
+	p, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// cutKeyword strips a leading case-insensitive keyword followed by a word
+// boundary, returning the remainder.
+func cutKeyword(s, kw string) (string, bool) {
+	if len(s) < len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return "", false
+	}
+	rest := s[len(kw):]
+	if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+		return "", false
+	}
+	return rest, true
+}

@@ -1,0 +1,315 @@
+// Package wal implements a segmented, CRC-checked, append-only write-ahead
+// log used by the reldb relational engine for durability: every committed
+// transaction is framed and appended; on open, the log is replayed and any
+// torn tail (from a crash mid-append) is truncated.
+//
+// Record framing: 4-byte little-endian payload length, 4-byte CRC-32
+// (Castagnoli) of the payload, payload bytes.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	headerSize = 8
+	// DefaultSegmentSize is the rotation threshold for segment files.
+	DefaultSegmentSize = 4 << 20
+	segSuffix          = ".wal"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is a segmented append-only log. It is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	dir     string
+	segSize int64
+	closed  bool
+
+	seg     *os.File // active segment
+	segIdx  int      // index of the active segment
+	segOff  int64    // size of the active segment
+	syncAll bool     // fsync on every append
+}
+
+// Options configure a Log.
+type Options struct {
+	// SegmentSize is the rotation threshold; DefaultSegmentSize if zero.
+	SegmentSize int64
+	// SyncOnAppend fsyncs after every append. Slower but loses nothing on
+	// a crash. Without it, Sync must be called at commit points.
+	SyncOnAppend bool
+}
+
+// Open opens (or creates) the log in dir, replaying existing segments to
+// find the tail and truncating any torn final record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, segSize: opts.SegmentSize, syncAll: opts.SyncOnAppend}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.openSegment(0, 0); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	last := segs[len(segs)-1]
+	valid, err := validLength(l.segPath(last))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(l.segPath(last), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.seg, l.segIdx, l.segOff = f, last, valid
+	return l, nil
+}
+
+// segPath returns the path of segment i.
+func (l *Log) segPath(i int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%08d%s", i, segSuffix))
+}
+
+// segments lists existing segment indexes in order.
+func (l *Log) segments() ([]int, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []int
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(name, segSuffix))
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// openSegment creates and activates segment idx.
+func (l *Log) openSegment(idx int, off int64) error {
+	f, err := os.OpenFile(l.segPath(idx), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.seg, l.segIdx, l.segOff = f, idx, off
+	return nil
+}
+
+// validLength scans a segment and returns the byte length of its valid
+// prefix (stopping at the first torn or corrupt record).
+func validLength(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var off int64
+	hdr := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return off, nil // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return off, nil // corrupt
+		}
+		off += headerSize + int64(n)
+	}
+}
+
+// Append frames and appends a record, rotating segments as needed. It
+// returns after the record is buffered in the OS (or fsynced when
+// SyncOnAppend is set).
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.segOff >= l.segSize {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerSize:], payload)
+	if _, err := l.seg.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.segOff += int64(len(buf))
+	if l.syncAll {
+		if err := l.seg.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync before rotate: %w", err)
+	}
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	return l.openSegment(l.segIdx+1, 0)
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Replay invokes fn for every valid record across all segments, in append
+// order. It is typically called once after Open, before new appends.
+func (l *Log) Replay(fn func(payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, headerSize)
+	for _, idx := range segs {
+		f, err := os.Open(l.segPath(idx))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		for {
+			if _, err := io.ReadFull(f, hdr); err != nil {
+				break
+			}
+			n := binary.LittleEndian.Uint32(hdr[0:4])
+			crc := binary.LittleEndian.Uint32(hdr[4:8])
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(f, payload); err != nil {
+				break
+			}
+			if crc32.Checksum(payload, castagnoli) != crc {
+				break
+			}
+			if err := fn(payload); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// Reset removes all records: used after a checkpoint has captured the state
+// elsewhere. The log remains open for appends.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, idx := range segs {
+		if err := os.Remove(l.segPath(idx)); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return l.openSegment(0, 0)
+}
+
+// Size returns the total byte size of all segments.
+func (l *Log) Size() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, idx := range segs {
+		fi, err := os.Stat(l.segPath(idx))
+		if err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	if err := l.seg.Sync(); err != nil {
+		l.seg.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.seg.Close()
+}

@@ -1,0 +1,273 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, opts Options) (*Log, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, dir
+}
+
+func replayAll(t *testing.T, l *Log) []string {
+	t.Helper()
+	var out []string
+	if err := l.Replay(func(p []byte) error {
+		out = append(out, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplay(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	defer l.Close()
+	for i := 0; i < 100; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := replayAll(t, l)
+	if len(got) != 100 || got[0] != "record-000" || got[99] != "record-099" {
+		t.Fatalf("replay got %d records, first %q last %q", len(got), got[0], got[len(got)-1])
+	}
+}
+
+func TestReopenPreservesRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l)
+	if len(got) != 11 || got[10] != "after-reopen" {
+		t.Fatalf("replay after reopen: %v", got)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	l, dir := openTemp(t, Options{SegmentSize: 64})
+	defer l.Close()
+	payload := make([]byte, 40)
+	for i := 0; i < 10; i++ {
+		payload[0] = byte(i)
+		if err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(ents))
+	}
+	got := replayAll(t, l)
+	if len(got) != 10 {
+		t.Fatalf("replay across segments: %d records", len(got))
+	}
+	for i, r := range got {
+		if r[0] != byte(i) {
+			t.Fatalf("record %d out of order", i)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: write a torn record (header claims more
+	// bytes than present).
+	path := filepath.Join(dir, "00000000.wal")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 0, 0, 0, 1, 2, 3, 4, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := replayAll(t, l)
+	if len(got) != 5 {
+		t.Fatalf("torn tail not truncated: %v", got)
+	}
+	// Appends after recovery land cleanly.
+	if err := l.Append([]byte("recovered")); err != nil {
+		t.Fatal(err)
+	}
+	got = replayAll(t, l)
+	if len(got) != 6 || got[5] != "recovered" {
+		t.Fatalf("append after recovery: %v", got)
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("willcorrupt")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Flip a payload byte of the second record.
+	path := filepath.Join(dir, "00000000.wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := replayAll(t, l)
+	if len(got) != 1 || got[0] != "good" {
+		t.Fatalf("corrupt record should stop replay: %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l, _ := openTemp(t, Options{SegmentSize: 64})
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if err := l.Append(make([]byte, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l); len(got) != 0 {
+		t.Fatalf("records after reset: %v", got)
+	}
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l); len(got) != 1 {
+		t.Fatalf("append after reset: %v", got)
+	}
+	sz, err := l.Size()
+	if err != nil || sz == 0 {
+		t.Errorf("Size = %d, %v", sz, err)
+	}
+}
+
+func TestSyncAndSyncOnAppend(t *testing.T) {
+	l, _ := openTemp(t, Options{SyncOnAppend: true})
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+func TestClosedOperationsFail(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	l.Close()
+	if err := l.Append([]byte("x")); err != ErrClosed {
+		t.Errorf("Append after close: %v", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Errorf("Sync after close: %v", err)
+	}
+	if err := l.Replay(func([]byte) error { return nil }); err != ErrClosed {
+		t.Errorf("Replay after close: %v", err)
+	}
+	if err := l.Reset(); err != ErrClosed {
+		t.Errorf("Reset after close: %v", err)
+	}
+	if _, err := l.Size(); err != ErrClosed {
+		t.Errorf("Size after close: %v", err)
+	}
+	if err := l.Close(); err != ErrClosed {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantErr := fmt.Errorf("stop")
+	n := 0
+	err := l.Replay(func([]byte) error {
+		n++
+		if n == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr || n != 2 {
+		t.Errorf("err=%v n=%d", err, n)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	defer l.Close()
+	if err := l.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l)
+	if len(got) != 1 || got[0] != "" {
+		t.Fatalf("empty payload: %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package workload
+
+// Catalogue data for the SWISS-PROT-style synthetic workload: organisms,
+// protein function terms (sampled Zipfian, s = 1.5, per §6), and the
+// cross-reference databases used for the secondary table.
+
+// Organisms is a sample of species mnemonics in SWISS-PROT style.
+var Organisms = []string{
+	"human", "mouse", "rat", "bovin", "yeast", "ecoli", "drome", "caeel",
+	"arath", "danre", "xenla", "chick", "pig", "rabit", "sheep", "canfa",
+	"felca", "horse", "gorgo", "pantr", "macmu", "soybn", "maize", "orysa",
+	"schpo", "candida", "neucr", "dicdi", "plaf7", "tryb2", "leima", "bacsu",
+	"mycge", "mycpn", "helpy", "haein", "syny3", "aquae", "themar", "deira",
+}
+
+// Functions is a sample of protein function descriptions; update values are
+// drawn from it with a heavy-tailed Zipfian distribution so a few functions
+// dominate, as in curated protein databases.
+var Functions = []string{
+	"atp binding", "dna binding", "rna binding", "zinc ion binding",
+	"metal ion binding", "protein kinase activity", "hydrolase activity",
+	"transferase activity", "oxidoreductase activity", "ligase activity",
+	"isomerase activity", "lyase activity", "gtp binding",
+	"calcium ion binding", "actin binding", "structural molecule activity",
+	"electron transport", "proton transport", "ion transport",
+	"signal transduction", "cell adhesion", "cell cycle regulation",
+	"apoptosis regulation", "immune response", "inflammatory response",
+	"transcription regulation", "translation regulation", "dna repair",
+	"dna replication", "protein folding", "protein transport",
+	"proteolysis", "ubiquitin conjugation", "glycolysis",
+	"gluconeogenesis", "tricarboxylic acid cycle", "fatty acid biosynthesis",
+	"fatty acid oxidation", "amino acid biosynthesis", "nucleotide biosynthesis",
+	"cell wall biogenesis", "lipid metabolism", "carbohydrate metabolism",
+	"cell-metab", "cell-resp", "immune", "photosynthesis",
+	"nitrogen fixation", "chemotaxis", "flagellar motility",
+	"sporulation", "quorum sensing", "antibiotic resistance",
+	"heat shock response", "oxidative stress response", "osmotic regulation",
+	"circadian rhythm", "neurotransmitter secretion", "synaptic transmission",
+	"muscle contraction", "blood coagulation", "complement activation",
+	"antigen presentation", "cytokine activity", "growth factor activity",
+	"hormone activity", "receptor activity", "ion channel activity",
+	"transporter activity", "motor activity", "chaperone activity",
+	"antioxidant activity", "peroxidase activity", "catalase activity",
+	"superoxide dismutase activity", "protease inhibitor activity",
+	"nuclease activity", "helicase activity", "topoisomerase activity",
+	"polymerase activity", "phosphatase activity", "sulfotransferase activity",
+	"methyltransferase activity", "acetyltransferase activity",
+	"glycosyltransferase activity", "carboxylase activity",
+	"decarboxylase activity", "dehydrogenase activity", "reductase activity",
+	"synthase activity", "cyclase activity", "esterase activity",
+	"lipase activity", "amylase activity", "cellulase activity",
+	"chitinase activity", "lysozyme activity", "toxin activity",
+	"storage protein", "structural constituent of ribosome",
+	"extracellular matrix constituent", "viral capsid assembly",
+}
+
+// XRefDBs is a sample of cross-reference database names; each new primary
+// key gains references into a random subset averaging XRefMean entries.
+var XRefDBs = []string{
+	"EMBL", "GenBank", "PIR", "PDB", "RefSeq", "UniGene",
+	"InterPro", "Pfam", "PROSITE", "PRINTS", "KEGG", "GO",
+	"OMIM", "FlyBase", "MGI", "SGD",
+}

@@ -1,0 +1,189 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"orchestra/internal/core"
+	"orchestra/internal/simnet"
+	"orchestra/internal/store"
+	"orchestra/internal/store/central"
+	"orchestra/internal/store/dhtstore"
+)
+
+// System wires a confederation of peers to an update store. It is a
+// convenience for embedding; peers can equally be constructed directly
+// against any Store implementation.
+type System struct {
+	schema  *Schema
+	cs      *central.Store
+	cluster *dhtstore.Cluster
+	net     *simnet.Network
+	peers   map[PeerID]*Peer
+	order   []PeerID
+}
+
+// SystemOption configures NewSystem.
+type SystemOption func(*systemConfig)
+
+type systemConfig struct {
+	dir         string
+	distributed bool
+	latency     time.Duration
+}
+
+// WithStoreDir makes the central store durable in the given directory.
+func WithStoreDir(dir string) SystemOption {
+	return func(c *systemConfig) { c.dir = dir }
+}
+
+// WithDistributedStore uses the DHT-based update store with the given
+// per-message latency (the paper's 500µs if zero). Each added peer joins
+// the overlay as a storage node.
+func WithDistributedStore(latency time.Duration) SystemOption {
+	return func(c *systemConfig) {
+		c.distributed = true
+		c.latency = latency
+	}
+}
+
+// NewSystem builds a system over the schema. By default it uses an
+// in-memory central store.
+func NewSystem(schema *Schema, opts ...SystemOption) (*System, error) {
+	var cfg systemConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sys := &System{schema: schema, peers: make(map[PeerID]*Peer)}
+	if cfg.distributed {
+		lat := cfg.latency
+		if lat <= 0 {
+			lat = simnet.DefaultLatency
+		}
+		sys.net = simnet.NewVirtual(lat)
+		sys.cluster = dhtstore.NewCluster(sys.net)
+		return sys, nil
+	}
+	cs, err := central.Open(schema, cfg.dir)
+	if err != nil {
+		return nil, err
+	}
+	sys.cs = cs
+	return sys, nil
+}
+
+// Schema returns the shared schema.
+func (s *System) Schema() *Schema { return s.schema }
+
+// AddPeer registers a participant with its trust policy and returns its
+// handle.
+func (s *System) AddPeer(id PeerID, t Trust) (*Peer, error) {
+	if _, dup := s.peers[id]; dup {
+		return nil, fmt.Errorf("orchestra: peer %s already exists", id)
+	}
+	var st store.Store
+	if s.cluster != nil {
+		cl, err := s.cluster.AddNode("node-" + string(id))
+		if err != nil {
+			return nil, err
+		}
+		st = cl
+	} else {
+		st = s.cs
+	}
+	p, err := store.NewPeer(context.Background(), id, s.schema, t, st)
+	if err != nil {
+		return nil, err
+	}
+	s.peers[id] = p
+	s.order = append(s.order, id)
+	return p, nil
+}
+
+// Peer returns a participant's handle.
+func (s *System) Peer(id PeerID) (*Peer, bool) {
+	p, ok := s.peers[id]
+	return p, ok
+}
+
+// Peers returns the participants in registration order.
+func (s *System) Peers() []*Peer {
+	out := make([]*Peer, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.peers[id])
+	}
+	return out
+}
+
+// Instances returns all participants' instances (for StateRatio).
+func (s *System) Instances() []*Instance {
+	out := make([]*Instance, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.peers[id].Instance())
+	}
+	return out
+}
+
+// ReconcileAll publishes and reconciles every peer once, in registration
+// order, and returns each peer's result.
+func (s *System) ReconcileAll(ctx context.Context) (map[PeerID]*Result, error) {
+	out := make(map[PeerID]*Result, len(s.order))
+	for _, id := range s.order {
+		res, err := s.peers[id].PublishAndReconcile(ctx)
+		if err != nil {
+			return out, fmt.Errorf("orchestra: reconcile %s: %w", id, err)
+		}
+		out[id] = res
+	}
+	return out, nil
+}
+
+// Messages returns the DHT fabric traffic (0 for the central store).
+func (s *System) Messages() int64 {
+	if s.net == nil {
+		return 0
+	}
+	return s.net.Stats().Messages()
+}
+
+// NetworkLatency returns the total simulated network latency charged so
+// far (0 for the central store).
+func (s *System) NetworkLatency() time.Duration {
+	if s.net == nil {
+		return 0
+	}
+	return s.net.VirtualLatency()
+}
+
+// Close releases the store.
+func (s *System) Close() error {
+	if s.cs != nil {
+		return s.cs.Close()
+	}
+	return nil
+}
+
+// DeferredAcross summarizes, for diagnostics, how many transactions remain
+// deferred at each peer.
+func (s *System) DeferredAcross() map[PeerID]int {
+	out := make(map[PeerID]int, len(s.peers))
+	for id, p := range s.peers {
+		out[id] = len(p.Engine().DeferredIDs())
+	}
+	return out
+}
+
+// SortedPeerIDs returns the registered peer IDs, sorted.
+func (s *System) SortedPeerIDs() []PeerID {
+	out := append([]PeerID(nil), s.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ensure the facade type aliases stay wired (compile-time checks).
+var (
+	_ Trust = core.TrustAll(1)
+	_ Store = (*central.Store)(nil)
+)

@@ -1,0 +1,205 @@
+package orchestra
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSystemCentralQuickstart(t *testing.T) {
+	ctx := context.Background()
+	schema := MustSchema(NewRelation("F", 2, "organism", "protein", "function"))
+	sys, err := NewSystem(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	alice, err := sys.AddPeer("alice", TrustAll(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := sys.AddPeer("bob", TrustOrigins(map[PeerID]int{"alice": 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddPeer("alice", TrustAll(1)); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+
+	if _, err := alice.Edit(Insert("F", Strs("rat", "prot1", "immune"), "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.PublishAndReconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := bob.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 {
+		t.Fatalf("bob accepted %v", res.Accepted)
+	}
+	if got, ok := bob.Instance().Lookup("F", Strs("rat", "prot1")); !ok || got[2].Str() != "immune" {
+		t.Errorf("bob's instance: %v %v", got, ok)
+	}
+
+	if got := StateRatio(sys.Instances(), "F"); got != 1 {
+		t.Errorf("state ratio = %v", got)
+	}
+	if sys.Messages() != 0 || sys.NetworkLatency() != 0 {
+		t.Error("central system should report no network activity")
+	}
+	if p, ok := sys.Peer("alice"); !ok || p != alice {
+		t.Error("Peer lookup")
+	}
+	if len(sys.Peers()) != 2 || len(sys.SortedPeerIDs()) != 2 {
+		t.Error("peer enumeration")
+	}
+	if sys.Schema() != schema {
+		t.Error("Schema accessor")
+	}
+}
+
+func TestSystemDistributed(t *testing.T) {
+	ctx := context.Background()
+	schema := MustSchema(NewRelation("F", 2, "organism", "protein", "function"))
+	sys, err := NewSystem(schema, WithDistributedStore(200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for _, id := range []PeerID{"a", "b", "c"} {
+		if _, err := sys.AddPeer(id, TrustAll(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := sys.Peer("a")
+	if _, err := a.Edit(Insert("F", Strs("rat", "p1", "v"), "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ReconcileAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Messages() == 0 {
+		t.Error("distributed system should generate traffic")
+	}
+	if sys.NetworkLatency() <= 0 {
+		t.Error("latency should be charged")
+	}
+	b, _ := sys.Peer("b")
+	if b.Instance().Len("F") != 1 {
+		t.Errorf("b's instance: %v", b.Instance().Tuples("F"))
+	}
+	if d := sys.DeferredAcross(); d["a"] != 0 || d["b"] != 0 {
+		t.Errorf("deferred = %v", d)
+	}
+}
+
+func TestSystemDurableStore(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	schema := MustSchema(NewRelation("F", 1, "k", "v"))
+
+	sys, err := NewSystem(schema, WithStoreDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sys.AddPeer("a", TrustAll(1))
+	a.Edit(Insert("F", Strs("k1", "v1"), "a"))
+	if _, err := a.PublishAndReconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+
+	// Reopen: a fresh peer imports the recovered history.
+	sys2, err := NewSystem(schema, WithStoreDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	b, err := sys2.AddPeer("b", TrustAll(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 || b.Instance().Len("F") != 1 {
+		t.Errorf("b after recovery: %+v, instance %v", res, b.Instance().Tuples("F"))
+	}
+}
+
+// TestSystemConflictResolutionFlow exercises the full deferral/resolution
+// loop through the public API.
+func TestSystemConflictResolutionFlow(t *testing.T) {
+	ctx := context.Background()
+	schema := MustSchema(NewRelation("F", 2, "organism", "protein", "function"))
+	sys, _ := NewSystem(schema)
+	defer sys.Close()
+	a, _ := sys.AddPeer("a", TrustAll(1))
+	b, _ := sys.AddPeer("b", TrustAll(1))
+	q, _ := sys.AddPeer("q", TrustAll(1))
+
+	a.Edit(Insert("F", Strs("rat", "p1", "va"), "a"))
+	a.PublishAndReconcile(ctx)
+	b.Edit(Insert("F", Strs("rat", "p1", "vb"), "b"))
+	b.PublishAndReconcile(ctx)
+
+	res, err := q.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deferred) != 2 || len(res.Groups) != 1 {
+		t.Fatalf("deferral: %+v", res)
+	}
+	g := q.Engine().ConflictGroups()[0]
+	if _, err := q.Resolve(ctx, g.Conflict, 0); err != nil {
+		t.Fatal(err)
+	}
+	if q.Instance().Len("F") != 1 {
+		t.Errorf("q after resolution: %v", q.Instance().Tuples("F"))
+	}
+	if len(q.Engine().ConflictGroups()) != 0 {
+		t.Error("groups should be cleared")
+	}
+}
+
+func TestTrustPolicyIntegration(t *testing.T) {
+	ctx := context.Background()
+	schema := MustSchema(NewRelation("F", 2, "organism", "protein", "function"))
+	policy, err := ParseTrustPolicy(`
+priority 2 when origin = 'curator' and attr('organism') = 'rat'
+priority 1 when origin = 'curator'
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy.WithSchema(schema)
+
+	sys, _ := NewSystem(schema)
+	defer sys.Close()
+	curator, _ := sys.AddPeer("curator", TrustAll(1))
+	outsider, _ := sys.AddPeer("outsider", TrustAll(1))
+	q, err := sys.AddPeer("q", policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	curator.Edit(Insert("F", Strs("rat", "p1", "v"), "curator"))
+	curator.PublishAndReconcile(ctx)
+	outsider.Edit(Insert("F", Strs("mouse", "p2", "w"), "outsider"))
+	outsider.PublishAndReconcile(ctx)
+
+	res, err := q.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 {
+		t.Fatalf("q accepted %v", res.Accepted)
+	}
+	if q.Instance().Len("F") != 1 {
+		t.Errorf("q's instance: %v", q.Instance().Tuples("F"))
+	}
+}
