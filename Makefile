@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build vet test race verify bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate: build + vet + full test suite under the race
+# detector (the serial-vs-parallel differential tests rely on -race to catch
+# worker-pool data races).
+verify: build vet race
+
+# bench runs every Go benchmark with allocation reporting.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-json regenerates BENCH_core.json, the machine-readable core
+# reconciliation perf baseline future PRs compare against.
+bench-json:
+	$(GO) run ./cmd/orchestra-bench -json BENCH_core.json
+
+clean:
+	$(GO) clean ./...

@@ -177,37 +177,59 @@ func BenchmarkAblationFlatten(b *testing.B) {
 	}
 }
 
+// contendedCandidates wraps workload.ContendedCandidates — the shared
+// contended reconciliation workload also measured by orchestra-bench -json.
+func contendedCandidates(b *testing.B, schema *core.Schema, n int) []*core.Candidate {
+	b.Helper()
+	cands, err := workload.ContendedCandidates(schema, "F", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cands
+}
+
 // BenchmarkEngineReconcile measures the pure reconciliation algorithm:
 // one peer importing n single-insert transactions, half of them mutually
-// conflicting.
+// conflicting, at the default parallelism (GOMAXPROCS).
 func BenchmarkEngineReconcile(b *testing.B) {
 	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
 	for _, n := range []int{10, 100, 500} {
 		b.Run(fmt.Sprintf("txns=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				eng := core.NewEngine("q", schema, core.TrustAll(1))
-				graph := core.NewAntecedentGraph(schema)
-				var cands []*core.Candidate
-				for j := 0; j < n; j++ {
-					key := j / 2 // every two transactions share a key
-					x := core.NewTransaction(core.TxnID{Origin: core.PeerID(fmt.Sprintf("p%d", j)), Seq: 0},
-						core.Insert("F", core.Strs("org", fmt.Sprintf("p%d", key), fmt.Sprintf("f%d", j)), "x"))
-					if err := graph.Add(x); err != nil {
-						b.Fatal(err)
-					}
-					ext, err := graph.Extension(x.ID, nil)
-					if err != nil {
-						b.Fatal(err)
-					}
-					cands = append(cands, &core.Candidate{Txn: x, Priority: 1, Ext: ext})
-				}
+				cands := contendedCandidates(b, schema, n)
 				b.StartTimer()
 				if _, err := eng.Reconcile(cands); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkAblationParallelism sweeps the engine's worker bound over the
+// contended reconciliation workload: workers=1 is the serial escape hatch,
+// higher counts exercise the bounded pool of internal/core/parallel.go.
+// allocs/op tracks the allocation hygiene of the flatten/conflict path.
+func BenchmarkAblationParallelism(b *testing.B) {
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{100, 500} {
+			b.Run(fmt.Sprintf("workers=%d/txns=%d", workers, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					eng := core.NewEngine("q", schema, core.TrustAll(1), core.WithParallelism(workers))
+					cands := contendedCandidates(b, schema, n)
+					b.StartTimer()
+					if _, err := eng.Reconcile(cands); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -269,18 +291,7 @@ func BenchmarkAblationAppendOnlyVsGeneral(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				eng := core.NewEngine("q", schema, core.TrustAll(1))
-				graph := core.NewAntecedentGraph(schema)
-				var cands []*core.Candidate
-				for _, x := range mkBatch(n) {
-					if err := graph.Add(x); err != nil {
-						b.Fatal(err)
-					}
-					ext, err := graph.Extension(x.ID, nil)
-					if err != nil {
-						b.Fatal(err)
-					}
-					cands = append(cands, &core.Candidate{Txn: x, Priority: 1, Ext: ext})
-				}
+				cands := contendedCandidates(b, schema, n)
 				b.StartTimer()
 				if _, err := eng.Reconcile(cands); err != nil {
 					b.Fatal(err)

@@ -8,15 +8,21 @@
 //	orchestra-bench -fig all            # every figure, full trials
 //	orchestra-bench -fig 10 -quick      # one figure, reduced trials
 //	orchestra-bench -cell -peers 25 -store distributed -ri 20
+//	orchestra-bench -json BENCH_core.json   # core perf suite, machine readable
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 	"time"
 
+	"orchestra/internal/core"
 	"orchestra/internal/exp"
+	"orchestra/internal/workload"
 )
 
 func main() {
@@ -30,7 +36,16 @@ func main() {
 	rounds := flag.Int("rounds", 5, "[cell] publish/reconcile rounds per peer")
 	trials := flag.Int("trials", 5, "[cell] trials")
 	storeKind := flag.String("store", "central", "[cell] central|distributed")
+	jsonOut := flag.String("json", "", "run the core reconciliation perf suite and write machine-readable results to this file (e.g. BENCH_core.json)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runCoreSuite(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cell {
 		runCell(*peers, *txnSize, *ri, *rounds, *trials, *storeKind, *seed)
@@ -86,4 +101,82 @@ func runCell(peers, txnSize, ri, rounds, trials int, storeKind string, seed int6
 	fmt.Printf("  local time (/recon):  %s\n", res.PerReconLocal)
 	fmt.Printf("  messages:             %s\n", res.Messages)
 	fmt.Printf("  deferred per peer:    %s\n", res.Deferred)
+}
+
+// coreBenchEntry is one measured cell of the core perf suite.
+type coreBenchEntry struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Txns        int     `json:"txns"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// coreBenchReport is the BENCH_core.json schema; future PRs compare their
+// runs against the committed serial baseline to track the perf trajectory.
+type coreBenchReport struct {
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Workload   string           `json:"workload"`
+	Entries    []coreBenchEntry `json:"entries"`
+}
+
+// runCoreSuite measures Engine.Reconcile on the shared contended workload
+// (workload.ContendedCandidates — the same batch BenchmarkEngineReconcile
+// measures) across worker counts and writes the results as JSON.
+func runCoreSuite(path string) error {
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	report := coreBenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   "contended single-insert batch; every two transactions share a key",
+	}
+	var benchErr error
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{100, 500} {
+			workers, n := workers, n
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					eng := core.NewEngine("q", schema, core.TrustAll(1), core.WithParallelism(workers))
+					cands, err := workload.ContendedCandidates(schema, "F", n)
+					if err != nil {
+						benchErr = err
+						b.Skip(err)
+					}
+					b.StartTimer()
+					if _, err := eng.Reconcile(cands); err != nil {
+						benchErr = err
+						b.Skip(err)
+					}
+				}
+			})
+			if benchErr != nil {
+				return benchErr
+			}
+			e := coreBenchEntry{
+				Name:        fmt.Sprintf("EngineReconcile/workers=%d/txns=%d", workers, n),
+				Workers:     workers,
+				Txns:        n,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			report.Entries = append(report.Entries, e)
+			fmt.Printf("%-40s %12.0f ns/op %10d allocs/op %12d B/op\n",
+				e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

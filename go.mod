@@ -1,0 +1,3 @@
+module orchestra
+
+go 1.24

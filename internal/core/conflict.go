@@ -78,14 +78,15 @@ func UpdatesConflict(s *Schema, a, b Update) []Conflict {
 
 	// Rule 3: same source, different replacement.
 	if a.Op == OpModify && b.Op == OpModify && a.Tuple.Equal(b.Tuple) && !a.New.Equal(b.New) {
-		out = append(out, Conflict{Type: ConflictModifySource, Rel: a.Rel, Value: a.Tuple.Encode()})
+		out = append(out, Conflict{Type: ConflictModifySource, Rel: a.Rel, Value: a.tupleEnc()})
 	}
 
 	// Rule 1: both produce values for the same key with different contents.
 	pa, pb := a.Produces(), b.Produces()
 	if pa != nil && pb != nil {
-		if rel.KeyEnc(pa) == rel.KeyEnc(pb) && !pa.Equal(pb) {
-			out = append(out, Conflict{Type: ConflictKeyValue, Rel: a.Rel, Value: rel.KeyEnc(pa)})
+		pka, pkb := a.producedKeyEnc(rel), b.producedKeyEnc(rel)
+		if pka == pkb && !pa.Equal(pb) {
+			out = append(out, Conflict{Type: ConflictKeyValue, Rel: a.Rel, Value: pka})
 		}
 	}
 
@@ -98,21 +99,30 @@ func UpdatesConflict(s *Schema, a, b Update) []Conflict {
 	return out
 }
 
+// producedKeyEnc returns the key encoding of the tuple value the update
+// produces; the caller has already checked Produces() != nil.
+func (u *Update) producedKeyEnc(rel *Relation) string {
+	if u.Op == OpModify {
+		return u.keyEncNew(rel)
+	}
+	return u.keyEncTuple(rel)
+}
+
 // deleteWriteConflict checks rule 2 with d as the deletion candidate.
 func deleteWriteConflict(rel *Relation, d, w Update) (Conflict, bool) {
 	if d.Op != OpDelete {
 		return Conflict{}, false
 	}
-	dk := rel.KeyEnc(d.Tuple)
+	dk := d.keyEncTuple(rel)
 	switch w.Op {
 	case OpInsert:
-		if rel.KeyEnc(w.Tuple) == dk {
+		if w.keyEncTuple(rel) == dk {
 			return Conflict{Type: ConflictDeleteWrite, Rel: d.Rel, Value: dk}, true
 		}
 	case OpModify:
 		// The replacement consumes the deleted tuple, or produces a tuple
 		// with the deleted key.
-		if w.Tuple.Equal(d.Tuple) || rel.KeyEnc(w.New) == dk || rel.KeyEnc(w.Tuple) == dk {
+		if w.Tuple.Equal(d.Tuple) || w.keyEncNew(rel) == dk || w.keyEncTuple(rel) == dk {
 			return Conflict{Type: ConflictDeleteWrite, Rel: d.Rel, Value: dk}, true
 		}
 	}
@@ -149,23 +159,17 @@ func (ci *conflictIndex) add(u Update) {
 	if !ok {
 		return
 	}
-	seen := map[tupleKey]bool{}
-	addKey := func(t Tuple) {
-		k := tupleKey{rel: u.Rel, enc: rel.KeyEnc(t)}
-		if !seen[k] {
-			seen[k] = true
-			ci.byKey[k] = append(ci.byKey[k], u)
-		}
-	}
 	switch u.Op {
-	case OpInsert:
-		addKey(u.Tuple)
-	case OpDelete:
-		addKey(u.Tuple)
+	case OpInsert, OpDelete:
+		k := tupleKey{rel: u.Rel, enc: u.keyEncTuple(rel)}
+		ci.byKey[k] = append(ci.byKey[k], u)
 	case OpModify:
-		addKey(u.Tuple)
-		addKey(u.New)
-		sk := mkTupleKey(u.Rel, u.Tuple)
+		kt := tupleKey{rel: u.Rel, enc: u.keyEncTuple(rel)}
+		ci.byKey[kt] = append(ci.byKey[kt], u)
+		if kn := (tupleKey{rel: u.Rel, enc: u.keyEncNew(rel)}); kn != kt {
+			ci.byKey[kn] = append(ci.byKey[kn], u)
+		}
+		sk := tupleKey{rel: u.Rel, enc: u.tupleEnc()}
 		ci.bySource[sk] = append(ci.bySource[sk], u)
 	}
 }
@@ -177,17 +181,16 @@ func (ci *conflictIndex) probe(u Update) []Conflict {
 		return nil
 	}
 	var cands []Update
-	addCands := func(t Tuple) {
-		k := tupleKey{rel: u.Rel, enc: rel.KeyEnc(t)}
-		cands = append(cands, ci.byKey[k]...)
-	}
 	switch u.Op {
 	case OpInsert, OpDelete:
-		addCands(u.Tuple)
+		cands = append(cands, ci.byKey[tupleKey{rel: u.Rel, enc: u.keyEncTuple(rel)}]...)
 	case OpModify:
-		addCands(u.Tuple)
-		addCands(u.New)
-		cands = append(cands, ci.bySource[mkTupleKey(u.Rel, u.Tuple)]...)
+		kt := tupleKey{rel: u.Rel, enc: u.keyEncTuple(rel)}
+		cands = append(cands, ci.byKey[kt]...)
+		if kn := (tupleKey{rel: u.Rel, enc: u.keyEncNew(rel)}); kn != kt {
+			cands = append(cands, ci.byKey[kn]...)
+		}
+		cands = append(cands, ci.bySource[tupleKey{rel: u.Rel, enc: u.tupleEnc()}]...)
 	}
 	var out []Conflict
 	dedup := map[Conflict]bool{}

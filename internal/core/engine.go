@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Engine is the client-centric reconciliation engine for one participant.
@@ -14,7 +15,11 @@ import (
 //
 // Engine is not safe for concurrent use; each participant drives its engine
 // from a single goroutine (reconciliation is "done frequently but not in
-// real time, by each specific participant").
+// real time, by each specific participant"). Internally, Reconcile fans the
+// independent per-candidate stages (extension flattening + CheckState, and
+// FindConflicts pair checks) out over a bounded worker pool — see
+// WithParallelism — while the order-sensitive decision and apply loops stay
+// sequential, so decisions are bit-identical at every worker count.
 type Engine struct {
 	peer   PeerID
 	schema *Schema
@@ -45,11 +50,15 @@ type Engine struct {
 
 	recno   int
 	nextSeq uint64
+
+	// par bounds the worker pool for the parallel reconciliation stages;
+	// <= 0 means runtime.GOMAXPROCS(0). See WithParallelism.
+	par int
 }
 
 // NewEngine returns an engine for the participant with an empty instance.
-func NewEngine(peer PeerID, schema *Schema, trust Trust) *Engine {
-	return &Engine{
+func NewEngine(peer PeerID, schema *Schema, trust Trust, opts ...EngineOption) *Engine {
+	e := &Engine{
 		peer:          peer,
 		schema:        schema,
 		trust:         trust,
@@ -62,6 +71,10 @@ func NewEngine(peer PeerID, schema *Schema, trust Trust) *Engine {
 		producers:     make(map[tupleKey]TxnID),
 		localAntes:    make(map[TxnID][]TxnID),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Peer returns the participant's ID.
@@ -92,11 +105,12 @@ func (e *Engine) Rejected(id TxnID) bool { return e.rejected.Has(id) }
 
 // DeferredIDs returns the currently deferred transactions, sorted.
 func (e *Engine) DeferredIDs() []TxnID {
-	s := make(TxnSet, len(e.deferredCands))
+	out := make([]TxnID, 0, len(e.deferredCands))
 	for id := range e.deferredCands {
-		s.Add(id)
+		out = append(out, id)
 	}
-	return s.Sorted()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
 }
 
 // DirtyKeyCount returns the size of the dirty value set.
@@ -181,6 +195,18 @@ func (e *Engine) Reconcile(fresh []*Candidate) (*Result, error) {
 	})
 	res.Stats.Candidates = len(order)
 
+	// Warm the per-update encoding caches from this goroutine before any
+	// parallel stage reads them: extensions share *Transaction pointers
+	// across candidates, so the lazy population must not race. (Stores that
+	// share transactions across peers warm them at ingestion; this pass is
+	// then a cheap no-op that covers direct users of the engine API.)
+	for _, st := range order {
+		st.cand.Txn.PrecomputeEncodings(e.schema)
+		for _, x := range st.cand.Ext {
+			x.PrecomputeEncodings(e.schema)
+		}
+	}
+
 	// The peer's own delta for this recno, used by CheckState line 7.
 	ownDelta, err := Flatten(e.schema, UpdateFootprint(e.ownSince))
 	if err != nil {
@@ -189,19 +215,36 @@ func (e *Engine) Reconcile(fresh []*Candidate) (*Result, error) {
 		return nil, fmt.Errorf("core: flatten own delta: %v", err)
 	}
 
-	// Lines 5-8: flattened update extensions + CheckState.
-	for _, st := range order {
+	// Lines 5-8: flattened update extensions + CheckState. Each candidate is
+	// independent — it reads only the engine's (unmutated) decided sets,
+	// dirty keys, and instance — so the stage fans out across the worker
+	// pool; every worker writes only its own candidateState.
+	workers := e.parallelism(len(order))
+	res.Stats.Workers = workers
+	start := time.Now()
+	parallelFor(workers, len(order), func(i int) {
+		st := order[i]
 		ext := e.filterApplied(st.cand.Ext, st.cand.Txn)
 		st.upEx = NewUpdateExtension(e.schema, st.cand.Txn.ID, ext, st.cand.Priority)
-		res.Stats.ExtensionTxns += len(ext)
-		res.Stats.FlattenedOps += len(st.upEx.Operation)
 		st.decision = e.checkState(st.upEx, ownDelta, st.carried)
+		// Warm the TouchedKeys memo inside the pool so the serial index
+		// build below doesn't pay for it.
+		st.upEx.TouchedKeys(e.schema)
+	})
+	for _, st := range order {
+		res.Stats.ExtensionTxns += len(st.upEx.Source)
+		res.Stats.FlattenedOps += len(st.upEx.Operation)
 	}
+	res.Stats.CheckNanos = time.Since(start).Nanoseconds()
 
 	// Line 9: FindConflicts over the flattened extensions.
+	start = time.Now()
 	conflicts := e.findConflicts(order, &res.Stats)
+	res.Stats.ConflictNanos = time.Since(start).Nanoseconds()
 
-	// Lines 10-12: DoGroup per priority, in decreasing order.
+	// Lines 10-12: DoGroup per priority, in decreasing order. Sequential:
+	// decisions at one priority feed the next.
+	start = time.Now()
 	prios := map[int]bool{}
 	for _, st := range order {
 		prios[st.upEx.Priority] = true
@@ -214,6 +257,7 @@ func (e *Engine) Reconcile(fresh []*Candidate) (*Result, error) {
 	for _, p := range sortedPrios {
 		e.doGroup(p, order, conflicts, states)
 	}
+	res.Stats.GroupNanos = time.Since(start).Nanoseconds()
 
 	// Lines 13-19: record decisions and apply accepted extensions in global
 	// order, recomputing each extension against the Used set.
@@ -225,6 +269,7 @@ func (e *Engine) Reconcile(fresh []*Candidate) (*Result, error) {
 	// final decision sets stay disjoint; rejections from earlier
 	// reconciliations are final (CheckState already rejected any dependent
 	// root before it reached this loop).
+	start = time.Now()
 	used := make(TxnSet)
 	runRejected := make(TxnSet)
 	reject := func(id TxnID) {
@@ -270,11 +315,13 @@ func (e *Engine) Reconcile(fresh []*Candidate) (*Result, error) {
 		}
 	}
 	res.Rejected = runRejected.Sorted()
+	res.Stats.ApplyNanos = time.Since(start).Nanoseconds()
 
 	// Lines 20-21: UpdateSoftState for the deferred set. A transaction
 	// that was applied as part of an accepted dependent's extension in
 	// this very run (its conflicting intermediate state was superseded —
 	// "least interaction") is no longer deferred.
+	start = time.Now()
 	var deferred []*candidateState
 	for _, st := range order {
 		id := st.cand.Txn.ID
@@ -284,6 +331,7 @@ func (e *Engine) Reconcile(fresh []*Candidate) (*Result, error) {
 		}
 	}
 	e.updateSoftState(deferred, res)
+	res.Stats.SoftStateNanos = time.Since(start).Nanoseconds()
 	e.ownSince = nil
 	return res, nil
 }
@@ -384,48 +432,83 @@ func (e *Engine) checkState(upEx *UpdateExtension, ownDelta []Update, carried bo
 	return DecisionAccept
 }
 
+// packPair packs an ordered candidate-index pair (i < j) into one map key;
+// candidate counts are far below 2³², so 32 bits per side suffice.
+func packPair(i, j int) uint64 { return uint64(uint32(i))<<32 | uint64(uint32(j)) }
+
+func unpackPair(p uint64) (i, j int) { return int(p >> 32), int(uint32(p)) }
+
+// enumeratePairs returns the unique candidate pairs that share a touched
+// key, packed via packPair, pruning with an inverted index from touched
+// keys to candidates so only potentially conflicting pairs are emitted.
+// The order is deterministic — ascending in i, and for fixed i following
+// the candidate's TouchedKeys/posting-list order (NOT ascending j) — which
+// is what keeps downstream results identical across runs; dedup uses a
+// packed-uint64 set rather than a map[[2]int]bool.
+func enumeratePairs(schema *Schema, states []*candidateState) []uint64 {
+	byKey := make(map[tupleKey][]int32, len(states))
+	for i, st := range states {
+		for _, k := range st.upEx.TouchedKeys(schema) {
+			byKey[k] = append(byKey[k], int32(i))
+		}
+	}
+	pairSeen := make(map[uint64]struct{})
+	var pairs []uint64
+	for i, st := range states {
+		for _, k := range st.upEx.TouchedKeys(schema) {
+			for _, j32 := range byKey[k] {
+				j := int(j32)
+				if j <= i {
+					continue
+				}
+				p := packPair(i, j)
+				if _, dup := pairSeen[p]; dup {
+					continue
+				}
+				pairSeen[p] = struct{}{}
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	return pairs
+}
+
 // findConflicts implements FindConflicts of Figure 5 over the candidates'
 // flattened update extensions, skipping pairs where one extension subsumes
-// the other. To avoid t² full comparisons it prunes with an inverted index
-// from touched keys to candidates; only candidates sharing a touched key
-// are compared.
+// the other. Pair enumeration runs serially and deterministically
+// (enumeratePairs); the expensive per-pair conflict/subsumption checks fan
+// out across the worker pool, each writing only its own slot of the
+// verdict slice.
 func (e *Engine) findConflicts(order []*candidateState, stats *ReconcileStats) map[TxnID][]*candidateState {
 	conflicts := make(map[TxnID][]*candidateState)
 	if len(order) < 2 {
 		return conflicts
 	}
-	byKey := make(map[tupleKey][]int)
-	for i, st := range order {
-		for _, k := range st.upEx.TouchedKeys(e.schema) {
-			byKey[k] = append(byKey[k], i)
+	pairs := enumeratePairs(e.schema, order)
+	stats.ConflictPairs += len(pairs)
+
+	conflicting := make([]bool, len(pairs))
+	parallelFor(e.parallelism(len(pairs)), len(pairs), func(pi int) {
+		i, j := unpackPair(pairs[pi])
+		si, sj := order[i], order[j]
+		if len(si.upEx.Conflicts(e.schema, sj.upEx)) == 0 {
+			return
 		}
-	}
-	pairSeen := make(map[[2]int]bool)
-	for _, idxs := range byKey {
-		for a := 0; a < len(idxs); a++ {
-			for b := a + 1; b < len(idxs); b++ {
-				i, j := idxs[a], idxs[b]
-				if i > j {
-					i, j = j, i
-				}
-				p := [2]int{i, j}
-				if pairSeen[p] {
-					continue
-				}
-				pairSeen[p] = true
-				stats.ConflictPairs++
-				si, sj := order[i], order[j]
-				if len(si.upEx.Conflicts(e.schema, sj.upEx)) == 0 {
-					continue
-				}
-				if si.upEx.Subsumes(sj.upEx) || sj.upEx.Subsumes(si.upEx) {
-					continue
-				}
-				stats.ConflictsFound++
-				conflicts[si.cand.Txn.ID] = append(conflicts[si.cand.Txn.ID], sj)
-				conflicts[sj.cand.Txn.ID] = append(conflicts[sj.cand.Txn.ID], si)
-			}
+		if si.upEx.Subsumes(sj.upEx) || sj.upEx.Subsumes(si.upEx) {
+			return
 		}
+		conflicting[pi] = true
+	})
+
+	for pi, hit := range conflicting {
+		if !hit {
+			continue
+		}
+		stats.ConflictsFound++
+		i, j := unpackPair(pairs[pi])
+		si, sj := order[i], order[j]
+		conflicts[si.cand.Txn.ID] = append(conflicts[si.cand.Txn.ID], sj)
+		conflicts[sj.cand.Txn.ID] = append(conflicts[sj.cand.Txn.ID], si)
 	}
 	return conflicts
 }

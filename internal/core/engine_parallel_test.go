@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// stripTiming normalizes a Result for serial-vs-parallel comparison: stage
+// latencies and the worker bound legitimately differ; everything else must
+// be byte-identical.
+func stripTiming(r *Result) *Result {
+	cp := *r
+	cp.Stats = cp.Stats.StripTiming()
+	return &cp
+}
+
+// mirroredRun drives the identical randomized multi-peer workload through a
+// serial engine set (WithParallelism(1)) and a parallel engine set
+// (WithParallelism(8)) in lockstep, failing as soon as any per-round Result,
+// instance, or deferred set diverges.
+func mirroredRun(t *testing.T, seed int64, peers, rounds, editsPerRound int) {
+	t.Helper()
+	s := proteinSchema(t)
+	logS, logP := newTestLog(t, s), newTestLog(t, s)
+	engS := make([]*Engine, peers)
+	engP := make([]*Engine, peers)
+	for i := range engS {
+		id := PeerID(fmt.Sprintf("p%d", i))
+		engS[i] = NewEngine(id, s, TrustAll(1), WithParallelism(1))
+		engP[i] = NewEngine(id, s, TrustAll(1), WithParallelism(8))
+	}
+	r := rand.New(rand.NewSource(seed))
+	orgs := []string{"rat", "mouse", "dog"}
+	fns := []string{"a", "b", "c", "d"}
+	for round := 0; round < rounds; round++ {
+		for i := range engS {
+			eS, eP := engS[i], engP[i]
+			for k := 0; k < editsPerRound; k++ {
+				org := orgs[r.Intn(len(orgs))]
+				prot := fmt.Sprintf("prot%d", r.Intn(6))
+				fn := fns[r.Intn(len(fns))]
+				key := Strs(org, prot)
+				var u Update
+				if cur, ok := eS.Instance().Lookup("F", key); ok {
+					switch r.Intn(4) {
+					case 0:
+						u = Delete("F", cur, eS.Peer())
+					default:
+						if cur[2].Str() == fn {
+							continue
+						}
+						u = Modify("F", cur, Strs(org, prot, fn), eS.Peer())
+					}
+				} else {
+					u = Insert("F", Strs(org, prot, fn), eS.Peer())
+				}
+				xS, errS := eS.NewLocalTransaction(u)
+				xP, errP := eP.NewLocalTransaction(u)
+				if (errS == nil) != (errP == nil) {
+					t.Fatalf("seed %d round %d: local txn divergence at %s: serial err=%v, parallel err=%v",
+						seed, round, eS.Peer(), errS, errP)
+				}
+				if errS != nil {
+					continue
+				}
+				logS.publish(xS)
+				logP.publish(xP)
+			}
+			resS := logS.reconcile(eS)
+			resP := logP.reconcile(eP)
+			if !reflect.DeepEqual(stripTiming(resS), stripTiming(resP)) {
+				t.Fatalf("seed %d round %d: result divergence at %s:\nserial:   %+v\nparallel: %+v",
+					seed, round, eS.Peer(), stripTiming(resS), stripTiming(resP))
+			}
+			if !eS.Instance().Equal(eP.Instance()) {
+				t.Fatalf("seed %d round %d: instance divergence at %s", seed, round, eS.Peer())
+			}
+			if !reflect.DeepEqual(eS.DeferredIDs(), eP.DeferredIDs()) {
+				t.Fatalf("seed %d round %d: deferred divergence at %s: %v vs %v",
+					seed, round, eS.Peer(), eS.DeferredIDs(), eP.DeferredIDs())
+			}
+		}
+	}
+	// Drain both sides through conflict resolution (always option 0) and
+	// make sure they stay identical to the end.
+	for i := range engS {
+		eS, eP := engS[i], engP[i]
+		_, errS := eS.ResolveAll(func(*ConflictGroup) int { return 0 })
+		_, errP := eP.ResolveAll(func(*ConflictGroup) int { return 0 })
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("seed %d: ResolveAll divergence at %s: %v vs %v", seed, eS.Peer(), errS, errP)
+		}
+		if !eS.Instance().Equal(eP.Instance()) {
+			t.Fatalf("seed %d: post-resolution instance divergence at %s", seed, eS.Peer())
+		}
+	}
+}
+
+// TestParallelSerialEquivalence: the parallel pipeline makes byte-identical
+// decisions to the serial one across the randomized property-test workloads.
+// Run with -race to also exercise the worker pool for data races.
+func TestParallelSerialEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		mirroredRun(t, seed, 4, 5, 3)
+	}
+}
+
+// TestParallelSerialEquivalenceContended: a high-contention single-key
+// workload where every candidate conflicts with every other, maximizing the
+// pair-check stage.
+func TestParallelSerialEquivalenceContended(t *testing.T) {
+	s := proteinSchema(t)
+	logS, logP := newTestLog(t, s), newTestLog(t, s)
+	qS := NewEngine("q", s, TrustAll(1), WithParallelism(1))
+	qP := NewEngine("q", s, TrustAll(1), WithParallelism(8))
+	for i := 0; i < 40; i++ {
+		p := PeerID(fmt.Sprintf("w%d", i))
+		eS := NewEngine(p, s, TrustAll(1), WithParallelism(1))
+		eP := NewEngine(p, s, TrustAll(1), WithParallelism(8))
+		u := Insert("F", Strs("contended", fmt.Sprintf("prot%d", i%4), fmt.Sprintf("v%d", i)), p)
+		logS.publish(mustLocal(t, eS, u))
+		logP.publish(mustLocal(t, eP, u))
+	}
+	resS := logS.reconcile(qS)
+	resP := logP.reconcile(qP)
+	if !reflect.DeepEqual(stripTiming(resS), stripTiming(resP)) {
+		t.Fatalf("contended divergence:\nserial:   %+v\nparallel: %+v", stripTiming(resS), stripTiming(resP))
+	}
+	if !qS.Instance().Equal(qP.Instance()) {
+		t.Fatal("contended instance divergence")
+	}
+	if resS.Stats.Workers != 1 || resP.Stats.Workers <= 0 {
+		t.Fatalf("worker bounds not recorded: serial %d, parallel %d", resS.Stats.Workers, resP.Stats.Workers)
+	}
+}
+
+// TestParallelForPanicPropagation: a panic inside a worker surfaces on the
+// calling goroutine rather than crashing the process from a bare goroutine.
+func TestParallelForPanicPropagation(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	parallelFor(4, 64, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}
+
+// TestParallelForCoverage: every index is visited exactly once at any
+// worker count.
+func TestParallelForCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		const n = 257
+		hits := make([]int32, n)
+		parallelFor(workers, n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}

@@ -62,15 +62,20 @@ func (ue *UpdateExtension) Subsumes(other *UpdateExtension) bool {
 	return true
 }
 
-// SharedWith returns the set S of transactions present in both extensions.
+// SharedWith returns the set S of transactions present in both extensions,
+// or nil when the extensions are disjoint (no set is allocated then — the
+// common case on the FindConflicts hot path).
 func (ue *UpdateExtension) SharedWith(other *UpdateExtension) TxnSet {
 	a, b := ue.IDs, other.IDs
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	s := make(TxnSet)
+	var s TxnSet
 	for id := range a {
 		if b.Has(id) {
+			if s == nil {
+				s = make(TxnSet)
+			}
 			s.Add(id)
 		}
 	}
@@ -80,14 +85,17 @@ func (ue *UpdateExtension) SharedWith(other *UpdateExtension) TxnSet {
 // Conflicts returns the conflicts between the flattened operations of two
 // extensions, ignoring interactions that stem from transactions shared by
 // both (Definition 4, direct conflict): the flattened footprints are
-// recomputed over Source − S when the extensions overlap.
+// recomputed over Source − S when the extensions overlap. In the common
+// disjoint case no intermediate sets are materialized. Safe for concurrent
+// use on distinct receivers (the parallel conflict stage compares pairs
+// whose TouchedKeys memos were warmed beforehand).
 func (ue *UpdateExtension) Conflicts(s *Schema, other *UpdateExtension) []Conflict {
 	shared := ue.SharedWith(other)
-	opA, opB := ue.Operation, other.Operation
-	if len(shared) > 0 {
-		opA = flattenMinus(s, ue.Source, shared)
-		opB = flattenMinus(s, other.Source, shared)
+	if len(shared) == 0 {
+		return SetsConflict(s, ue.Operation, other.Operation)
 	}
+	opA := flattenMinus(s, ue.Source, shared)
+	opB := flattenMinus(s, other.Source, shared)
 	return SetsConflict(s, opA, opB)
 }
 
@@ -116,30 +124,31 @@ func (ue *UpdateExtension) TouchedKeys(s *Schema) []tupleKey {
 	if ue.touched != nil {
 		return ue.touched
 	}
-	seen := map[tupleKey]bool{}
-	out := []tupleKey{}
-	add := func(rel *Relation, t Tuple) {
-		if t == nil {
-			return
-		}
-		k := tupleKey{rel: rel.Name, enc: rel.KeyEnc(t)}
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, k)
-		}
-	}
 	ops := ue.Operation
 	if ue.malformed != nil {
 		// Fall back to the raw footprint for dirty-key purposes.
 		ops = UpdateFootprint(ue.Source)
 	}
-	for _, u := range ops {
+	seen := make(map[tupleKey]bool, 2*len(ops))
+	out := make([]tupleKey, 0, 2*len(ops))
+	add := func(k tupleKey) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for i := range ops {
+		u := &ops[i]
 		rel, ok := s.Relation(u.Rel)
 		if !ok {
 			continue
 		}
-		add(rel, u.Tuple)
-		add(rel, u.New)
+		if u.Tuple != nil {
+			add(tupleKey{rel: u.Rel, enc: u.keyEncTuple(rel)})
+		}
+		if u.New != nil {
+			add(tupleKey{rel: u.Rel, enc: u.keyEncNew(rel)})
+		}
 	}
 	ue.touched = out
 	return out

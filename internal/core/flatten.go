@@ -3,18 +3,66 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // flattenChain tracks one value chain during delta composition: the value it
 // started from (nil if created by an insert within the sequence), the value
 // it currently holds (nil once deleted), the relation it lives in, and the
-// origin of its last writer.
+// origin of its last writer. Encodings computed while maintaining the chain
+// are carried along so the emitted updates arrive with their encoding caches
+// already populated.
 type flattenChain struct {
-	rel    string
+	rel    *Relation
 	source Tuple
 	cur    Tuple
 	origin PeerID
-	seq    int
+
+	sourceEnc    string // source.Encode()
+	sourceKeyEnc string // rel.KeyEnc(source)
+	curEnc       string // cur.Encode()
+}
+
+// flattenScratch holds the per-call working state of Flatten. Instances are
+// pooled: Flatten runs once per candidate per reconciliation (and again per
+// conflicting pair), so its maps and chain arena are the dominant transient
+// allocation of the pipeline.
+type flattenScratch struct {
+	live  map[tupleKey]*flattenChain
+	dead  map[tupleKey]*flattenChain
+	all   []*flattenChain
+	arena []flattenChain
+}
+
+var flattenPool = sync.Pool{
+	New: func() any {
+		return &flattenScratch{
+			live: make(map[tupleKey]*flattenChain),
+			dead: make(map[tupleKey]*flattenChain),
+		}
+	},
+}
+
+// newChain allocates a chain from the arena. Pointers remain valid across
+// arena growth (older chains stay in the previous backing array).
+func (fs *flattenScratch) newChain(c flattenChain) *flattenChain {
+	fs.arena = append(fs.arena, c)
+	p := &fs.arena[len(fs.arena)-1]
+	fs.all = append(fs.all, p)
+	return p
+}
+
+// release clears the scratch and returns it to the pool. The arena is
+// zeroed, not just truncated, so an idle pooled scratch does not pin the
+// previous call's tuples and encodings.
+func (fs *flattenScratch) release() {
+	clear(fs.live)
+	clear(fs.dead)
+	clear(fs.all)
+	fs.all = fs.all[:0]
+	clear(fs.arena)
+	fs.arena = fs.arena[:0]
+	flattenPool.Put(fs)
 }
 
 // Flatten takes an ordered sequence of updates and produces a set of
@@ -29,22 +77,17 @@ type flattenChain struct {
 // to its source value has no net effect.
 //
 // The schema is needed to compute key projections. The output is sorted
-// deterministically (by relation, then tuple encoding). Flatten returns an
-// error if the sequence is malformed, e.g. a modification would move a chain
-// onto a value already held live by another chain.
+// deterministically (by relation, then tuple encoding) and carries populated
+// encoding caches. Flatten returns an error if the sequence is malformed,
+// e.g. a modification would move a chain onto a value already held live by
+// another chain. It is safe for concurrent use.
 func Flatten(s *Schema, updates []Update) ([]Update, error) {
+	fs := flattenPool.Get().(*flattenScratch)
+	defer fs.release()
 	// live chains indexed by the encoding of their current value; dead
 	// chains indexed by the key of their source value so a later insert
 	// with the same key revives them as a modification.
-	live := make(map[tupleKey]*flattenChain)
-	deadByKey := make(map[tupleKey]*flattenChain)
-	var all []*flattenChain
-
-	newChain := func(c *flattenChain) *flattenChain {
-		c.seq = len(all)
-		all = append(all, c)
-		return c
-	}
+	live, deadByKey := fs.live, fs.dead
 
 	for i, u := range updates {
 		rel, ok := s.Relation(u.Rel)
@@ -53,23 +96,24 @@ func Flatten(s *Schema, updates []Update) ([]Update, error) {
 		}
 		switch u.Op {
 		case OpInsert:
-			vk := mkTupleKey(u.Rel, u.Tuple)
+			vk := tupleKey{rel: u.Rel, enc: u.tupleEnc()}
 			if _, exists := live[vk]; exists {
 				continue // duplicate insert of the same value: idempotent
 			}
-			kk := tupleKey{rel: u.Rel, enc: rel.KeyEnc(u.Tuple)}
+			kk := tupleKey{rel: u.Rel, enc: u.keyEncTuple(rel)}
 			if dc, ok := deadByKey[kk]; ok {
 				// −t then +t′ with the same key: revive as source→t′.
 				delete(deadByKey, kk)
 				dc.cur = u.Tuple
+				dc.curEnc = vk.enc
 				dc.origin = u.Origin
 				live[vk] = dc
 				continue
 			}
-			live[vk] = newChain(&flattenChain{rel: u.Rel, cur: u.Tuple, origin: u.Origin})
+			live[vk] = fs.newChain(flattenChain{rel: rel, cur: u.Tuple, curEnc: vk.enc, origin: u.Origin})
 		case OpModify:
-			srcK := mkTupleKey(u.Rel, u.Tuple)
-			dstK := mkTupleKey(u.Rel, u.New)
+			srcK := tupleKey{rel: u.Rel, enc: u.tupleEnc()}
+			dstK := tupleKey{rel: u.Rel, enc: u.newEnc()}
 			if srcK == dstK {
 				continue // identity modification: no net effect
 			}
@@ -79,46 +123,66 @@ func Flatten(s *Schema, updates []Update) ([]Update, error) {
 			if c, ok := live[srcK]; ok {
 				delete(live, srcK)
 				c.cur = u.New
+				c.curEnc = dstK.enc
 				c.origin = u.Origin
 				live[dstK] = c
 				continue
 			}
-			live[dstK] = newChain(&flattenChain{rel: u.Rel, source: u.Tuple, cur: u.New, origin: u.Origin})
+			live[dstK] = fs.newChain(flattenChain{
+				rel: rel, source: u.Tuple, cur: u.New, origin: u.Origin,
+				sourceEnc: srcK.enc, sourceKeyEnc: u.keyEncTuple(rel), curEnc: dstK.enc,
+			})
 		case OpDelete:
-			vk := mkTupleKey(u.Rel, u.Tuple)
+			vk := tupleKey{rel: u.Rel, enc: u.tupleEnc()}
 			if c, ok := live[vk]; ok {
 				delete(live, vk)
 				c.cur = nil
+				c.curEnc = ""
 				c.origin = u.Origin
 				if c.source == nil {
 					continue // insert followed by delete: the chain vanishes
 				}
-				kk := tupleKey{rel: u.Rel, enc: rel.KeyEnc(c.source)}
+				kk := tupleKey{rel: u.Rel, enc: c.sourceKeyEnc}
 				deadByKey[kk] = c
 				continue
 			}
-			kk := tupleKey{rel: u.Rel, enc: rel.KeyEnc(u.Tuple)}
+			kk := tupleKey{rel: u.Rel, enc: u.keyEncTuple(rel)}
 			if _, dup := deadByKey[kk]; dup {
 				continue // repeated delete with the same source key: idempotent
 			}
-			deadByKey[kk] = newChain(&flattenChain{rel: u.Rel, source: u.Tuple, origin: u.Origin})
+			deadByKey[kk] = fs.newChain(flattenChain{
+				rel: rel, source: u.Tuple, origin: u.Origin,
+				sourceEnc: vk.enc, sourceKeyEnc: kk.enc,
+			})
 		default:
 			return nil, fmt.Errorf("core: flatten: update %d has unknown op %d", i, u.Op)
 		}
 	}
 
-	out := make([]Update, 0, len(all))
-	for _, c := range all {
+	out := make([]Update, 0, len(fs.all))
+	for _, c := range fs.all {
 		switch {
 		case c.source == nil && c.cur != nil:
-			out = append(out, Update{Op: OpInsert, Rel: c.rel, Tuple: c.cur, Origin: c.origin})
+			out = append(out, Update{
+				Op: OpInsert, Rel: c.rel.Name, Tuple: c.cur, Origin: c.origin,
+				enc: &updateEnc{tuple: c.curEnc, keyT: c.rel.KeyEnc(c.cur)},
+			})
 		case c.source != nil && c.cur != nil:
 			if c.source.Equal(c.cur) {
 				continue // chain returned to its source: no net effect
 			}
-			out = append(out, Update{Op: OpModify, Rel: c.rel, Tuple: c.source, New: c.cur, Origin: c.origin})
+			out = append(out, Update{
+				Op: OpModify, Rel: c.rel.Name, Tuple: c.source, New: c.cur, Origin: c.origin,
+				enc: &updateEnc{
+					tuple: c.sourceEnc, newt: c.curEnc,
+					keyT: c.sourceKeyEnc, keyN: c.rel.KeyEnc(c.cur),
+				},
+			})
 		case c.source != nil && c.cur == nil:
-			out = append(out, Update{Op: OpDelete, Rel: c.rel, Tuple: c.source, Origin: c.origin})
+			out = append(out, Update{
+				Op: OpDelete, Rel: c.rel.Name, Tuple: c.source, Origin: c.origin,
+				enc: &updateEnc{tuple: c.sourceEnc, keyT: c.sourceKeyEnc},
+			})
 		}
 	}
 	sortUpdates(out)
@@ -136,20 +200,21 @@ func MustFlatten(s *Schema, updates []Update) []Update {
 }
 
 // sortUpdates orders updates deterministically: by relation, tuple encoding,
-// op, then replacement encoding.
+// op, then replacement encoding. It uses the per-update encoding caches when
+// present, so the comparator does not re-encode tuples on every comparison.
 func sortUpdates(us []Update) {
 	sort.Slice(us, func(i, j int) bool {
-		a, b := us[i], us[j]
+		a, b := &us[i], &us[j]
 		if a.Rel != b.Rel {
 			return a.Rel < b.Rel
 		}
-		ae, be := a.Tuple.Encode(), b.Tuple.Encode()
+		ae, be := a.tupleEnc(), b.tupleEnc()
 		if ae != be {
 			return ae < be
 		}
 		if a.Op != b.Op {
 			return a.Op < b.Op
 		}
-		return a.New.Encode() < b.New.Encode()
+		return a.newEnc() < b.newEnc()
 	})
 }

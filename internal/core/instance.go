@@ -163,36 +163,36 @@ func (in *Instance) Compatible(u Update) error {
 		if err := rel.Validate(u.Tuple); err != nil {
 			return incompat(u, "%v", err)
 		}
-		if cur, exists := in.lookupEnc(u.Rel, rel.KeyEnc(u.Tuple)); exists && !cur.Equal(u.Tuple) {
+		if cur, exists := in.lookupEnc(u.Rel, u.keyEncTuple(rel)); exists && !cur.Equal(u.Tuple) {
 			return incompat(u, "key already bound to %s", cur)
 		}
 		return in.checkForeignKeys(rel, u, u.Tuple)
 	case OpDelete:
-		cur, exists := in.lookupEnc(u.Rel, rel.KeyEnc(u.Tuple))
+		cur, exists := in.lookupEnc(u.Rel, u.keyEncTuple(rel))
 		if !exists {
 			return incompat(u, "tuple absent")
 		}
 		if !cur.Equal(u.Tuple) {
 			return incompat(u, "key bound to different value %s", cur)
 		}
-		return in.checkNotReferenced(rel, u, u.Tuple)
+		return in.checkNotReferenced(rel, u, u.keyEncTuple(rel))
 	case OpModify:
 		if err := rel.Validate(u.New); err != nil {
 			return incompat(u, "%v", err)
 		}
-		cur, exists := in.lookupEnc(u.Rel, rel.KeyEnc(u.Tuple))
+		cur, exists := in.lookupEnc(u.Rel, u.keyEncTuple(rel))
 		if !exists {
 			return incompat(u, "source tuple absent")
 		}
 		if !cur.Equal(u.Tuple) {
 			return incompat(u, "source key bound to different value %s", cur)
 		}
-		oldKey, newKey := rel.KeyEnc(u.Tuple), rel.KeyEnc(u.New)
+		oldKey, newKey := u.keyEncTuple(rel), u.keyEncNew(rel)
 		if oldKey != newKey {
 			if clash, exists := in.lookupEnc(u.Rel, newKey); exists {
 				return incompat(u, "replacement key already bound to %s", clash)
 			}
-			if err := in.checkNotReferenced(rel, u, u.Tuple); err != nil {
+			if err := in.checkNotReferenced(rel, u, oldKey); err != nil {
 				return err
 			}
 		}
@@ -213,14 +213,14 @@ func (in *Instance) checkForeignKeys(rel *Relation, u Update, t Tuple) error {
 	return nil
 }
 
-// checkNotReferenced verifies that removing tuple t from rel leaves no
-// dangling references from other relations.
-func (in *Instance) checkNotReferenced(rel *Relation, u Update, t Tuple) error {
+// checkNotReferenced verifies that removing the tuple with the given key
+// encoding from rel leaves no dangling references from other relations.
+func (in *Instance) checkNotReferenced(rel *Relation, u Update, keyEnc string) error {
 	refs := in.fkCount[rel.Name]
 	if refs == nil {
 		return nil
 	}
-	if n := refs[rel.KeyEnc(t)]; n > 0 {
+	if n := refs[keyEnc]; n > 0 {
 		return incompat(u, "key referenced by %d tuple(s)", n)
 	}
 	return nil
@@ -241,17 +241,17 @@ func (in *Instance) applyUnchecked(u Update) {
 	rel := in.schema.MustRelation(u.Rel)
 	switch u.Op {
 	case OpInsert:
-		in.put(rel, u.Tuple)
+		in.put(rel, u.Tuple, u.keyEncTuple(rel))
 	case OpDelete:
-		in.del(rel, u.Tuple)
+		in.del(rel, u.Tuple, u.keyEncTuple(rel))
 	case OpModify:
-		in.del(rel, u.Tuple)
-		in.put(rel, u.New)
+		in.del(rel, u.Tuple, u.keyEncTuple(rel))
+		in.put(rel, u.New, u.keyEncNew(rel))
 	}
 }
 
-func (in *Instance) put(rel *Relation, t Tuple) {
-	in.rels[rel.Name][rel.KeyEnc(t)] = t
+func (in *Instance) put(rel *Relation, t Tuple, keyEnc string) {
+	in.rels[rel.Name][keyEnc] = t
 	for _, fk := range rel.ForeignKeys {
 		m := in.fkCount[fk.RefRel]
 		if m == nil {
@@ -262,8 +262,8 @@ func (in *Instance) put(rel *Relation, t Tuple) {
 	}
 }
 
-func (in *Instance) del(rel *Relation, t Tuple) {
-	delete(in.rels[rel.Name], rel.KeyEnc(t))
+func (in *Instance) del(rel *Relation, t Tuple, keyEnc string) {
+	delete(in.rels[rel.Name], keyEnc)
 	for _, fk := range rel.ForeignKeys {
 		if m := in.fkCount[fk.RefRel]; m != nil {
 			enc := t.Project(fk.Attrs).Encode()
@@ -358,7 +358,7 @@ func (ov *overlay) apply(u Update) error {
 		if err := rel.Validate(u.Tuple); err != nil {
 			return incompat(u, "%v", err)
 		}
-		keyEnc := rel.KeyEnc(u.Tuple)
+		keyEnc := u.keyEncTuple(rel)
 		if cur, exists := ov.lookup(u.Rel, keyEnc); exists {
 			if cur.Equal(u.Tuple) {
 				return nil // idempotent
@@ -372,7 +372,7 @@ func (ov *overlay) apply(u Update) error {
 		ov.bumpRefs(rel, u.Tuple, 1)
 		return nil
 	case OpDelete:
-		keyEnc := rel.KeyEnc(u.Tuple)
+		keyEnc := u.keyEncTuple(rel)
 		cur, exists := ov.lookup(u.Rel, keyEnc)
 		if !exists {
 			return incompat(u, "tuple absent")
@@ -390,7 +390,7 @@ func (ov *overlay) apply(u Update) error {
 		if err := rel.Validate(u.New); err != nil {
 			return incompat(u, "%v", err)
 		}
-		oldKey, newKey := rel.KeyEnc(u.Tuple), rel.KeyEnc(u.New)
+		oldKey, newKey := u.keyEncTuple(rel), u.keyEncNew(rel)
 		cur, exists := ov.lookup(u.Rel, oldKey)
 		if !exists {
 			return incompat(u, "source tuple absent")

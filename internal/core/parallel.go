@@ -1,0 +1,107 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// EngineOption configures an Engine at construction time.
+type EngineOption func(*Engine)
+
+// WithParallelism bounds the engine's worker pool to n workers for the
+// embarrassingly parallel reconciliation stages (per-candidate extension
+// flattening + CheckState, and FindConflicts pair checks). n <= 0 restores
+// the default, runtime.GOMAXPROCS(0). WithParallelism(1) runs every stage
+// inline on the calling goroutine — the serial escape hatch used by the
+// differential tests; decisions are identical at every worker count, only
+// wall-clock changes.
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) { e.par = n }
+}
+
+// parallelism resolves the worker count for a stage of n independent items.
+func (e *Engine) parallelism(n int) int {
+	w := e.par
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines (the caller's goroutine counts as one). Work is handed out in
+// contiguous chunks via an atomic cursor, so idle workers steal the
+// remainder of uneven stages. fn must not touch shared mutable state; a
+// panic in any worker is re-raised on the calling goroutine.
+//
+// workers <= 1 (or n <= 1) degrades to a plain loop with no goroutines and
+// no synchronization — the serial mode is not merely "parallel with one
+// worker", it is the untouched sequential code path.
+func parallelFor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		cursor   atomic.Int64
+		panicked atomic.Pointer[panicBox]
+		wg       sync.WaitGroup
+	)
+	body := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &panicBox{val: r})
+			}
+		}()
+		for {
+			hi := cursor.Add(int64(chunk))
+			lo := hi - int64(chunk)
+			if lo >= int64(n) {
+				return
+			}
+			if hi > int64(n) {
+				hi = int64(n)
+			}
+			for i := lo; i < hi; i++ {
+				if panicked.Load() != nil {
+					return
+				}
+				fn(int(i))
+			}
+		}
+	}
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			body()
+		}()
+	}
+	body()
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
+}
+
+// panicBox carries a recovered panic value across goroutines.
+type panicBox struct{ val any }

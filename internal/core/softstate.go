@@ -58,30 +58,11 @@ func (e *Engine) updateSoftState(deferred []*candidateState, res *Result) {
 		cs   []Conflict
 	}
 	var pairs []pairConflict
-	byKey := make(map[tupleKey][]int)
-	for i, st := range deferred {
-		for _, k := range st.upEx.TouchedKeys(e.schema) {
-			byKey[k] = append(byKey[k], i)
-		}
-	}
-	pairSeen := make(map[[2]int]bool)
-	for _, idxs := range byKey {
-		for a := 0; a < len(idxs); a++ {
-			for b := a + 1; b < len(idxs); b++ {
-				i, j := idxs[a], idxs[b]
-				if i > j {
-					i, j = j, i
-				}
-				pk := [2]int{i, j}
-				if pairSeen[pk] {
-					continue
-				}
-				pairSeen[pk] = true
-				cs := deferred[i].upEx.Conflicts(e.schema, deferred[j].upEx)
-				if len(cs) > 0 {
-					pairs = append(pairs, pairConflict{a: deferred[i], b: deferred[j], cs: cs})
-				}
-			}
+	for _, pk := range enumeratePairs(e.schema, deferred) {
+		i, j := unpackPair(pk)
+		cs := deferred[i].upEx.Conflicts(e.schema, deferred[j].upEx)
+		if len(cs) > 0 {
+			pairs = append(pairs, pairConflict{a: deferred[i], b: deferred[j], cs: cs})
 		}
 	}
 
@@ -149,10 +130,20 @@ func (e *Engine) updateSoftState(deferred []*candidateState, res *Result) {
 	})
 	for _, c := range conflictKeys {
 		members := groupTxns[c]
+		// Iterate members in sorted ID order: the Effect string of an option
+		// is taken from the first member that introduces its signature, so a
+		// deterministic visit order keeps Results byte-identical across runs
+		// (and between the serial and parallel pipelines).
+		memberIDs := make([]TxnID, 0, len(members))
+		for id := range members {
+			memberIDs = append(memberIDs, id)
+		}
+		sort.Slice(memberIDs, func(i, j int) bool { return memberIDs[i].Less(memberIDs[j]) })
 		bySig := make(map[string]*Option)
 		optMembers := make(map[string]TxnSet)
 		var sigOrder []string
-		for id, st := range members {
+		for _, id := range memberIDs {
+			st := members[id]
 			sig, effect := e.modificationSignature(c, st.upEx)
 			opt := bySig[sig]
 			if opt == nil {

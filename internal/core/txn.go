@@ -42,6 +42,10 @@ type Transaction struct {
 	// sequence ∆, assigned by the update store; it totally orders all
 	// published transactions and respects Epoch.
 	Order uint64
+
+	// encDone records that every update's encoding cache has been populated
+	// (see Update.cacheEnc); set by Validate and PrecomputeEncodings.
+	encDone bool
 }
 
 // NewTransaction builds an unpublished transaction. Each update's origin is
@@ -57,7 +61,8 @@ func NewTransaction(id TxnID, updates ...Update) *Transaction {
 }
 
 // Validate checks every update against the schema and that the transaction
-// is non-empty.
+// is non-empty. As a side effect it populates each update's encoding cache,
+// so the reconciliation hot path never re-encodes validated tuples.
 func (x *Transaction) Validate(s *Schema) error {
 	if len(x.Updates) == 0 {
 		return fmt.Errorf("core: transaction %s is empty", x.ID)
@@ -70,7 +75,28 @@ func (x *Transaction) Validate(s *Schema) error {
 			return fmt.Errorf("core: transaction %s: update %d: %w", x.ID, i, err)
 		}
 	}
+	x.PrecomputeEncodings(s)
 	return nil
+}
+
+// PrecomputeEncodings populates the encoding caches of the transaction's
+// updates. Idempotent but not synchronized: it mutates the transaction, so
+// it must not race with other readers or writers. Each engine warms its
+// candidates from its own goroutine before fanning work out to the worker
+// pool; an update store that hands the *same* *Transaction pointers to
+// multiple peers (e.g. the in-memory central store) must warm them once at
+// ingestion, under its own lock, so concurrently reconciling peers only
+// ever observe a fully populated cache.
+func (x *Transaction) PrecomputeEncodings(s *Schema) {
+	if x.encDone {
+		return
+	}
+	for i := range x.Updates {
+		if rel, ok := s.Relation(x.Updates[i].Rel); ok {
+			x.Updates[i].cacheEnc(rel)
+		}
+	}
+	x.encDone = true
 }
 
 // Clone returns a deep-enough copy (updates slice is copied; tuples are

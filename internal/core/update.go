@@ -40,6 +40,71 @@ type Update struct {
 	Tuple  Tuple
 	New    Tuple // only for OpModify
 	Origin PeerID
+
+	// enc caches the canonical encodings the reconciliation hot path needs
+	// (full tuple encodings and key projections under the shared schema Σ).
+	// It is populated once — at transaction validation or when Flatten emits
+	// the update — and shared by copies of the update; it is never mutated
+	// afterwards, so concurrent readers are safe. A nil enc means "compute
+	// on demand". The cache is ignored by Equal, String, and gob encoding.
+	enc *updateEnc
+}
+
+// updateEnc is the per-update encoding cache; see Update.enc.
+type updateEnc struct {
+	tuple string // Tuple.Encode()
+	newt  string // New.Encode() ("" when New is nil)
+	keyT  string // rel.KeyEnc(Tuple)
+	keyN  string // rel.KeyEnc(New) ("" when New is nil)
+}
+
+// cacheEnc populates the encoding cache. rel must be the relation the update
+// targets under the shared schema. It is idempotent and must not race with
+// readers; callers populate it from a single goroutine before the update
+// reaches the parallel pipeline stages.
+func (u *Update) cacheEnc(rel *Relation) {
+	if u.enc != nil {
+		return
+	}
+	e := &updateEnc{tuple: u.Tuple.Encode(), keyT: rel.KeyEnc(u.Tuple)}
+	if u.New != nil {
+		e.newt = u.New.Encode()
+		e.keyN = rel.KeyEnc(u.New)
+	}
+	u.enc = e
+}
+
+// tupleEnc returns Tuple's canonical encoding, cached when available.
+func (u *Update) tupleEnc() string {
+	if u.enc != nil {
+		return u.enc.tuple
+	}
+	return u.Tuple.Encode()
+}
+
+// newEnc returns New's canonical encoding ("" for nil), cached when
+// available.
+func (u *Update) newEnc() string {
+	if u.enc != nil {
+		return u.enc.newt
+	}
+	return u.New.Encode()
+}
+
+// keyEncTuple returns rel.KeyEnc(Tuple), cached when available.
+func (u *Update) keyEncTuple(rel *Relation) string {
+	if u.enc != nil {
+		return u.enc.keyT
+	}
+	return rel.KeyEnc(u.Tuple)
+}
+
+// keyEncNew returns rel.KeyEnc(New), cached when available.
+func (u *Update) keyEncNew(rel *Relation) string {
+	if u.enc != nil {
+		return u.enc.keyN
+	}
+	return rel.KeyEnc(u.New)
 }
 
 // Insert builds +rel(t; origin).

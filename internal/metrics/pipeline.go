@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"orchestra/internal/core"
+)
+
+// Pipeline aggregates reconciliation-pipeline counters across peers and
+// rounds: how much work each Figure 4/5 stage did, how long each stage took,
+// and how many reconciliations were in flight concurrently. All methods are
+// safe for concurrent use — the System layer observes results from the
+// fan-out goroutines of ReconcileAll.
+type Pipeline struct {
+	reconciles     atomic.Int64
+	candidates     atomic.Int64
+	conflictPairs  atomic.Int64
+	conflictsFound atomic.Int64
+	appliedUpdates atomic.Int64
+
+	checkNanos     atomic.Int64
+	conflictNanos  atomic.Int64
+	groupNanos     atomic.Int64
+	applyNanos     atomic.Int64
+	softStateNanos atomic.Int64
+
+	busy     atomic.Int64 // reconciliations currently in flight
+	busyPeak atomic.Int64 // high-water mark of busy
+}
+
+// Observe folds one reconciliation result into the counters.
+func (p *Pipeline) Observe(res *core.Result) {
+	if res == nil {
+		return
+	}
+	s := res.Stats
+	p.reconciles.Add(1)
+	p.candidates.Add(int64(s.Candidates))
+	p.conflictPairs.Add(int64(s.ConflictPairs))
+	p.conflictsFound.Add(int64(s.ConflictsFound))
+	p.appliedUpdates.Add(int64(s.AppliedUpdates))
+	p.checkNanos.Add(s.CheckNanos)
+	p.conflictNanos.Add(s.ConflictNanos)
+	p.groupNanos.Add(s.GroupNanos)
+	p.applyNanos.Add(s.ApplyNanos)
+	p.softStateNanos.Add(s.SoftStateNanos)
+}
+
+// WorkerStart marks one reconciliation as in flight and returns a done
+// function; call it when the reconciliation finishes. The busy gauge and its
+// peak let operators see how much of the configured fan-out is used.
+func (p *Pipeline) WorkerStart() (done func()) {
+	n := p.busy.Add(1)
+	for {
+		peak := p.busyPeak.Load()
+		if n <= peak || p.busyPeak.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	return func() { p.busy.Add(-1) }
+}
+
+// PipelineSnapshot is a point-in-time copy of the pipeline counters.
+type PipelineSnapshot struct {
+	Reconciles     int64
+	Candidates     int64
+	ConflictPairs  int64
+	ConflictsFound int64
+	AppliedUpdates int64
+
+	CheckTime     time.Duration // flatten + CheckState (Figure 4 lines 5-8)
+	ConflictTime  time.Duration // FindConflicts (line 9)
+	GroupTime     time.Duration // DoGroup (lines 10-12)
+	ApplyTime     time.Duration // decision + apply loop (lines 13-19)
+	SoftStateTime time.Duration // UpdateSoftState (lines 20-21)
+
+	WorkersBusy     int64 // reconciliations in flight right now
+	WorkersBusyPeak int64 // high-water mark since the counters were created
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each field is
+// read atomically; the set is not a single linearization point).
+func (p *Pipeline) Snapshot() PipelineSnapshot {
+	return PipelineSnapshot{
+		Reconciles:      p.reconciles.Load(),
+		Candidates:      p.candidates.Load(),
+		ConflictPairs:   p.conflictPairs.Load(),
+		ConflictsFound:  p.conflictsFound.Load(),
+		AppliedUpdates:  p.appliedUpdates.Load(),
+		CheckTime:       time.Duration(p.checkNanos.Load()),
+		ConflictTime:    time.Duration(p.conflictNanos.Load()),
+		GroupTime:       time.Duration(p.groupNanos.Load()),
+		ApplyTime:       time.Duration(p.applyNanos.Load()),
+		SoftStateTime:   time.Duration(p.softStateNanos.Load()),
+		WorkersBusy:     p.busy.Load(),
+		WorkersBusyPeak: p.busyPeak.Load(),
+	}
+}
+
+// String renders the snapshot as a compact one-line summary.
+func (s PipelineSnapshot) String() string {
+	return fmt.Sprintf(
+		"reconciles=%d candidates=%d pairs=%d conflicts=%d applied=%d check=%s findconf=%s group=%s apply=%s soft=%s busy=%d peak=%d",
+		s.Reconciles, s.Candidates, s.ConflictPairs, s.ConflictsFound, s.AppliedUpdates,
+		s.CheckTime, s.ConflictTime, s.GroupTime, s.ApplyTime, s.SoftStateTime,
+		s.WorkersBusy, s.WorkersBusyPeak)
+}

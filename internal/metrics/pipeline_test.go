@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"orchestra/internal/core"
+)
+
+func TestPipelineObserve(t *testing.T) {
+	var p Pipeline
+	res := &core.Result{}
+	res.Stats.Candidates = 3
+	res.Stats.ConflictPairs = 2
+	res.Stats.ConflictsFound = 1
+	res.Stats.AppliedUpdates = 5
+	res.Stats.CheckNanos = 100
+	res.Stats.ConflictNanos = 50
+	p.Observe(res)
+	p.Observe(nil) // must be a no-op
+	s := p.Snapshot()
+	if s.Reconciles != 1 || s.Candidates != 3 || s.ConflictPairs != 2 ||
+		s.ConflictsFound != 1 || s.AppliedUpdates != 5 {
+		t.Errorf("snapshot counters: %+v", s)
+	}
+	if s.CheckTime != 100 || s.ConflictTime != 50 {
+		t.Errorf("snapshot stage times: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestPipelineBusyGauge(t *testing.T) {
+	var p Pipeline
+	const n = 8
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done := p.WorkerStart()
+			<-gate
+			done()
+		}()
+	}
+	// Wait until all workers have registered, then release them.
+	for p.Snapshot().WorkersBusy != n {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	s := p.Snapshot()
+	if s.WorkersBusy != 0 {
+		t.Errorf("busy = %d after all done", s.WorkersBusy)
+	}
+	if s.WorkersBusyPeak != n {
+		t.Errorf("peak = %d, want %d", s.WorkersBusyPeak, n)
+	}
+}

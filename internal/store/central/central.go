@@ -188,6 +188,9 @@ func (s *Store) loadCaches() error {
 				scanErr = err
 				return false
 			}
+			// Gob decoding drops the unexported caches; re-warm before the
+			// recovered transactions are shared across reconciling peers.
+			pub.Txn.PrecomputeEncodings(s.schema)
 			en := &entry{pub: pub, epoch: core.Epoch(r[3].I())}
 			s.txns[pub.Txn.ID] = en
 			s.ordered = append(s.ordered, en)
@@ -328,6 +331,10 @@ func (s *Store) PublishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 		return err
 	}
 	for _, pt := range txns {
+		// Warm the encoding caches under the store mutex: BeginReconciliation
+		// hands these *Transaction pointers to every peer, and concurrently
+		// reconciling engines must never lazily populate a shared cache.
+		pt.Txn.PrecomputeEncodings(s.schema)
 		en := &entry{pub: pt, epoch: epoch}
 		s.txns[pt.Txn.ID] = en
 		s.ordered = append(s.ordered, en)

@@ -28,6 +28,25 @@
 // Each peer ends with its own internally consistent instance; conflicting
 // updates of equal priority are deferred into conflict groups that the
 // user resolves with Peer.Resolve.
+//
+// # Reconciliation pipeline
+//
+// Reconciliation is executed as a concurrent, allocation-lean pipeline.
+// Inside a single engine, the embarrassingly parallel stages of Figure 4 —
+// per-candidate extension flattening + CheckState, and the FindConflicts
+// pair checks — fan out over a bounded worker pool, while the
+// order-sensitive decision/apply loop stays sequential, so decisions are
+// bit-identical at every worker count; WithParallelism(1) is the serial
+// escape hatch (the default bound is GOMAXPROCS). Across engines,
+// System.ReconcileAll publishes every peer and then reconciles every peer
+// concurrently (engines are single-owner, stores are safe for concurrent
+// use), bounded by WithReconcileFanOut — the bound changes concurrency,
+// never semantics; WithInterleavedReconcile restores the historical
+// strictly sequential registration-order pass. System.Pipeline exposes
+// aggregated stage latencies, work counters, and the fan-out busy gauge.
+// The hot path avoids re-encoding tuples (encodings are cached per update
+// at validation time) and recycles flattening scratch state through a
+// sync.Pool.
 package orchestra
 
 import (
@@ -68,6 +87,15 @@ type (
 	Instance = core.Instance
 	// Engine is the client-centric reconciliation engine.
 	Engine = core.Engine
+	// EngineOption configures an Engine (e.g. WithParallelism).
+	EngineOption = core.EngineOption
+	// ReconcileStats counts the work done by one reconciliation, including
+	// per-stage pipeline latencies.
+	ReconcileStats = core.ReconcileStats
+	// Pipeline aggregates reconciliation-pipeline counters across peers.
+	Pipeline = metrics.Pipeline
+	// PipelineSnapshot is a point-in-time copy of pipeline counters.
+	PipelineSnapshot = metrics.PipelineSnapshot
 	// Trust evaluates a participant's acceptance rules.
 	Trust = core.Trust
 	// Decision is a reconciliation outcome (accept, reject, defer).
@@ -149,6 +177,16 @@ var (
 	Delete = core.Delete
 	// Modify builds rel(old→new; origin).
 	Modify = core.Modify
+)
+
+// Engine construction and tuning.
+var (
+	// NewEngine builds a standalone reconciliation engine (System.AddPeer
+	// constructs one implicitly per peer).
+	NewEngine = core.NewEngine
+	// WithParallelism bounds the engine's worker pool for the parallel
+	// reconciliation stages; 1 forces fully serial execution.
+	WithParallelism = core.WithParallelism
 )
 
 // Trust policy constructors.

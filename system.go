@@ -2,11 +2,15 @@ package orchestra
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"orchestra/internal/core"
+	"orchestra/internal/metrics"
 	"orchestra/internal/simnet"
 	"orchestra/internal/store"
 	"orchestra/internal/store/central"
@@ -21,8 +25,11 @@ type System struct {
 	cs      *central.Store
 	cluster *dhtstore.Cluster
 	net     *simnet.Network
-	peers   map[PeerID]*Peer
-	order   []PeerID
+	peers       map[PeerID]*Peer
+	order       []PeerID
+	fanout      int
+	interleaved bool
+	pstats      metrics.Pipeline
 }
 
 // SystemOption configures NewSystem.
@@ -32,6 +39,8 @@ type systemConfig struct {
 	dir         string
 	distributed bool
 	latency     time.Duration
+	fanout      int
+	interleaved bool
 }
 
 // WithStoreDir makes the central store durable in the given directory.
@@ -49,6 +58,24 @@ func WithDistributedStore(latency time.Duration) SystemOption {
 	}
 }
 
+// WithReconcileFanOut bounds the number of peers ReconcileAll drives
+// concurrently. n <= 0 (the default) uses runtime.GOMAXPROCS(0). The bound
+// affects concurrency only, never semantics: every fan-out (including 1)
+// runs the same publish-barrier round, so results do not depend on the
+// host's core count.
+func WithReconcileFanOut(n int) SystemOption {
+	return func(c *systemConfig) { c.fanout = n }
+}
+
+// WithInterleavedReconcile restores the historical strictly sequential
+// ReconcileAll pass: each peer publishes and reconciles in registration
+// order, so a peer only sees the same-round publications of peers
+// registered before it. Useful for reproducing the paper's per-peer
+// reconciliation cadence; implies a fan-out of 1.
+func WithInterleavedReconcile() SystemOption {
+	return func(c *systemConfig) { c.interleaved = true }
+}
+
 // NewSystem builds a system over the schema. By default it uses an
 // in-memory central store.
 func NewSystem(schema *Schema, opts ...SystemOption) (*System, error) {
@@ -56,7 +83,12 @@ func NewSystem(schema *Schema, opts ...SystemOption) (*System, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	sys := &System{schema: schema, peers: make(map[PeerID]*Peer)}
+	sys := &System{
+		schema:      schema,
+		peers:       make(map[PeerID]*Peer),
+		fanout:      cfg.fanout,
+		interleaved: cfg.interleaved,
+	}
 	if cfg.distributed {
 		lat := cfg.latency
 		if lat <= 0 {
@@ -126,19 +158,106 @@ func (s *System) Instances() []*Instance {
 	return out
 }
 
-// ReconcileAll publishes and reconciles every peer once, in registration
-// order, and returns each peer's result.
+// ReconcileAll runs one publish/reconcile round for every peer and returns
+// each peer's result.
+//
+// The round is split into two barriers: first every peer publishes its
+// pending transactions, then every peer reconciles — each on its own
+// goroutine, bounded by the fan-out (default GOMAXPROCS; see
+// WithReconcileFanOut). Engines are single-owner, so peers are independent;
+// the update stores are safe for concurrent use. The split makes every
+// same-round publication visible to every reconciler regardless of the
+// fan-out, so results do not depend on the host's core count. The
+// historical interleaved registration-order pass (publish+reconcile per
+// peer, earlier peers invisible to none) is available via
+// WithInterleavedReconcile.
+//
+// On error the map still carries the results of the peers that succeeded,
+// and the returned error joins every per-peer failure (the interleaved pass
+// keeps its historical stop-at-first-error behavior).
 func (s *System) ReconcileAll(ctx context.Context) (map[PeerID]*Result, error) {
-	out := make(map[PeerID]*Result, len(s.order))
-	for _, id := range s.order {
-		res, err := s.peers[id].PublishAndReconcile(ctx)
-		if err != nil {
-			return out, fmt.Errorf("orchestra: reconcile %s: %w", id, err)
-		}
-		out[id] = res
+	fan := s.fanout
+	if fan <= 0 {
+		fan = runtime.GOMAXPROCS(0)
 	}
-	return out, nil
+	out := make(map[PeerID]*Result, len(s.order))
+	if s.interleaved {
+		for _, id := range s.order {
+			done := s.pstats.WorkerStart()
+			res, err := s.peers[id].PublishAndReconcile(ctx)
+			done()
+			if err != nil {
+				return out, fmt.Errorf("orchestra: reconcile %s: %w", id, err)
+			}
+			s.pstats.Observe(res)
+			out[id] = res
+		}
+		return out, nil
+	}
+
+	// Publish barrier: everyone's pending transactions reach the store
+	// before anyone reconciles.
+	pubErrs := make([]error, len(s.order))
+	s.forEachPeer(fan, func(i int) {
+		if _, err := s.peers[s.order[i]].Publish(ctx); err != nil {
+			pubErrs[i] = fmt.Errorf("orchestra: publish %s: %w", s.order[i], err)
+		}
+	})
+	if err := errors.Join(pubErrs...); err != nil {
+		return out, err
+	}
+
+	// Reconcile fan-out.
+	results := make([]*Result, len(s.order))
+	recErrs := make([]error, len(s.order))
+	s.forEachPeer(fan, func(i int) {
+		done := s.pstats.WorkerStart()
+		defer done()
+		res, err := s.peers[s.order[i]].Reconcile(ctx)
+		if err != nil {
+			recErrs[i] = fmt.Errorf("orchestra: reconcile %s: %w", s.order[i], err)
+			return
+		}
+		s.pstats.Observe(res)
+		results[i] = res
+	})
+	for i, res := range results {
+		if res != nil {
+			out[s.order[i]] = res
+		}
+	}
+	return out, errors.Join(recErrs...)
 }
+
+// forEachPeer runs fn(i) for every peer index on at most fan goroutines.
+func (s *System) forEachPeer(fan int, fn func(i int)) {
+	n := len(s.order)
+	if fan > n {
+		fan = n
+	}
+	if fan <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, fan)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Pipeline exposes the aggregated reconciliation-pipeline counters (stage
+// latencies, work counts, and the fan-out busy gauge) collected by
+// ReconcileAll.
+func (s *System) Pipeline() *metrics.Pipeline { return &s.pstats }
 
 // Messages returns the DHT fabric traffic (0 for the central store).
 func (s *System) Messages() int64 {

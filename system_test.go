@@ -2,6 +2,7 @@ package orchestra
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -93,6 +94,151 @@ func TestSystemDistributed(t *testing.T) {
 	}
 	if d := sys.DeferredAcross(); d["a"] != 0 || d["b"] != 0 {
 		t.Errorf("deferred = %v", d)
+	}
+}
+
+// TestSystemReconcileAllFanOut forces the parallel two-phase ReconcileAll
+// over both store kinds: because every peer publishes before anyone
+// reconciles, one round suffices for full convergence on disjoint keys.
+func TestSystemReconcileAllFanOut(t *testing.T) {
+	ctx := context.Background()
+	for _, distributed := range []bool{false, true} {
+		name := "central"
+		opts := []SystemOption{WithReconcileFanOut(4)}
+		if distributed {
+			name = "distributed"
+			opts = append(opts, WithDistributedStore(100*time.Microsecond))
+		}
+		t.Run(name, func(t *testing.T) {
+			schema := MustSchema(NewRelation("F", 2, "organism", "protein", "function"))
+			sys, err := NewSystem(schema, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			const n = 6
+			for i := 0; i < n; i++ {
+				id := PeerID(fmt.Sprintf("p%d", i))
+				p, err := sys.AddPeer(id, TrustAll(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Disjoint keys: no conflicts, everything converges.
+				if _, err := p.Edit(Insert("F", Strs("org", fmt.Sprintf("prot%d", i), "v"), id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			results, err := sys.ReconcileAll(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != n {
+				t.Fatalf("got %d results, want %d", len(results), n)
+			}
+			// Publish-barrier semantics: every peer imports all n-1 others'
+			// transactions in this single round.
+			for id, res := range results {
+				if len(res.Accepted) != n-1 {
+					t.Errorf("%s accepted %d txns, want %d", id, len(res.Accepted), n-1)
+				}
+			}
+			if got := StateRatio(sys.Instances(), "F"); got != 1 {
+				t.Errorf("state ratio = %v after one fan-out round", got)
+			}
+			snap := sys.Pipeline().Snapshot()
+			if snap.Reconciles != n {
+				t.Errorf("pipeline observed %d reconciles, want %d", snap.Reconciles, n)
+			}
+			if snap.WorkersBusy != 0 || snap.WorkersBusyPeak < 1 {
+				t.Errorf("busy gauge: %+v", snap)
+			}
+		})
+	}
+}
+
+// TestSystemDurableFanOutRace: transactions recovered from a durable store
+// are gob-decoded, so their unexported encoding caches start empty; the
+// central store must re-warm them before handing the shared *Transaction
+// pointers to concurrently reconciling peers. Run with -race (this was a
+// reproducible data race before the ingestion-time warm-up).
+func TestSystemDurableFanOutRace(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	schema := MustSchema(NewRelation("F", 2, "organism", "protein", "function"))
+
+	sys1, err := NewSystem(schema, WithStoreDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys1.AddPeer("a", TrustAll(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := a.Edit(Insert("F", Strs("org", fmt.Sprintf("p%d", i), "v"), "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.PublishAndReconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sys1.Close()
+
+	// Reopen: several fresh peers reconcile the recovered history
+	// concurrently.
+	sys2, err := NewSystem(schema, WithStoreDir(dir), WithReconcileFanOut(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	for _, id := range []PeerID{"b", "c", "d", "e"} {
+		if _, err := sys2.AddPeer(id, TrustAll(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := sys2.ReconcileAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, res := range results {
+		if len(res.Accepted) != 20 {
+			t.Errorf("%s accepted %d recovered txns, want 20", id, len(res.Accepted))
+		}
+	}
+}
+
+// TestSystemInterleavedReconcile: the historical registration-order pass is
+// still available and keeps its earlier-peers-first visibility.
+func TestSystemInterleavedReconcile(t *testing.T) {
+	ctx := context.Background()
+	schema := MustSchema(NewRelation("F", 2, "organism", "protein", "function"))
+	sys, err := NewSystem(schema, WithInterleavedReconcile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	first, _ := sys.AddPeer("first", TrustAll(1))
+	last, _ := sys.AddPeer("last", TrustAll(1))
+	if _, err := last.Edit(Insert("F", Strs("org", "p1", "v"), "last")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ReconcileAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "first" reconciled before "last" published, so it sees nothing this
+	// round — the historical semantics.
+	if n := len(res["first"].Accepted); n != 0 {
+		t.Errorf("interleaved: first accepted %d txns in the same round", n)
+	}
+	if first.Instance().Len("F") != 0 {
+		t.Error("interleaved: first should not have imported same-round txns")
+	}
+	if _, err := sys.ReconcileAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if first.Instance().Len("F") != 1 {
+		t.Error("interleaved: first should import in the next round")
 	}
 }
 
