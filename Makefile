@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench bench-json clean
+.PHONY: build vet test race verify fmt-check bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ race:
 # detector (the serial-vs-parallel differential tests rely on -race to catch
 # worker-pool data races).
 verify: build vet race
+
+# fmt-check fails (listing the offenders) if any file is not gofmt-clean;
+# CI runs this as its lint step.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # bench runs every Go benchmark with allocation reporting.
 bench:

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,8 +21,11 @@ import (
 	"testing"
 	"time"
 
+	"orchestra"
 	"orchestra/internal/core"
 	"orchestra/internal/exp"
+	"orchestra/internal/store"
+	"orchestra/internal/store/central"
 	"orchestra/internal/workload"
 )
 
@@ -113,13 +117,40 @@ type coreBenchEntry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// publishBenchEntry is one cell of the concurrent-publish suite: P
+// publishers racing batches into the sharded central store.
+type publishBenchEntry struct {
+	Name             string  `json:"name"`
+	Publishers       int     `json:"publishers"`
+	TxnsPerPublisher int     `json:"txns_per_publisher"`
+	NsPerTxn         float64 `json:"ns_per_txn"`
+	AllocsPerOp      int64   `json:"allocs_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op"`
+}
+
+// decisionBatchStats records the round-trip economy of the batched
+// decision-recording path over a ReconcileAll workload: RoundTrips is what
+// the store actually served, UnbatchedTrips what per-peer RecordDecisions
+// would have cost for the same decisions.
+type decisionBatchStats struct {
+	Peers          int   `json:"peers"`
+	Rounds         int   `json:"rounds"`
+	RoundTrips     int64 `json:"round_trips"`
+	UnbatchedTrips int64 `json:"unbatched_round_trips"`
+	Decisions      int64 `json:"decisions"`
+	BatchPeak      int64 `json:"batch_peak"`
+}
+
 // coreBenchReport is the BENCH_core.json schema; future PRs compare their
 // runs against the committed serial baseline to track the perf trajectory.
+// See docs/BENCHMARKING.md.
 type coreBenchReport struct {
-	GoVersion  string           `json:"go_version"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	Workload   string           `json:"workload"`
-	Entries    []coreBenchEntry `json:"entries"`
+	GoVersion         string              `json:"go_version"`
+	GOMAXPROCS        int                 `json:"gomaxprocs"`
+	Workload          string              `json:"workload"`
+	Entries           []coreBenchEntry    `json:"entries"`
+	ConcurrentPublish []publishBenchEntry `json:"concurrent_publish"`
+	DecisionBatching  decisionBatchStats  `json:"decision_batching"`
 }
 
 // runCoreSuite measures Engine.Reconcile on the shared contended workload
@@ -169,6 +200,12 @@ func runCoreSuite(path string) error {
 				e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
 		}
 	}
+	if err := runPublishSuite(&report); err != nil {
+		return err
+	}
+	if err := runDecisionBatchSuite(&report); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -178,5 +215,134 @@ func runCoreSuite(path string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runPublishSuite measures concurrent-publish throughput on the sharded
+// central store: P publishers each racing one batch per op.
+func runPublishSuite(report *coreBenchReport) error {
+	const perBatch = 4
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	ctx := context.Background()
+	var benchErr error
+	for _, pubs := range []int{1, 2, 4, 8} {
+		pubs := pubs
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s := central.MustOpenMemory(schema)
+			defer s.Close()
+			engines := make([]*core.Engine, pubs)
+			for p := 0; p < pubs; p++ {
+				id := core.PeerID(fmt.Sprintf("pub%d", p))
+				engines[p] = core.NewEngine(id, schema, core.TrustAll(1))
+				if err := s.RegisterPeer(ctx, id, core.TrustAll(1)); err != nil {
+					benchErr = err
+					b.Skip(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				batches := make([][]store.PublishedTxn, pubs)
+				for p, eng := range engines {
+					for k := 0; k < perBatch; k++ {
+						x, err := eng.NewLocalTransaction(core.Insert("F",
+							core.Strs(fmt.Sprintf("org%d", p), fmt.Sprintf("prot-%d-%d", i, k), "fn"),
+							eng.Peer()))
+						if err != nil {
+							benchErr = err
+							b.Skip(err)
+						}
+						batches[p] = append(batches[p], store.PublishedTxn{
+							Txn: x, Antecedents: eng.LocalAntecedents(x.ID),
+						})
+					}
+				}
+				errs := make([]error, pubs)
+				b.StartTimer()
+				done := make(chan struct{}, pubs)
+				for p := 0; p < pubs; p++ {
+					go func(p int) {
+						_, errs[p] = s.Publish(ctx, engines[p].Peer(), batches[p])
+						done <- struct{}{}
+					}(p)
+				}
+				for p := 0; p < pubs; p++ {
+					<-done
+				}
+				b.StopTimer()
+				for _, err := range errs {
+					if err != nil {
+						benchErr = err
+						b.Skip(err)
+					}
+				}
+				b.StartTimer()
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		e := publishBenchEntry{
+			Name:             fmt.Sprintf("CentralConcurrentPublish/publishers=%d", pubs),
+			Publishers:       pubs,
+			TxnsPerPublisher: perBatch,
+			NsPerTxn:         float64(r.T.Nanoseconds()) / float64(r.N*pubs*perBatch),
+			AllocsPerOp:      r.AllocsPerOp(),
+			BytesPerOp:       r.AllocedBytesPerOp(),
+		}
+		report.ConcurrentPublish = append(report.ConcurrentPublish, e)
+		fmt.Printf("%-40s %12.0f ns/txn %10d allocs/op %12d B/op\n",
+			e.Name, e.NsPerTxn, e.AllocsPerOp, e.BytesPerOp)
+	}
+	return nil
+}
+
+// runDecisionBatchSuite drives ReconcileAll rounds over a full System and
+// reports the batched decision-recording round-trip economy from the
+// central store's own counters.
+func runDecisionBatchSuite(report *coreBenchReport) error {
+	const (
+		peers  = 8
+		rounds = 3
+	)
+	ctx := context.Background()
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	sys, err := orchestra.NewSystem(schema, orchestra.WithReconcileFanOut(peers))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	ps := make([]*orchestra.Peer, peers)
+	for i := 0; i < peers; i++ {
+		id := core.PeerID(fmt.Sprintf("p%d", i))
+		ps[i], err = sys.AddPeer(id, core.TrustAll(1))
+		if err != nil {
+			return err
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		for i, p := range ps {
+			if _, err := p.Edit(core.Insert("F",
+				core.Strs("org", fmt.Sprintf("prot-%d-%d", r, i), "fn"), p.ID())); err != nil {
+				return err
+			}
+		}
+		if _, err := sys.ReconcileAll(ctx); err != nil {
+			return err
+		}
+	}
+	snap := sys.CentralStore().Metrics().Snapshot()
+	report.DecisionBatching = decisionBatchStats{
+		Peers:          peers,
+		Rounds:         rounds,
+		RoundTrips:     snap.DecisionRoundTrips,
+		UnbatchedTrips: snap.DecisionPeers,
+		Decisions:      snap.Decisions,
+		BatchPeak:      snap.BatchPeak,
+	}
+	fmt.Printf("%-40s %12d trips (unbatched would be %d) %10d decisions %6d peak\n",
+		"DecisionBatching/ReconcileAll", snap.DecisionRoundTrips, snap.DecisionPeers,
+		snap.Decisions, snap.BatchPeak)
 	return nil
 }

@@ -52,16 +52,25 @@ func (e *Engine) updateSoftState(deferred []*candidateState, res *Result) {
 	// specific (type, value) conflicts for grouping. Subsumption does not
 	// suppress grouping here: the conflicts were already established. Only
 	// pairs sharing a touched key can conflict, so prune with an inverted
-	// index rather than comparing all pairs.
+	// index rather than comparing all pairs. The per-pair conflict checks
+	// are independent, so they fan out over the engine's worker pool
+	// (WithParallelism) like findConflicts' pair stage; each worker writes
+	// only its own slot, and the aggregation below walks the slots in
+	// enumeration order, so the groups are identical at every worker count.
 	type pairConflict struct {
 		a, b *candidateState
 		cs   []Conflict
 	}
+	pairKeys := enumeratePairs(e.schema, deferred)
+	perPair := make([][]Conflict, len(pairKeys))
+	parallelFor(e.parallelism(len(pairKeys)), len(pairKeys), func(pi int) {
+		i, j := unpackPair(pairKeys[pi])
+		perPair[pi] = deferred[i].upEx.Conflicts(e.schema, deferred[j].upEx)
+	})
 	var pairs []pairConflict
-	for _, pk := range enumeratePairs(e.schema, deferred) {
-		i, j := unpackPair(pk)
-		cs := deferred[i].upEx.Conflicts(e.schema, deferred[j].upEx)
+	for pi, cs := range perPair {
 		if len(cs) > 0 {
+			i, j := unpackPair(pairKeys[pi])
 			pairs = append(pairs, pairConflict{a: deferred[i], b: deferred[j], cs: cs})
 		}
 	}

@@ -9,6 +9,14 @@
 // per-peer database instances, and the client-centric reconciliation engine
 // (ReconcileUpdates and its helpers) together with deferral, conflict groups,
 // options, and user-driven conflict resolution.
+//
+// An Engine is single-owner: one goroutine drives Reconcile/Resolve at a
+// time. Internally the embarrassingly parallel stages — per-candidate
+// flattening + CheckState, the FindConflicts pair checks, and the
+// soft-state pair scan — fan out over a bounded worker pool configured
+// with WithParallelism; the order-sensitive decision loops stay
+// sequential, so decisions are bit-identical at every worker count (see
+// docs/ARCHITECTURE.md).
 package core
 
 import (

@@ -91,6 +91,13 @@ func (c *chargedStore) RecordDecisions(ctx context.Context, peer core.PeerID, re
 	return c.inner.RecordDecisions(ctx, peer, recno, accepted, rejected)
 }
 
+// RecordDecisionsBatch implements store.Store. One store procedure per
+// round trip, exactly the batching economy the sharded store provides.
+func (c *chargedStore) RecordDecisionsBatch(ctx context.Context, batches []store.DecisionBatch) error {
+	c.charge(1, 0)
+	return c.inner.RecordDecisionsBatch(ctx, batches)
+}
+
 // CurrentRecno implements store.Store.
 func (c *chargedStore) CurrentRecno(ctx context.Context, peer core.PeerID) (int, error) {
 	c.charge(1, 0)

@@ -1,7 +1,17 @@
-// Package metrics implements the paper's evaluation metrics: the state
-// ratio of §6 (the average number of distinct states across participants
-// per key, including absence) and small-sample summary statistics with 95%
-// confidence intervals, as reported in every figure.
+// Package metrics implements the paper's evaluation metrics and the
+// system's runtime observability counters.
+//
+// Evaluation side: the state ratio of §6 (the average number of distinct
+// states across participants per key, including absence) and small-sample
+// summary statistics with 95% confidence intervals, as reported in every
+// figure.
+//
+// Runtime side: Pipeline aggregates reconciliation-stage latencies, work
+// counts, the fan-out busy gauge, and the batched decision-flush shape
+// across a System's rounds; StoreCounters tracks an update store's publish
+// volume, internal lock contention, and decision round-trip economy. Both
+// are safe for concurrent use and exported via System.Pipeline and the
+// central store's Metrics.
 package metrics
 
 import (

@@ -28,6 +28,18 @@ type Pipeline struct {
 
 	busy     atomic.Int64 // reconciliations currently in flight
 	busyPeak atomic.Int64 // high-water mark of busy
+
+	decisionFlushes  atomic.Int64 // batched decision round trips issued
+	decisionsFlushed atomic.Int64 // decisions carried by those round trips
+	flushPeak        atomic.Int64 // most peers flushed in one round trip
+}
+
+// ObserveDecisionFlush records one batched decision round trip that carried
+// the outcomes of peers reconciliations, decisions total accept/rejects.
+func (p *Pipeline) ObserveDecisionFlush(peers, decisions int) {
+	p.decisionFlushes.Add(1)
+	p.decisionsFlushed.Add(int64(decisions))
+	atomicMax(&p.flushPeak, int64(peers))
 }
 
 // Observe folds one reconciliation result into the counters.
@@ -52,13 +64,7 @@ func (p *Pipeline) Observe(res *core.Result) {
 // function; call it when the reconciliation finishes. The busy gauge and its
 // peak let operators see how much of the configured fan-out is used.
 func (p *Pipeline) WorkerStart() (done func()) {
-	n := p.busy.Add(1)
-	for {
-		peak := p.busyPeak.Load()
-		if n <= peak || p.busyPeak.CompareAndSwap(peak, n) {
-			break
-		}
-	}
+	atomicMax(&p.busyPeak, p.busy.Add(1))
 	return func() { p.busy.Add(-1) }
 }
 
@@ -78,32 +84,39 @@ type PipelineSnapshot struct {
 
 	WorkersBusy     int64 // reconciliations in flight right now
 	WorkersBusyPeak int64 // high-water mark since the counters were created
+
+	DecisionFlushes  int64 // batched decision round trips issued
+	DecisionsFlushed int64 // decisions carried by those round trips
+	FlushPeak        int64 // most peers flushed in one round trip
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field is
 // read atomically; the set is not a single linearization point).
 func (p *Pipeline) Snapshot() PipelineSnapshot {
 	return PipelineSnapshot{
-		Reconciles:      p.reconciles.Load(),
-		Candidates:      p.candidates.Load(),
-		ConflictPairs:   p.conflictPairs.Load(),
-		ConflictsFound:  p.conflictsFound.Load(),
-		AppliedUpdates:  p.appliedUpdates.Load(),
-		CheckTime:       time.Duration(p.checkNanos.Load()),
-		ConflictTime:    time.Duration(p.conflictNanos.Load()),
-		GroupTime:       time.Duration(p.groupNanos.Load()),
-		ApplyTime:       time.Duration(p.applyNanos.Load()),
-		SoftStateTime:   time.Duration(p.softStateNanos.Load()),
-		WorkersBusy:     p.busy.Load(),
-		WorkersBusyPeak: p.busyPeak.Load(),
+		Reconciles:       p.reconciles.Load(),
+		Candidates:       p.candidates.Load(),
+		ConflictPairs:    p.conflictPairs.Load(),
+		ConflictsFound:   p.conflictsFound.Load(),
+		AppliedUpdates:   p.appliedUpdates.Load(),
+		CheckTime:        time.Duration(p.checkNanos.Load()),
+		ConflictTime:     time.Duration(p.conflictNanos.Load()),
+		GroupTime:        time.Duration(p.groupNanos.Load()),
+		ApplyTime:        time.Duration(p.applyNanos.Load()),
+		SoftStateTime:    time.Duration(p.softStateNanos.Load()),
+		WorkersBusy:      p.busy.Load(),
+		WorkersBusyPeak:  p.busyPeak.Load(),
+		DecisionFlushes:  p.decisionFlushes.Load(),
+		DecisionsFlushed: p.decisionsFlushed.Load(),
+		FlushPeak:        p.flushPeak.Load(),
 	}
 }
 
 // String renders the snapshot as a compact one-line summary.
 func (s PipelineSnapshot) String() string {
 	return fmt.Sprintf(
-		"reconciles=%d candidates=%d pairs=%d conflicts=%d applied=%d check=%s findconf=%s group=%s apply=%s soft=%s busy=%d peak=%d",
+		"reconciles=%d candidates=%d pairs=%d conflicts=%d applied=%d check=%s findconf=%s group=%s apply=%s soft=%s busy=%d peak=%d flushes=%d flushed=%d flushpeak=%d",
 		s.Reconciles, s.Candidates, s.ConflictPairs, s.ConflictsFound, s.AppliedUpdates,
 		s.CheckTime, s.ConflictTime, s.GroupTime, s.ApplyTime, s.SoftStateTime,
-		s.WorkersBusy, s.WorkersBusyPeak)
+		s.WorkersBusy, s.WorkersBusyPeak, s.DecisionFlushes, s.DecisionsFlushed, s.FlushPeak)
 }

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// atomicMax raises peak to at least v (lock-free, concurrent-safe); the
+// shared high-water-mark primitive behind every peak gauge in this
+// package.
+func atomicMax(peak *atomic.Int64, v int64) {
+	for {
+		cur := peak.Load()
+		if v <= cur || peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// StoreCounters aggregates concurrency counters for an update store: how
+// often the publish and reconcile paths contended on the store's internal
+// locks (the sharding signal — a hot counter means the shards are too
+// coarse) and how the batched decision-recording path is used (the
+// round-trip signal — decisions per round trip is the batching win). All
+// methods are safe for concurrent use and nil-safe, so an uninstrumented
+// store can carry a nil *StoreCounters.
+type StoreCounters struct {
+	publishes       atomic.Int64
+	epochContention atomic.Int64
+	peerContention  atomic.Int64
+
+	decisionTrips atomic.Int64
+	decisionPeers atomic.Int64
+	decisions     atomic.Int64
+	batchPeak     atomic.Int64
+}
+
+// ObservePublish counts one Publish call.
+func (c *StoreCounters) ObservePublish() {
+	if c == nil {
+		return
+	}
+	c.publishes.Add(1)
+}
+
+// ObserveEpochContention counts one publisher that had to wait for the
+// epoch-allocation critical section.
+func (c *StoreCounters) ObserveEpochContention() {
+	if c == nil {
+		return
+	}
+	c.epochContention.Add(1)
+}
+
+// ObservePeerContention counts one caller that had to wait for a per-peer
+// publish/reconcile shard lock.
+func (c *StoreCounters) ObservePeerContention() {
+	if c == nil {
+		return
+	}
+	c.peerContention.Add(1)
+}
+
+// ObserveDecisionRoundTrip records one decision-recording round trip
+// carrying the outcomes of peers reconciliations and decisions total
+// accept/reject decisions.
+func (c *StoreCounters) ObserveDecisionRoundTrip(peers, decisions int) {
+	if c == nil {
+		return
+	}
+	c.decisionTrips.Add(1)
+	c.decisionPeers.Add(int64(peers))
+	c.decisions.Add(int64(decisions))
+	atomicMax(&c.batchPeak, int64(peers))
+}
+
+// StoreSnapshot is a point-in-time copy of StoreCounters.
+type StoreSnapshot struct {
+	Publishes       int64 // Publish calls
+	EpochContention int64 // epoch-allocation lock waits
+	PeerContention  int64 // per-peer shard lock waits
+
+	DecisionRoundTrips int64 // decision-recording store calls
+	DecisionPeers      int64 // reconciliation outcomes carried by those calls
+	Decisions          int64 // individual accept/reject decisions recorded
+	BatchPeak          int64 // most outcomes carried by a single round trip
+}
+
+// Snapshot returns a copy of the counters (each field read atomically).
+// A nil receiver yields the zero snapshot.
+func (c *StoreCounters) Snapshot() StoreSnapshot {
+	if c == nil {
+		return StoreSnapshot{}
+	}
+	return StoreSnapshot{
+		Publishes:          c.publishes.Load(),
+		EpochContention:    c.epochContention.Load(),
+		PeerContention:     c.peerContention.Load(),
+		DecisionRoundTrips: c.decisionTrips.Load(),
+		DecisionPeers:      c.decisionPeers.Load(),
+		Decisions:          c.decisions.Load(),
+		BatchPeak:          c.batchPeak.Load(),
+	}
+}
+
+// String renders the snapshot as a compact one-line summary.
+func (s StoreSnapshot) String() string {
+	return fmt.Sprintf(
+		"publishes=%d epochwait=%d peerwait=%d dtrips=%d dpeers=%d decisions=%d batchpeak=%d",
+		s.Publishes, s.EpochContention, s.PeerContention,
+		s.DecisionRoundTrips, s.DecisionPeers, s.Decisions, s.BatchPeak)
+}

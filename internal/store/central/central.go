@@ -6,6 +6,31 @@
 // preceded by an unfinished epoch as its reconciliation point. Trust
 // predicates and update extensions are evaluated inside the store, so only
 // relevant transactions travel to the client.
+//
+// # Concurrency
+//
+// The store is sharded so concurrent publishers and reconcilers do not
+// contend on a single lock (see docs/ARCHITECTURE.md):
+//
+//   - Epoch allocation is the only global write lock (epochMu), and it is a
+//     short critical section: a durable sequence bump plus a registry
+//     insert. The stable-epoch scan takes the same lock shared, reading
+//     atomic finished flags.
+//   - Each open epoch carries its own mutex; since an epoch is owned by
+//     exactly one publisher, payload encoding and cache warming — the
+//     expensive parts of publishing — run without excluding other peers.
+//   - The transaction index is striped across txnShardCount locks keyed by
+//     TxnID, so reconcilers chasing antecedents never serialize behind
+//     publishers indexing new transactions.
+//   - Per-peer state (trust, recno, decided sets) sits behind a per-peer
+//     mutex: one peer's reconciliation never blocks another's.
+//
+// Lock order: an epoch mutex may be taken before a peer mutex (publish),
+// and a peer mutex before a *finished* epoch's mutex (reconciliation
+// snapshot); the two can never deadlock because an epoch is unfinished
+// while publishing and only finished epochs are snapshotted. The reldb
+// engine's internal lock is always innermost. RecordDecisionsBatch locks
+// its peers in sorted order.
 package central
 
 import (
@@ -13,8 +38,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"orchestra/internal/core"
+	"orchestra/internal/metrics"
 	"orchestra/internal/reldb"
 	"orchestra/internal/rpc"
 	"orchestra/internal/store"
@@ -25,17 +52,35 @@ import (
 // their orderings agree exactly.
 const OrderStride = 1 << 20
 
+// txnShardCount stripes the transaction index; a power of two so the hash
+// mix below distributes evenly.
+const txnShardCount = 32
+
 // Store is the centralized update store.
 type Store struct {
-	mu     sync.Mutex
-	db     *reldb.DB
-	schema *core.Schema
+	db       *reldb.DB
+	schema   *core.Schema
+	counters *metrics.StoreCounters
 
-	txns    map[core.TxnID]*entry
-	ordered []*entry
+	// epochMu guards the epoch registry (epochs, maxE). Exclusive only for
+	// the short allocation critical section; shared for lookups and the
+	// stable-epoch scan.
+	epochMu sync.RWMutex
 	epochs  map[core.Epoch]*epochMeta
 	maxE    core.Epoch
+
+	// shards stripe the TxnID → entry index.
+	shards [txnShardCount]txnShard
+
+	// peersMu guards the peer registry map only; per-peer state is behind
+	// each peerMeta's own mutex.
+	peersMu sync.RWMutex
 	peers   map[core.PeerID]*peerMeta
+}
+
+type txnShard struct {
+	mu sync.RWMutex
+	m  map[core.TxnID]*entry
 }
 
 type entry struct {
@@ -44,12 +89,35 @@ type entry struct {
 }
 
 type epochMeta struct {
-	peer     core.PeerID
-	finished bool
-	txns     []core.TxnID
+	peer core.PeerID
+	// finished flips exactly once, after every transaction of the epoch is
+	// durably recorded and indexed; the stable-epoch scan reads it
+	// lock-free.
+	finished atomic.Bool
+	// mu guards txns and serializes writes into this epoch. An epoch is
+	// owned by one publisher, so this is the per-peer publish shard.
+	mu   sync.Mutex
+	txns []core.TxnID
+}
+
+// txnIDs returns the epoch's transaction list. Once finished flips the
+// list is immutable and the atomic load orders this read after the final
+// append, so readers of finished epochs (every reconciliation window)
+// take no lock and make no copy.
+func (em *epochMeta) txnIDs() []core.TxnID {
+	if em.finished.Load() {
+		return em.txns
+	}
+	em.mu.Lock()
+	ids := append([]core.TxnID(nil), em.txns...)
+	em.mu.Unlock()
+	return ids
 }
 
 type peerMeta struct {
+	// mu serializes this peer's publishes, reconciliations, and decision
+	// recording against each other — and nothing else.
+	mu        sync.Mutex
 	trust     core.Trust
 	lastEpoch core.Epoch
 	recno     int
@@ -75,11 +143,14 @@ func Open(schema *core.Schema, dir string) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		db:     db,
-		schema: schema,
-		txns:   make(map[core.TxnID]*entry),
-		epochs: make(map[core.Epoch]*epochMeta),
-		peers:  make(map[core.PeerID]*peerMeta),
+		db:       db,
+		schema:   schema,
+		counters: &metrics.StoreCounters{},
+		epochs:   make(map[core.Epoch]*epochMeta),
+		peers:    make(map[core.PeerID]*peerMeta),
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[core.TxnID]*entry)
 	}
 	if err := s.initTables(); err != nil {
 		db.Close()
@@ -103,12 +174,78 @@ func MustOpenMemory(schema *core.Schema) *Store {
 
 // Close closes the backing database.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.db.Close()
 }
 
+// Metrics exposes the store's concurrency counters: publish volume, lock
+// contention, and decision-batch shape.
+func (s *Store) Metrics() *metrics.StoreCounters { return s.counters }
+
+// shard returns the index stripe owning id (FNV-1a over origin and seq).
+func (s *Store) shard(id core.TxnID) *txnShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id.Origin); i++ {
+		h ^= uint64(id.Origin[i])
+		h *= 1099511628211
+	}
+	h ^= id.Seq
+	h *= 1099511628211
+	return &s.shards[h%txnShardCount]
+}
+
+// lookup returns the indexed entry for id, or nil.
+func (s *Store) lookup(id core.TxnID) *entry {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	en := sh.m[id]
+	sh.mu.RUnlock()
+	return en
+}
+
+// index adds an entry to its stripe.
+func (s *Store) index(en *entry) {
+	sh := s.shard(en.pub.Txn.ID)
+	sh.mu.Lock()
+	sh.m[en.pub.Txn.ID] = en
+	sh.mu.Unlock()
+}
+
+// peer resolves a registered peer.
+func (s *Store) peer(peer core.PeerID) (*peerMeta, error) {
+	s.peersMu.RLock()
+	pm := s.peers[peer]
+	s.peersMu.RUnlock()
+	if pm == nil {
+		return nil, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	}
+	return pm, nil
+}
+
+// epoch resolves a registered epoch.
+func (s *Store) epoch(e core.Epoch) *epochMeta {
+	s.epochMu.RLock()
+	em := s.epochs[e]
+	s.epochMu.RUnlock()
+	return em
+}
+
+// lockContended acquires mu, bumping the contention counter when the
+// fast-path TryLock fails — the signal surfaced by Metrics().
+func lockContended(mu *sync.Mutex, onWait func()) {
+	if mu.TryLock() {
+		return
+	}
+	onWait()
+	mu.Lock()
+}
+
 func (s *Store) initTables() error {
+	// A recovered directory written before the per-batch payload format
+	// (its txns table had 5 per-transaction columns) cannot be decoded by
+	// this version; fail with a clear error instead of a garbled recovery.
+	if def, ok := s.db.TableDef("txns"); ok && len(def.Cols) != 4 {
+		return fmt.Errorf("central: store directory uses the pre-batch txns format (%d columns); no migration path", len(def.Cols))
+	}
 	return s.db.Update(func(tx *reldb.Tx) error {
 		create := func(def reldb.TableDef) error {
 			if tx.HasTable(def.Name) {
@@ -127,18 +264,21 @@ func (s *Store) initTables() error {
 		}); err != nil {
 			return err
 		}
+		// One row per published batch, not per transaction: the payload is
+		// the whole []store.PublishedTxn in a single gob stream, so the
+		// encoder's type descriptors are sent once per publish instead of
+		// once per transaction (they dominated the publish profile).
 		if err := create(reldb.TableDef{
 			Name: "txns",
 			Cols: []reldb.ColDef{
 				{Name: "ord", Type: reldb.ColInt},
-				{Name: "origin", Type: reldb.ColString},
-				{Name: "seq", Type: reldb.ColInt},
 				{Name: "epoch", Type: reldb.ColInt},
+				{Name: "count", Type: reldb.ColInt},
 				{Name: "payload", Type: reldb.ColBytes},
 			},
 			Key: []int{0},
 			Indexes: []reldb.IndexDef{
-				{Name: "by_epoch", Cols: []int{3}},
+				{Name: "by_epoch", Cols: []int{1}},
 			},
 		}); err != nil {
 			return err
@@ -169,11 +309,14 @@ func (s *Store) initTables() error {
 }
 
 // loadCaches rebuilds the in-memory indexes from the tables after recovery.
+// Open is single-threaded, so no store locks are taken here.
 func (s *Store) loadCaches() error {
 	return s.db.View(func(tx *reldb.Tx) error {
 		if err := tx.Scan("epochs", func(r reldb.Row) bool {
 			e := core.Epoch(r[0].I())
-			s.epochs[e] = &epochMeta{peer: core.PeerID(r[1].S()), finished: r[2].B()}
+			em := &epochMeta{peer: core.PeerID(r[1].S())}
+			em.finished.Store(r[2].B())
+			s.epochs[e] = em
 			if e > s.maxE {
 				s.maxE = e
 			}
@@ -182,20 +325,19 @@ func (s *Store) loadCaches() error {
 			return err
 		}
 		var scanErr error
+		var recovered []*entry
 		if err := tx.Scan("txns", func(r reldb.Row) bool {
-			var pub store.PublishedTxn
-			if err := rpc.Decode(r[4].Raw(), &pub); err != nil {
+			var batch []store.PublishedTxn
+			if err := rpc.Decode(r[3].Raw(), &batch); err != nil {
 				scanErr = err
 				return false
 			}
-			// Gob decoding drops the unexported caches; re-warm before the
-			// recovered transactions are shared across reconciling peers.
-			pub.Txn.PrecomputeEncodings(s.schema)
-			en := &entry{pub: pub, epoch: core.Epoch(r[3].I())}
-			s.txns[pub.Txn.ID] = en
-			s.ordered = append(s.ordered, en)
-			if em := s.epochs[en.epoch]; em != nil {
-				em.txns = append(em.txns, pub.Txn.ID)
+			for _, pub := range batch {
+				// Gob decoding drops the unexported caches; re-warm before
+				// the recovered transactions are shared across reconciling
+				// peers.
+				pub.Txn.PrecomputeEncodings(s.schema)
+				recovered = append(recovered, &entry{pub: pub, epoch: core.Epoch(r[1].I())})
 			}
 			return true
 		}); err != nil {
@@ -204,9 +346,15 @@ func (s *Store) loadCaches() error {
 		if scanErr != nil {
 			return scanErr
 		}
-		sort.Slice(s.ordered, func(i, j int) bool {
-			return s.ordered[i].pub.Txn.Order < s.ordered[j].pub.Txn.Order
+		sort.Slice(recovered, func(i, j int) bool {
+			return recovered[i].pub.Txn.Order < recovered[j].pub.Txn.Order
 		})
+		for _, en := range recovered {
+			s.index(en)
+			if em := s.epochs[en.epoch]; em != nil {
+				em.txns = append(em.txns, en.pub.Txn.ID)
+			}
+		}
 		if err := tx.Scan("peers", func(r reldb.Row) bool {
 			s.peers[core.PeerID(r[0].S())] = &peerMeta{
 				lastEpoch:  core.Epoch(r[1].I()),
@@ -237,10 +385,12 @@ func (s *Store) loadCaches() error {
 // RegisterPeer implements store.Store. Re-registering an existing peer
 // (e.g. after recovery) replaces its trust policy and keeps its history.
 func (s *Store) RegisterPeer(_ context.Context, peer core.PeerID, trust core.Trust) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
 	if pm, ok := s.peers[peer]; ok {
+		pm.mu.Lock()
 		pm.trust = trust
+		pm.mu.Unlock()
 		return nil
 	}
 	err := s.db.Update(func(tx *reldb.Tx) error {
@@ -261,11 +411,22 @@ func (s *Store) RegisterPeer(_ context.Context, peer core.PeerID, trust core.Tru
 // publishing into it. Exposed separately so tests and the failure-injection
 // benchmarks can hold an epoch open.
 func (s *Store) PublishBegin(peer core.PeerID) (core.Epoch, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.peers[peer]; !ok {
-		return 0, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	if _, err := s.peer(peer); err != nil {
+		return 0, err
 	}
+	return s.allocEpoch(peer)
+}
+
+// allocEpoch is the publish path's single global critical section: a
+// durable sequence bump plus a registry insert. Everything expensive —
+// payload encoding, cache warming, indexing — happens outside it, under
+// per-epoch and per-peer locks.
+func (s *Store) allocEpoch(peer core.PeerID) (core.Epoch, error) {
+	if !s.epochMu.TryLock() {
+		s.counters.ObserveEpochContention()
+		s.epochMu.Lock()
+	}
+	defer s.epochMu.Unlock()
 	var epoch core.Epoch
 	err := s.db.Update(func(tx *reldb.Tx) error {
 		e, err := tx.NextSeq("epoch")
@@ -288,33 +449,63 @@ func (s *Store) PublishBegin(peer core.PeerID) (core.Epoch, error) {
 // PublishWrite appends the batch's transactions under the open epoch,
 // assigning global orders, and records them as accepted by the publisher.
 func (s *Store) PublishWrite(peer core.PeerID, epoch core.Epoch, txns []store.PublishedTxn) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	em, ok := s.epochs[epoch]
-	if !ok || em.peer != peer {
+	return s.publishWrite(peer, epoch, txns, false)
+}
+
+// publishWrite is the shared write path; finish additionally marks the
+// epoch complete in the same database commit (the fast path used by
+// Publish, saving one commit per publish).
+func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.PublishedTxn, finish bool) error {
+	em := s.epoch(epoch)
+	if em == nil || em.peer != peer {
 		return fmt.Errorf("central: epoch %d not open for %s", epoch, peer)
 	}
-	if em.finished {
+	pm, err := s.peer(peer)
+	if err != nil {
+		return err
+	}
+
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.finished.Load() {
 		return fmt.Errorf("central: epoch %d already finished", epoch)
 	}
-	pm := s.peers[peer]
-	err := s.db.Update(func(tx *reldb.Tx) error {
-		for i, pt := range txns {
-			pt.Txn.Epoch = epoch
-			pt.Txn.Order = uint64(epoch)*OrderStride + uint64(i)
-			payload, err := rpc.Encode(&pt)
-			if err != nil {
-				return err
-			}
-			if err := tx.Insert("txns", reldb.Row{
-				reldb.Int(int64(pt.Txn.Order)),
-				reldb.Str(string(pt.Txn.ID.Origin)),
-				reldb.Int(int64(pt.Txn.ID.Seq)),
-				reldb.Int(int64(epoch)),
-				reldb.Bytes(payload),
-			}); err != nil {
-				return err
-			}
+	if len(txns) == 0 {
+		return nil // nothing to write; Publish never reaches here empty
+	}
+	// Assign orders and encode the batch before taking the peer lock or
+	// the database lock: encoding is the expensive part of publishing, and
+	// it now runs under the per-epoch lock only, which nobody else
+	// contends for. The whole batch goes through one gob stream.
+	base := uint64(len(em.txns))
+	for i := range txns {
+		pt := &txns[i]
+		pt.Txn.Epoch = epoch
+		pt.Txn.Order = uint64(epoch)*OrderStride + base + uint64(i)
+		// Warm the encoding caches before the entries become visible:
+		// BeginReconciliation hands these *Transaction pointers to every
+		// peer, and concurrently reconciling engines must never lazily
+		// populate a shared cache.
+		pt.Txn.PrecomputeEncodings(s.schema)
+	}
+	payload, err := rpc.Encode(txns)
+	if err != nil {
+		return err
+	}
+
+	lockContended(&pm.mu, s.counters.ObservePeerContention)
+	defer pm.mu.Unlock()
+	err = s.db.Update(func(tx *reldb.Tx) error {
+		if err := tx.Insert("txns", reldb.Row{
+			reldb.Int(int64(txns[0].Txn.Order)),
+			reldb.Int(int64(epoch)),
+			reldb.Int(int64(len(txns))),
+			reldb.Bytes(payload),
+		}); err != nil {
+			return err
+		}
+		for i := range txns {
+			pt := &txns[i]
 			if err := tx.Insert("decisions", reldb.Row{
 				reldb.Str(string(peer)),
 				reldb.Str(string(pt.Txn.ID.Origin)),
@@ -325,21 +516,22 @@ func (s *Store) PublishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 				return err
 			}
 		}
+		if finish {
+			return tx.Upsert("epochs", reldb.Row{reldb.Int(int64(epoch)), reldb.Str(string(peer)), reldb.Bool(true)})
+		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	for _, pt := range txns {
-		// Warm the encoding caches under the store mutex: BeginReconciliation
-		// hands these *Transaction pointers to every peer, and concurrently
-		// reconciling engines must never lazily populate a shared cache.
-		pt.Txn.PrecomputeEncodings(s.schema)
-		en := &entry{pub: pt, epoch: epoch}
-		s.txns[pt.Txn.ID] = en
-		s.ordered = append(s.ordered, en)
+	for i := range txns {
+		pt := txns[i]
+		s.index(&entry{pub: pt, epoch: epoch})
 		em.txns = append(em.txns, pt.Txn.ID)
 		pm.recordDecisionLocked(pt.Txn.ID, core.DecisionAccept)
+	}
+	if finish {
+		em.finished.Store(true)
 	}
 	return nil
 }
@@ -347,52 +539,54 @@ func (s *Store) PublishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 // PublishFinish marks the epoch complete, making it visible to stable-epoch
 // computation.
 func (s *Store) PublishFinish(peer core.PeerID, epoch core.Epoch) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	em, ok := s.epochs[epoch]
-	if !ok || em.peer != peer {
+	em := s.epoch(epoch)
+	if em == nil || em.peer != peer {
 		return fmt.Errorf("central: epoch %d not open for %s", epoch, peer)
 	}
+	em.mu.Lock()
+	defer em.mu.Unlock()
 	err := s.db.Update(func(tx *reldb.Tx) error {
 		return tx.Upsert("epochs", reldb.Row{reldb.Int(int64(epoch)), reldb.Str(string(peer)), reldb.Bool(true)})
 	})
 	if err != nil {
 		return err
 	}
-	em.finished = true
+	em.finished.Store(true)
 	return nil
 }
 
-// Publish implements store.Store: begin, write, finish.
+// Publish implements store.Store: allocate an epoch, then write and finish
+// in a single database commit.
 func (s *Store) Publish(_ context.Context, peer core.PeerID, txns []store.PublishedTxn) (core.Epoch, error) {
+	s.counters.ObservePublish()
+	if _, err := s.peer(peer); err != nil {
+		return 0, err
+	}
 	if len(txns) == 0 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if _, ok := s.peers[peer]; !ok {
-			return 0, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
-		}
+		s.epochMu.RLock()
+		defer s.epochMu.RUnlock()
 		return s.maxE, nil
 	}
-	epoch, err := s.PublishBegin(peer)
+	epoch, err := s.allocEpoch(peer)
 	if err != nil {
 		return 0, err
 	}
-	if err := s.PublishWrite(peer, epoch, txns); err != nil {
-		return 0, err
-	}
-	if err := s.PublishFinish(peer, epoch); err != nil {
+	if err := s.publishWrite(peer, epoch, txns, true); err != nil {
 		return 0, err
 	}
 	return epoch, nil
 }
 
-// stableEpochLocked returns the most recent epoch not preceded by an
-// unfinished epoch.
-func (s *Store) stableEpochLocked() core.Epoch {
+// stableEpoch returns the most recent epoch not preceded by an unfinished
+// epoch. The scan holds the epoch registry read lock only; the finished
+// flags are atomics, so publishers finishing concurrently never block it.
+func (s *Store) stableEpoch() core.Epoch {
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
 	var stable core.Epoch
 	for e := core.Epoch(1); e <= s.maxE; e++ {
 		em, ok := s.epochs[e]
-		if !ok || !em.finished {
+		if !ok || !em.finished.Load() {
 			break
 		}
 		stable = e
@@ -400,15 +594,19 @@ func (s *Store) stableEpochLocked() core.Epoch {
 	return stable
 }
 
-// BeginReconciliation implements store.Store.
+// BeginReconciliation implements store.Store. Only the reconciling peer's
+// own lock is held throughout, so any number of peers reconcile
+// concurrently; the epoch window is read under per-epoch locks and the
+// transaction index under its stripes.
 func (s *Store) BeginReconciliation(_ context.Context, peer core.PeerID) (*store.Reconciliation, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pm, ok := s.peers[peer]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	pm, err := s.peer(peer)
+	if err != nil {
+		return nil, err
 	}
-	stable := s.stableEpochLocked()
+	lockContended(&pm.mu, s.counters.ObservePeerContention)
+	defer pm.mu.Unlock()
+
+	stable := s.stableEpoch()
 	from := pm.lastEpoch
 	if stable < from {
 		stable = from
@@ -416,7 +614,7 @@ func (s *Store) BeginReconciliation(_ context.Context, peer core.PeerID) (*store
 	recno := pm.recno + 1
 	// Record the reconciliation point immediately and commit, as §5.2.1
 	// prescribes, so the epochs table is released for publishers.
-	err := s.db.Update(func(tx *reldb.Tx) error {
+	err = s.db.Update(func(tx *reldb.Tx) error {
 		return tx.Upsert("peers", reldb.Row{
 			reldb.Str(string(peer)), reldb.Int(int64(stable)), reldb.Int(int64(recno)),
 		})
@@ -428,42 +626,52 @@ func (s *Store) BeginReconciliation(_ context.Context, peer core.PeerID) (*store
 	pm.recno = recno
 
 	rec := &store.Reconciliation{Recno: recno, FromEpoch: from, ToEpoch: stable}
-	for _, en := range s.ordered {
-		if en.epoch <= from || en.epoch > stable {
+	// Walk the window in epoch order; within an epoch the publish order is
+	// the global order, so candidates come out order-sorted exactly as the
+	// single-lock implementation produced them.
+	for e := from + 1; e <= stable; e++ {
+		em := s.epoch(e)
+		if em == nil {
 			continue
 		}
-		x := en.pub.Txn
-		if x.ID.Origin == peer {
-			continue
+		for _, id := range em.txnIDs() {
+			if id.Origin == peer {
+				continue
+			}
+			if _, decided := pm.decided[id]; decided {
+				continue
+			}
+			en := s.lookup(id)
+			if en == nil {
+				continue
+			}
+			x := en.pub.Txn
+			prio := core.TxnPriority(pm.trust, x)
+			if prio <= 0 {
+				continue
+			}
+			rec.Candidates = append(rec.Candidates, &core.Candidate{
+				Txn:      x,
+				Priority: prio,
+				Ext:      s.extension(id, pm),
+			})
 		}
-		if _, decided := pm.decided[x.ID]; decided {
-			continue
-		}
-		prio := core.TxnPriority(pm.trust, x)
-		if prio <= 0 {
-			continue
-		}
-		rec.Candidates = append(rec.Candidates, &core.Candidate{
-			Txn:      x,
-			Priority: prio,
-			Ext:      s.extensionLocked(x.ID, pm),
-		})
 	}
 	return rec, nil
 }
 
-// extensionLocked computes the transaction extension of root for the peer:
-// the antecedent closure excluding transactions the peer has accepted,
-// sorted by global order.
-func (s *Store) extensionLocked(root core.TxnID, pm *peerMeta) []*core.Transaction {
+// extension computes the transaction extension of root for the peer: the
+// antecedent closure excluding transactions the peer has accepted, sorted
+// by global order. The caller holds the peer's lock.
+func (s *Store) extension(root core.TxnID, pm *peerMeta) []*core.Transaction {
 	visited := map[core.TxnID]bool{root: true}
 	var out []*core.Transaction
 	stack := []core.TxnID{root}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		en, ok := s.txns[id]
-		if !ok {
+		en := s.lookup(id)
+		if en == nil {
 			continue // antecedent from before this store's history
 		}
 		if id != root && pm.decided[id] == core.DecisionAccept {
@@ -481,93 +689,160 @@ func (s *Store) extensionLocked(root core.TxnID, pm *peerMeta) []*core.Transacti
 	return out
 }
 
-// RecordDecisions implements store.Store.
-func (s *Store) RecordDecisions(_ context.Context, peer core.PeerID, recno int, accepted, rejected []core.TxnID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pm, ok := s.peers[peer]
-	if !ok {
-		return fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
-	}
-	if recno > pm.recno {
-		return fmt.Errorf("central: decisions for future reconciliation %d (current %d)", recno, pm.recno)
-	}
-	err := s.db.Update(func(tx *reldb.Tx) error {
-		dseq := pm.nextSeq
-		put := func(id core.TxnID, d core.Decision) error {
-			dseq++
-			return tx.Upsert("decisions", reldb.Row{
-				reldb.Str(string(peer)),
-				reldb.Str(string(id.Origin)),
-				reldb.Int(int64(id.Seq)),
-				reldb.Int(int64(d)),
-				reldb.Int(dseq),
-			})
-		}
-		for _, id := range accepted {
-			if err := put(id, core.DecisionAccept); err != nil {
-				return err
-			}
-		}
-		for _, id := range rejected {
-			if err := put(id, core.DecisionReject); err != nil {
-				return err
-			}
-		}
+// RecordDecisions implements store.Store as a single-entry batch.
+func (s *Store) RecordDecisions(ctx context.Context, peer core.PeerID, recno int, accepted, rejected []core.TxnID) error {
+	return s.RecordDecisionsBatch(ctx, []store.DecisionBatch{{
+		Peer: peer, Recno: recno, Accepted: accepted, Rejected: rejected,
+	}})
+}
+
+// RecordDecisionsBatch implements store.Store: every batch's decisions are
+// committed in one database transaction — one round trip for a whole
+// fan-out wave. Peers are locked in sorted order so concurrent batches
+// cannot deadlock.
+func (s *Store) RecordDecisionsBatch(_ context.Context, batches []store.DecisionBatch) error {
+	if len(batches) == 0 {
 		return nil
-	})
-	if err != nil {
-		return err
 	}
-	for _, id := range accepted {
-		pm.recordDecisionLocked(id, core.DecisionAccept)
+	pms := make([]*peerMeta, len(batches))
+	for i, b := range batches {
+		pm, err := s.peer(b.Peer)
+		if err != nil {
+			return err
+		}
+		pms[i] = pm
 	}
-	for _, id := range rejected {
-		pm.recordDecisionLocked(id, core.DecisionReject)
+	order := make([]int, len(batches))
+	for i := range order {
+		order[i] = i
 	}
+	sort.Slice(order, func(a, b int) bool { return batches[order[a]].Peer < batches[order[b]].Peer })
+	locked := make(map[*peerMeta]bool, len(batches))
+	for _, i := range order {
+		if locked[pms[i]] {
+			continue // same peer twice in one batch: one lock covers both
+		}
+		lockContended(&pms[i].mu, s.counters.ObservePeerContention)
+		locked[pms[i]] = true
+	}
+	defer func() {
+		for pm := range locked {
+			pm.mu.Unlock()
+		}
+	}()
+
+	total := 0
+	for i, b := range batches {
+		if b.Recno > pms[i].recno {
+			return fmt.Errorf("central: decisions for future reconciliation %d (current %d)", b.Recno, pms[i].recno)
+		}
+		total += len(b.Accepted) + len(b.Rejected)
+	}
+	if total > 0 {
+		// dseq continues each peer's sequence across the whole commit; the
+		// cache update below replays the same order, keeping the durable
+		// and in-memory sequences identical.
+		next := make(map[*peerMeta]int64, len(batches))
+		err := s.db.Update(func(tx *reldb.Tx) error {
+			for i, b := range batches {
+				pm := pms[i]
+				if _, ok := next[pm]; !ok {
+					next[pm] = pm.nextSeq
+				}
+				put := func(id core.TxnID, d core.Decision) error {
+					next[pm]++
+					return tx.Upsert("decisions", reldb.Row{
+						reldb.Str(string(b.Peer)),
+						reldb.Str(string(id.Origin)),
+						reldb.Int(int64(id.Seq)),
+						reldb.Int(int64(d)),
+						reldb.Int(next[pm]),
+					})
+				}
+				for _, id := range b.Accepted {
+					if err := put(id, core.DecisionAccept); err != nil {
+						return err
+					}
+				}
+				for _, id := range b.Rejected {
+					if err := put(id, core.DecisionReject); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, b := range batches {
+			for _, id := range b.Accepted {
+				pms[i].recordDecisionLocked(id, core.DecisionAccept)
+			}
+			for _, id := range b.Rejected {
+				pms[i].recordDecisionLocked(id, core.DecisionReject)
+			}
+		}
+	}
+	s.counters.ObserveDecisionRoundTrip(len(batches), total)
 	return nil
 }
 
 // CurrentRecno implements store.Store.
 func (s *Store) CurrentRecno(_ context.Context, peer core.PeerID) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pm, ok := s.peers[peer]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	pm, err := s.peer(peer)
+	if err != nil {
+		return 0, err
 	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	return pm.recno, nil
 }
 
 // Checkpoint snapshots the backing database and truncates its WAL.
 func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.db.Checkpoint()
 }
 
 // TxnCount returns the number of published transactions (for tests and the
 // bench harness).
 func (s *Store) TxnCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.txns)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // ReplayFor implements store.Replayer: the full published log in global
 // order together with the peer's recorded decisions in acceptance order,
 // from which a lost client reconstructs itself (§5.2).
 func (s *Store) ReplayFor(_ context.Context, peer core.PeerID) ([]store.PublishedTxn, map[core.TxnID]core.RestoredDecision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pm, ok := s.peers[peer]
-	if !ok {
-		return nil, nil, fmt.Errorf("%w: %s", store.ErrUnknownPeer, peer)
+	pm, err := s.peer(peer)
+	if err != nil {
+		return nil, nil, err
 	}
-	log := make([]store.PublishedTxn, len(s.ordered))
-	for i, en := range s.ordered {
-		log[i] = en.pub
+	s.epochMu.RLock()
+	maxE := s.maxE
+	s.epochMu.RUnlock()
+	var log []store.PublishedTxn
+	// Epoch order × publish order within an epoch = global order.
+	for e := core.Epoch(1); e <= maxE; e++ {
+		em := s.epoch(e)
+		if em == nil {
+			continue
+		}
+		for _, id := range em.txnIDs() {
+			if en := s.lookup(id); en != nil {
+				log = append(log, en.pub)
+			}
+		}
 	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	decisions := make(map[core.TxnID]core.RestoredDecision, len(pm.decided))
 	for id, d := range pm.decided {
 		decisions[id] = core.RestoredDecision{Decision: d, Seq: pm.decidedSeq[id]}

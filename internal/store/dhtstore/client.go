@@ -217,6 +217,37 @@ func (cl *client) RecordDecisions(ctx context.Context, peer core.PeerID, _ int, 
 	return nil
 }
 
+// RecordDecisionsBatch implements store.Store. The DHT partitions decision
+// state by transaction controller, so the wave's decisions are regrouped
+// per transaction: one message per distinct transaction carrying every
+// peer's verdict for it — fewer messages than one per (peer, decision)
+// whenever several peers decide the same transactions in one wave.
+func (cl *client) RecordDecisionsBatch(ctx context.Context, batches []store.DecisionBatch) error {
+	grouped := make(map[core.TxnID][]peerDecision)
+	var ids []core.TxnID // first-appearance order, for deterministic sends
+	add := func(peer core.PeerID, id core.TxnID, d core.Decision) {
+		if _, seen := grouped[id]; !seen {
+			ids = append(ids, id)
+		}
+		grouped[id] = append(grouped[id], peerDecision{Peer: peer, Decision: d})
+	}
+	for _, b := range batches {
+		for _, id := range b.Accepted {
+			add(b.Peer, id, core.DecisionAccept)
+		}
+		for _, id := range b.Rejected {
+			add(b.Peer, id, core.DecisionReject)
+		}
+	}
+	for _, id := range ids {
+		args := &txnDecideBatchArgs{ID: id, Decisions: grouped[id]}
+		if err := cl.call(ctx, txnKey(id), mTxnDecideN, args, nil); err != nil {
+			return fmt.Errorf("dhtstore: record decision batch %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
 // CurrentRecno implements store.Store.
 func (cl *client) CurrentRecno(ctx context.Context, peer core.PeerID) (int, error) {
 	var meta peerMetaReply

@@ -40,6 +40,7 @@ const (
 	mTxnPut       = "txn.put"
 	mTxnGet       = "txn.get"
 	mTxnDecide    = "txn.decide"
+	mTxnDecideN   = "txn.decide.batch"
 	mPeerRecon    = "peer.recon"
 	mPeerMeta     = "peer.meta"
 )
@@ -143,6 +144,21 @@ type txnDecideArgs struct {
 	Peer     core.PeerID
 	ID       core.TxnID
 	Decision core.Decision
+}
+
+// peerDecision is one peer's verdict inside a batched decide message.
+type peerDecision struct {
+	Peer     core.PeerID
+	Decision core.Decision
+}
+
+// txnDecideBatchArgs carries every peer's decision for one transaction to
+// its controller in a single message: the DHT partitions decision state by
+// controller, so batching regroups a reconcile wave's outcomes per
+// transaction rather than per peer.
+type txnDecideBatchArgs struct {
+	ID        core.TxnID
+	Decisions []peerDecision
 }
 
 // peerReconArgs records a reconciliation at the peer's coordinator; the

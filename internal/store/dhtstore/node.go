@@ -106,6 +106,7 @@ func (ns *nodeState) mux() rpc.Handler {
 	m.Handle(mTxnGet, ns.txnGet)
 	m.Handle(mTxnExtension, ns.txnExtension)
 	m.Handle(mTxnDecide, ns.txnDecide)
+	m.Handle(mTxnDecideN, ns.txnDecideBatch)
 	m.Handle(mPeerRecon, ns.peerRecon)
 	m.Handle(mPeerMeta, ns.peerMeta)
 	return m
@@ -244,6 +245,24 @@ func (ns *nodeState) txnDecide(req rpc.Request) ([]byte, error) {
 		return nil, fmt.Errorf("dhtstore: decision for unknown transaction %s", args.ID)
 	}
 	tr.decisions[args.Peer] = args.Decision
+	return rpc.Encode(&struct{}{})
+}
+
+// txnDecideBatch applies a whole wave's decisions for one transaction.
+func (ns *nodeState) txnDecideBatch(req rpc.Request) ([]byte, error) {
+	var args txnDecideBatchArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	tr, ok := ns.txns[args.ID]
+	if !ok {
+		return nil, fmt.Errorf("dhtstore: decision for unknown transaction %s", args.ID)
+	}
+	for _, d := range args.Decisions {
+		tr.decisions[d.Peer] = d.Decision
+	}
 	return rpc.Encode(&struct{}{})
 }
 

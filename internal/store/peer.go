@@ -35,6 +35,9 @@ func (p *Peer) ID() core.PeerID { return p.engine.Peer() }
 // resolution).
 func (p *Peer) Engine() *core.Engine { return p.engine }
 
+// Store returns the update store this peer talks to.
+func (p *Peer) Store() Store { return p.store }
+
 // Instance returns the peer's materialized instance.
 func (p *Peer) Instance() *core.Instance { return p.engine.Instance() }
 
@@ -80,27 +83,46 @@ func (p *Peer) Publish(ctx context.Context) (core.Epoch, error) {
 // Reconcile fetches the newly relevant transactions from the store, runs
 // the reconciliation algorithm, and records the decisions.
 func (p *Peer) Reconcile(ctx context.Context) (*core.Result, error) {
+	res, batch, err := p.ReconcileBuffered(ctx)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	err = p.store.RecordDecisions(ctx, batch.Peer, batch.Recno, batch.Accepted, batch.Rejected)
+	p.storeTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ReconcileBuffered runs the reconciliation but leaves decision recording
+// to the caller: it returns the result together with the DecisionBatch
+// that must still be recorded. System.ReconcileAll pools the batches of a
+// whole fan-out wave into one Store.RecordDecisionsBatch round trip. The
+// peer's store-time accounting covers BeginReconciliation only; the
+// pooled flush is charged to whoever issues it.
+func (p *Peer) ReconcileBuffered(ctx context.Context) (*core.Result, DecisionBatch, error) {
 	start := time.Now()
 	rec, err := p.store.BeginReconciliation(ctx, p.ID())
 	p.storeTime += time.Since(start)
 	if err != nil {
-		return nil, err
+		return nil, DecisionBatch{}, err
 	}
 
 	start = time.Now()
 	res, err := p.engine.Reconcile(rec.Candidates)
 	p.localTime += time.Since(start)
 	if err != nil {
-		return nil, err
+		return nil, DecisionBatch{}, err
 	}
-
-	start = time.Now()
-	err = p.store.RecordDecisions(ctx, p.ID(), rec.Recno, res.Accepted, res.Rejected)
-	p.storeTime += time.Since(start)
-	if err != nil {
-		return nil, err
+	batch := DecisionBatch{
+		Peer:     p.ID(),
+		Recno:    rec.Recno,
+		Accepted: res.Accepted,
+		Rejected: res.Rejected,
 	}
-	return res, nil
+	return res, batch, nil
 }
 
 // PublishAndReconcile performs the combined step of §3: publish pending

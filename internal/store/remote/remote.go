@@ -17,11 +17,12 @@ import (
 
 // Method names.
 const (
-	mRegister = "store.register"
-	mPublish  = "store.publish"
-	mBegin    = "store.begin"
-	mDecide   = "store.decide"
-	mRecno    = "store.recno"
+	mRegister    = "store.register"
+	mPublish     = "store.publish"
+	mBegin       = "store.begin"
+	mDecide      = "store.decide"
+	mDecideBatch = "store.decide.batch"
+	mRecno       = "store.recno"
 )
 
 type registerArgs struct {
@@ -62,6 +63,10 @@ type decideArgs struct {
 	Rejected []core.TxnID
 }
 
+type decideBatchArgs struct {
+	Batches []store.DecisionBatch
+}
+
 type recnoArgs struct {
 	Peer core.PeerID
 }
@@ -86,6 +91,7 @@ func NewServer(backend store.Store, schema *core.Schema) *Server {
 	mux.Handle(mPublish, s.publish)
 	mux.Handle(mBegin, s.begin)
 	mux.Handle(mDecide, s.decide)
+	mux.Handle(mDecideBatch, s.decideBatch)
 	mux.Handle(mRecno, s.recno)
 	s.srv = rpc.NewServer(mux)
 	return s
@@ -150,6 +156,17 @@ func (s *Server) decide(req rpc.Request) ([]byte, error) {
 		return nil, err
 	}
 	if err := s.backend.RecordDecisions(context.Background(), args.Peer, args.Recno, args.Accepted, args.Rejected); err != nil {
+		return nil, err
+	}
+	return rpc.Encode(&struct{}{})
+}
+
+func (s *Server) decideBatch(req rpc.Request) ([]byte, error) {
+	var args decideBatchArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	if err := s.backend.RecordDecisionsBatch(context.Background(), args.Batches); err != nil {
 		return nil, err
 	}
 	return rpc.Encode(&struct{}{})
@@ -225,6 +242,12 @@ func (c *Client) BeginReconciliation(ctx context.Context, peer core.PeerID) (*st
 func (c *Client) RecordDecisions(ctx context.Context, peer core.PeerID, recno int, accepted, rejected []core.TxnID) error {
 	return rpc.Invoke(ctx, c.caller, c.addr, mDecide,
 		&decideArgs{Peer: peer, Recno: recno, Accepted: accepted, Rejected: rejected}, nil)
+}
+
+// RecordDecisionsBatch implements store.Store: the whole wave's decisions
+// travel in one network round trip.
+func (c *Client) RecordDecisionsBatch(ctx context.Context, batches []store.DecisionBatch) error {
+	return rpc.Invoke(ctx, c.caller, c.addr, mDecideBatch, &decideBatchArgs{Batches: batches}, nil)
 }
 
 // CurrentRecno implements store.Store.

@@ -2,9 +2,13 @@
 // retrieve updates, associate each published transaction with a client
 // reconciliation, and hold each peer's applied/rejected sets so that client
 // state is reconstructable soft state — together with the Peer wrapper that
-// drives a reconciliation engine against a store. Implementations live in
-// store/central (RDBMS-backed, §5.2.1) and store/dhtstore (DHT-based,
-// §5.2.2).
+// drives a reconciliation engine against a store. Decision recording comes
+// in two shapes: per-reconciliation (RecordDecisions) and wave-batched
+// (RecordDecisionsBatch, fed by Peer.ReconcileBuffered), which amortizes
+// store round trips without changing outcomes. Implementations live in
+// store/central (RDBMS-backed, §5.2.1), store/remote (any backend over
+// TCP), and store/dhtstore (DHT-based, §5.2.2); store/storetest holds the
+// conformance suite they all must pass.
 package store
 
 import (
@@ -37,6 +41,19 @@ type Reconciliation struct {
 	Candidates []*core.Candidate
 }
 
+// DecisionBatch is one peer's reconciliation outcome, as submitted to
+// RecordDecisionsBatch. It carries exactly the arguments of one
+// RecordDecisions call.
+type DecisionBatch struct {
+	Peer     core.PeerID
+	Recno    int
+	Accepted []core.TxnID
+	Rejected []core.TxnID
+}
+
+// Empty reports whether the batch carries no decisions.
+func (b DecisionBatch) Empty() bool { return len(b.Accepted)+len(b.Rejected) == 0 }
+
 // Store is the update store interface. Implementations must be safe for
 // concurrent use by multiple peers.
 type Store interface {
@@ -61,6 +78,15 @@ type Store interface {
 	// reconciliation recno. Deferred transactions are not recorded: they
 	// are client soft state.
 	RecordDecisions(ctx context.Context, peer core.PeerID, recno int, accepted, rejected []core.TxnID) error
+
+	// RecordDecisionsBatch persists several peers' reconciliation outcomes
+	// at once. It is semantically equivalent to calling RecordDecisions
+	// once per batch, but implementations amortize the round trips: the
+	// central store commits every batch in one database transaction, the
+	// remote store ships the whole slice in one RPC, and the DHT store
+	// regroups the decisions by transaction controller. ReconcileAll uses
+	// it to flush each fan-out wave's decisions together.
+	RecordDecisionsBatch(ctx context.Context, batches []DecisionBatch) error
 
 	// CurrentRecno returns the peer's most recent reconciliation number.
 	CurrentRecno(ctx context.Context, peer core.PeerID) (int, error)

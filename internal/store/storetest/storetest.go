@@ -85,6 +85,57 @@ func RunConformance(t *testing.T, factory Factory) {
 	t.Run("RecnoAdvances", func(t *testing.T) { testRecnoAdvances(t, factory) })
 	t.Run("NoRedelivery", func(t *testing.T) { testNoRedelivery(t, factory) })
 	t.Run("PriorityConflict", func(t *testing.T) { testPriorityConflict(t, factory) })
+	t.Run("BatchedDecisions", func(t *testing.T) { testBatchedDecisions(t, factory) })
+}
+
+// testBatchedDecisions: RecordDecisionsBatch persists several peers'
+// outcomes in one call, equivalently to per-peer RecordDecisions — nothing
+// is redelivered afterwards and recnos advance normally.
+func testBatchedDecisions(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	pq, _ := store.NewPeer(ctx, "pq", s, core.TrustAll(1), clientFor("pq"))
+	pr, _ := store.NewPeer(ctx, "pr", s, core.TrustAll(1), clientFor("pr"))
+
+	xa := mustEdit(t, pa, core.Insert("F", core.Strs("rat", "p1", "v"), "pa"))
+	xb := mustEdit(t, pa, core.Insert("F", core.Strs("mouse", "p2", "w"), "pa"))
+	mustCycle(t, pa)
+
+	// Both consumers reconcile with recording deferred, then one batch
+	// flushes both outcomes through a single store call.
+	var batches []store.DecisionBatch
+	for _, p := range []*store.Peer{pq, pr} {
+		res, batch, err := p.ReconcileBuffered(ctx)
+		if err != nil {
+			t.Fatalf("buffered reconcile at %s: %v", p.ID(), err)
+		}
+		wantIDSet(t, string(p.ID())+" accepted", res.Accepted, xa.ID, xb.ID)
+		batches = append(batches, batch)
+	}
+	if err := pq.Store().RecordDecisionsBatch(ctx, batches); err != nil {
+		t.Fatalf("batch flush: %v", err)
+	}
+
+	// The recorded decisions stick: nothing is redelivered, and both
+	// instances match the publisher's.
+	for _, p := range []*store.Peer{pq, pr} {
+		res, err := p.Reconcile(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Accepted)+len(res.Rejected)+len(res.Deferred) != 0 {
+			t.Errorf("%s: redelivered after batch flush: %+v", p.ID(), res)
+		}
+		wantTuples(t, p.Instance(), "F",
+			core.Strs("rat", "p1", "v"),
+			core.Strs("mouse", "p2", "w"))
+		if n, err := clientFor(p.ID()).CurrentRecno(ctx, p.ID()); err != nil || n != 2 {
+			t.Errorf("%s recno = %d, %v", p.ID(), n, err)
+		}
+	}
 }
 
 // figure2Peers builds the Figure 1 trust topology over the store.

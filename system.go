@@ -21,14 +21,15 @@ import (
 // convenience for embedding; peers can equally be constructed directly
 // against any Store implementation.
 type System struct {
-	schema  *Schema
-	cs      *central.Store
-	cluster *dhtstore.Cluster
-	net     *simnet.Network
+	schema      *Schema
+	cs          *central.Store
+	cluster     *dhtstore.Cluster
+	net         *simnet.Network
 	peers       map[PeerID]*Peer
 	order       []PeerID
 	fanout      int
 	interleaved bool
+	unbatched   bool
 	pstats      metrics.Pipeline
 }
 
@@ -41,6 +42,7 @@ type systemConfig struct {
 	latency     time.Duration
 	fanout      int
 	interleaved bool
+	unbatched   bool
 }
 
 // WithStoreDir makes the central store durable in the given directory.
@@ -76,6 +78,15 @@ func WithInterleavedReconcile() SystemOption {
 	return func(c *systemConfig) { c.interleaved = true }
 }
 
+// WithUnbatchedDecisions restores per-peer decision recording: each
+// reconciliation issues its own RecordDecisions store call instead of the
+// wave-pooled RecordDecisionsBatch flush. Decisions are identical either
+// way (the differential tests assert it); the option exists as the
+// historical baseline and for stores where batching is undesirable.
+func WithUnbatchedDecisions() SystemOption {
+	return func(c *systemConfig) { c.unbatched = true }
+}
+
 // NewSystem builds a system over the schema. By default it uses an
 // in-memory central store.
 func NewSystem(schema *Schema, opts ...SystemOption) (*System, error) {
@@ -88,6 +99,7 @@ func NewSystem(schema *Schema, opts ...SystemOption) (*System, error) {
 		peers:       make(map[PeerID]*Peer),
 		fanout:      cfg.fanout,
 		interleaved: cfg.interleaved,
+		unbatched:   cfg.unbatched,
 	}
 	if cfg.distributed {
 		lat := cfg.latency
@@ -167,10 +179,17 @@ func (s *System) Instances() []*Instance {
 // WithReconcileFanOut). Engines are single-owner, so peers are independent;
 // the update stores are safe for concurrent use. The split makes every
 // same-round publication visible to every reconciler regardless of the
-// fan-out, so results do not depend on the host's core count. The
+// fan-out, so results do not depend on the host's core count.
+//
+// The reconcile pass runs in waves of fan-out size: each wave's peers
+// reconcile concurrently with decision recording deferred, then the whole
+// wave's accept/reject outcomes are flushed to the store in a single
+// RecordDecisionsBatch round trip. Batching changes round trips only,
+// never results — one peer's recorded decisions are invisible to another
+// peer's reconciliation, so flush timing cannot alter candidates. The
+// per-peer recording pass is available via WithUnbatchedDecisions, and the
 // historical interleaved registration-order pass (publish+reconcile per
-// peer, earlier peers invisible to none) is available via
-// WithInterleavedReconcile.
+// peer, earlier peers invisible to none) via WithInterleavedReconcile.
 //
 // On error the map still carries the results of the peers that succeeded,
 // and the returned error joins every per-peer failure (the interleaved pass
@@ -210,23 +229,89 @@ func (s *System) ReconcileAll(ctx context.Context) (map[PeerID]*Result, error) {
 	// Reconcile fan-out.
 	results := make([]*Result, len(s.order))
 	recErrs := make([]error, len(s.order))
-	s.forEachPeer(fan, func(i int) {
-		done := s.pstats.WorkerStart()
-		defer done()
-		res, err := s.peers[s.order[i]].Reconcile(ctx)
-		if err != nil {
-			recErrs[i] = fmt.Errorf("orchestra: reconcile %s: %w", s.order[i], err)
-			return
-		}
-		s.pstats.Observe(res)
-		results[i] = res
-	})
+	if s.unbatched {
+		s.forEachPeer(fan, func(i int) {
+			done := s.pstats.WorkerStart()
+			defer done()
+			res, err := s.peers[s.order[i]].Reconcile(ctx)
+			if err != nil {
+				recErrs[i] = fmt.Errorf("orchestra: reconcile %s: %w", s.order[i], err)
+				return
+			}
+			s.pstats.Observe(res)
+			results[i] = res
+		})
+	} else {
+		s.reconcileWaves(ctx, fan, results, recErrs)
+	}
 	for i, res := range results {
 		if res != nil {
 			out[s.order[i]] = res
 		}
 	}
 	return out, errors.Join(recErrs...)
+}
+
+// reconcileWaves drives the batched reconcile pass: waves of at most fan
+// peers reconcile concurrently with recording deferred, then each wave's
+// decisions flush in one RecordDecisionsBatch round trip.
+func (s *System) reconcileWaves(ctx context.Context, fan int, results []*Result, recErrs []error) {
+	n := len(s.order)
+	batches := make([]store.DecisionBatch, n)
+	for lo := 0; lo < n; lo += fan {
+		hi := lo + fan
+		if hi > n {
+			hi = n
+		}
+		var wg sync.WaitGroup
+		for i := lo; i < hi; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				done := s.pstats.WorkerStart()
+				defer done()
+				res, batch, err := s.peers[s.order[i]].ReconcileBuffered(ctx)
+				if err != nil {
+					recErrs[i] = fmt.Errorf("orchestra: reconcile %s: %w", s.order[i], err)
+					return
+				}
+				results[i] = res
+				batches[i] = batch
+			}(i)
+		}
+		wg.Wait()
+
+		// Flush the wave: one store round trip for every peer that has
+		// decisions to record. Empty outcomes have nothing to persist.
+		flush := make([]store.DecisionBatch, 0, hi-lo)
+		decisions := 0
+		for i := lo; i < hi; i++ {
+			if results[i] == nil || batches[i].Empty() {
+				continue
+			}
+			flush = append(flush, batches[i])
+			decisions += len(batches[i].Accepted) + len(batches[i].Rejected)
+		}
+		if len(flush) > 0 {
+			if err := s.peers[s.order[lo]].Store().RecordDecisionsBatch(ctx, flush); err != nil {
+				// Only the peers whose decisions were in the failed flush
+				// lose their results; empty-outcome peers completed fine.
+				for i := lo; i < hi; i++ {
+					if results[i] != nil && recErrs[i] == nil && !batches[i].Empty() {
+						recErrs[i] = fmt.Errorf("orchestra: record decisions %s: %w", s.order[i], err)
+						results[i] = nil
+					}
+				}
+			} else {
+				s.pstats.ObserveDecisionFlush(len(flush), decisions)
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if results[i] != nil {
+				s.pstats.Observe(results[i])
+			}
+		}
+	}
 }
 
 // forEachPeer runs fn(i) for every peer index on at most fan goroutines.
@@ -255,9 +340,14 @@ func (s *System) forEachPeer(fan int, fn func(i int)) {
 }
 
 // Pipeline exposes the aggregated reconciliation-pipeline counters (stage
-// latencies, work counts, and the fan-out busy gauge) collected by
-// ReconcileAll.
+// latencies, work counts, the fan-out busy gauge, and the decision-flush
+// batching stats) collected by ReconcileAll.
 func (s *System) Pipeline() *metrics.Pipeline { return &s.pstats }
+
+// CentralStore returns the backing central store (nil for a distributed
+// system); it exposes the store's sharding/batching counters to embedders
+// and the bench harness.
+func (s *System) CentralStore() *central.Store { return s.cs }
 
 // Messages returns the DHT fabric traffic (0 for the central store).
 func (s *System) Messages() int64 {
