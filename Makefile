@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check bench bench-json clean
+.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ fmt-check:
 # bench runs every Go benchmark with allocation reporting.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-smoke runs every benchmark for exactly one iteration — no timing
+# value, but it executes every bench body, so harness rot (benchmarks that
+# no longer compile or crash) is caught on every PR without CI paying for a
+# real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-json regenerates BENCH_core.json, the machine-readable core
 # reconciliation perf baseline future PRs compare against.

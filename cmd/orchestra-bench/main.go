@@ -24,6 +24,7 @@ import (
 	"orchestra"
 	"orchestra/internal/core"
 	"orchestra/internal/exp"
+	"orchestra/internal/reldb"
 	"orchestra/internal/store"
 	"orchestra/internal/store/central"
 	"orchestra/internal/workload"
@@ -141,16 +142,43 @@ type decisionBatchStats struct {
 	BatchPeak      int64 `json:"batch_peak"`
 }
 
+// groupCommitBenchEntry is one cell of the reldb group-commit suite: C
+// concurrent committers into a durable database, with the WAL group-commit
+// path on or off.
+type groupCommitBenchEntry struct {
+	Name            string  `json:"name"`
+	Committers      int     `json:"committers"`
+	GroupCommit     bool    `json:"group_commit"`
+	SyncOnCommit    bool    `json:"sync_on_commit"`
+	NsPerCommit     float64 `json:"ns_per_commit"`
+	CommitsPerFlush float64 `json:"commits_per_flush"` // 0 with group commit off
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+}
+
+// epochAllocBenchEntry is one cell of the epoch-allocator suite: durable
+// concurrent publishes at a given allocator block size (block 1 = one
+// durable sequence commit per publish, the historical behaviour).
+type epochAllocBenchEntry struct {
+	Name            string  `json:"name"`
+	BlockSize       int     `json:"block_size"`
+	Publishers      int     `json:"publishers"`
+	NsPerTxn        float64 `json:"ns_per_txn"`
+	DBCommitsPerPub float64 `json:"db_commits_per_publish"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+}
+
 // coreBenchReport is the BENCH_core.json schema; future PRs compare their
 // runs against the committed serial baseline to track the perf trajectory.
 // See docs/BENCHMARKING.md.
 type coreBenchReport struct {
-	GoVersion         string              `json:"go_version"`
-	GOMAXPROCS        int                 `json:"gomaxprocs"`
-	Workload          string              `json:"workload"`
-	Entries           []coreBenchEntry    `json:"entries"`
-	ConcurrentPublish []publishBenchEntry `json:"concurrent_publish"`
-	DecisionBatching  decisionBatchStats  `json:"decision_batching"`
+	GoVersion         string                  `json:"go_version"`
+	GOMAXPROCS        int                     `json:"gomaxprocs"`
+	Workload          string                  `json:"workload"`
+	Entries           []coreBenchEntry        `json:"entries"`
+	ConcurrentPublish []publishBenchEntry     `json:"concurrent_publish"`
+	DecisionBatching  decisionBatchStats      `json:"decision_batching"`
+	ReldbGroupCommit  []groupCommitBenchEntry `json:"reldb_group_commit"`
+	EpochAllocator    []epochAllocBenchEntry  `json:"epoch_allocator"`
 }
 
 // runCoreSuite measures Engine.Reconcile on the shared contended workload
@@ -204,6 +232,12 @@ func runCoreSuite(path string) error {
 		return err
 	}
 	if err := runDecisionBatchSuite(&report); err != nil {
+		return err
+	}
+	if err := runGroupCommitSuite(&report); err != nil {
+		return err
+	}
+	if err := runEpochAllocatorSuite(&report); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -294,6 +328,200 @@ func runPublishSuite(report *coreBenchReport) error {
 		report.ConcurrentPublish = append(report.ConcurrentPublish, e)
 		fmt.Printf("%-40s %12.0f ns/txn %10d allocs/op %12d B/op\n",
 			e.Name, e.NsPerTxn, e.AllocsPerOp, e.BytesPerOp)
+	}
+	return nil
+}
+
+// runGroupCommitSuite measures durable reldb commit throughput with C
+// concurrent committers (each owning its own table, so the engine's
+// per-table locks never serialize them) with the WAL group-commit path off
+// and on; commits-per-flush is the batching the group path achieved. The
+// sync cells are where group commit earns its keep: one fsync-equivalent
+// per flush instead of per commit (on a single-core box the non-sync
+// cells rarely overlap in the commit window, so their flushes stay near
+// size 1 — expected, not a regression).
+func runGroupCommitSuite(report *coreBenchReport) error {
+	var benchErr error
+	type cell struct {
+		committers  int
+		group, sync bool
+	}
+	cells := []cell{
+		{1, false, false}, {4, false, false}, {4, true, false},
+		{4, false, true}, {4, true, true},
+	}
+	for _, c := range cells {
+		group, sync, committers := c.group, c.sync, c.committers
+		{
+			var flushStats float64
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				dir, err := os.MkdirTemp("", "orchestra-gc-bench")
+				if err != nil {
+					benchErr = err
+					b.Skip(err)
+				}
+				defer os.RemoveAll(dir)
+				db, err := reldb.Open(reldb.Options{Dir: dir, GroupCommit: group, SyncOnCommit: sync})
+				if err != nil {
+					benchErr = err
+					b.Skip(err)
+				}
+				defer db.Close()
+				err = db.Update(func(tx *reldb.Tx) error {
+					for c := 0; c < committers; c++ {
+						if err := tx.CreateTable(reldb.TableDef{
+							Name: fmt.Sprintf("t%d", c),
+							Cols: []reldb.ColDef{{Name: "id", Type: reldb.ColInt}, {Name: "v", Type: reldb.ColInt}},
+							Key:  []int{0},
+						}); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					benchErr = err
+					b.Skip(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					done := make(chan error, committers)
+					for c := 0; c < committers; c++ {
+						go func(c int) {
+							done <- db.Update(func(tx *reldb.Tx) error {
+								return tx.Upsert(fmt.Sprintf("t%d", c), reldb.Row{reldb.Int(int64(i)), reldb.Int(int64(c))})
+							})
+						}(c)
+					}
+					for c := 0; c < committers; c++ {
+						if err := <-done; err != nil {
+							benchErr = err
+							b.Skip(err)
+						}
+					}
+				}
+				b.StopTimer()
+				snap := db.Metrics().Snapshot()
+				if snap.GroupFlushes > 0 {
+					flushStats = float64(snap.GroupedCommits) / float64(snap.GroupFlushes)
+				}
+			})
+			if benchErr != nil {
+				return benchErr
+			}
+			e := groupCommitBenchEntry{
+				Name:            fmt.Sprintf("ReldbCommit/committers=%d/group=%v/sync=%v", committers, group, sync),
+				Committers:      committers,
+				GroupCommit:     group,
+				SyncOnCommit:    sync,
+				NsPerCommit:     float64(r.T.Nanoseconds()) / float64(r.N*committers),
+				CommitsPerFlush: flushStats,
+				AllocsPerOp:     r.AllocsPerOp(),
+			}
+			report.ReldbGroupCommit = append(report.ReldbGroupCommit, e)
+			fmt.Printf("%-50s %12.0f ns/commit %7.2f commits/flush %10d allocs/op\n",
+				e.Name, e.NsPerCommit, e.CommitsPerFlush, e.AllocsPerOp)
+		}
+	}
+	return nil
+}
+
+// runEpochAllocatorSuite measures durable concurrent publishes across
+// allocator block sizes: the durable sequence commit amortizes across the
+// block, visible as db-commits-per-publish falling below 2 toward 1.
+func runEpochAllocatorSuite(report *coreBenchReport) error {
+	const pubs = 4
+	const perBatch = 4
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	ctx := context.Background()
+	var benchErr error
+	for _, block := range []int{1, 8, 64} {
+		block := block
+		var commitsPerPub float64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			dir, err := os.MkdirTemp("", "orchestra-alloc-bench")
+			if err != nil {
+				benchErr = err
+				b.Skip(err)
+			}
+			defer os.RemoveAll(dir)
+			s, err := central.Open(schema, dir, central.WithEpochBlock(block))
+			if err != nil {
+				benchErr = err
+				b.Skip(err)
+			}
+			defer s.Close()
+			engines := make([]*core.Engine, pubs)
+			for p := 0; p < pubs; p++ {
+				id := core.PeerID(fmt.Sprintf("pub%d", p))
+				engines[p] = core.NewEngine(id, schema, core.TrustAll(1))
+				if err := s.RegisterPeer(ctx, id, core.TrustAll(1)); err != nil {
+					benchErr = err
+					b.Skip(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				batches := make([][]store.PublishedTxn, pubs)
+				for p, eng := range engines {
+					for k := 0; k < perBatch; k++ {
+						x, err := eng.NewLocalTransaction(core.Insert("F",
+							core.Strs(fmt.Sprintf("org%d", p), fmt.Sprintf("prot-%d-%d", i, k), "fn"),
+							eng.Peer()))
+						if err != nil {
+							benchErr = err
+							b.Skip(err)
+						}
+						batches[p] = append(batches[p], store.PublishedTxn{
+							Txn: x, Antecedents: eng.LocalAntecedents(x.ID),
+						})
+					}
+				}
+				errs := make([]error, pubs)
+				b.StartTimer()
+				done := make(chan struct{}, pubs)
+				for p := 0; p < pubs; p++ {
+					go func(p int) {
+						_, errs[p] = s.Publish(ctx, engines[p].Peer(), batches[p])
+						done <- struct{}{}
+					}(p)
+				}
+				for p := 0; p < pubs; p++ {
+					<-done
+				}
+				b.StopTimer()
+				for _, err := range errs {
+					if err != nil {
+						benchErr = err
+						b.Skip(err)
+					}
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			snap := s.DBMetrics().Snapshot()
+			pubsTotal := s.Metrics().Snapshot().Publishes
+			if pubsTotal > 0 {
+				commitsPerPub = float64(snap.Commits) / float64(pubsTotal)
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		e := epochAllocBenchEntry{
+			Name:            fmt.Sprintf("EpochAllocator/block=%d/publishers=%d", block, pubs),
+			BlockSize:       block,
+			Publishers:      pubs,
+			NsPerTxn:        float64(r.T.Nanoseconds()) / float64(r.N*pubs*perBatch),
+			DBCommitsPerPub: commitsPerPub,
+			AllocsPerOp:     r.AllocsPerOp(),
+		}
+		report.EpochAllocator = append(report.EpochAllocator, e)
+		fmt.Printf("%-40s %12.0f ns/txn %7.2f db-commits/publish %10d allocs/op\n",
+			e.Name, e.NsPerTxn, e.DBCommitsPerPub, e.AllocsPerOp)
 	}
 	return nil
 }

@@ -6,22 +6,127 @@ import (
 	"fmt"
 )
 
-// Tx is a transaction handle passed to View/Update callbacks. Writable
-// transactions buffer their operations for the WAL and an undo list for
-// rollback; reads always see the transaction's own writes.
+// Tx is a transaction handle passed to View/Update callbacks. A writable
+// transaction write-locks each table at first touch and holds the lock to
+// commit (strict two-phase locking), buffering WAL operations and a typed
+// undo list for rollback; a read-only transaction read-locks tables at
+// first touch and holds the locks until the View returns. Reads always see
+// the transaction's own writes.
 type Tx struct {
 	db       *DB
 	writable bool
-	ops      []walOp
-	undo     []func()
+	// tabs are the locked tables, in acquisition order; lookups scan this
+	// slice first (transactions touch a handful of tables at most).
+	tabs    []*table
+	created []*table // tables created by this tx (pending until commit)
+	seqHeld bool
+	ops     []walOp
+	undo    []undoOp
 }
 
+// undoOp is one typed rollback step; undos run in reverse append order.
+type undoOp struct {
+	kind undoKind
+	t    *table
+	pk   string
+	row  Row
+	seq  string
+	seqV int64
+}
+
+type undoKind uint8
+
+const (
+	undoPut    undoKind = iota + 1 // re-put row into t (reverses delete/replace)
+	undoDelete                     // delete pk from t (reverses insert)
+	undoSeq                        // restore sequence seq to seqV
+	undoDrop                       // drop the created table t
+)
+
+// table resolves a table and, on first touch, acquires its lock in the
+// transaction's mode.
 func (tx *Tx) table(name string) (*table, error) {
-	t, ok := tx.db.tables[name]
-	if !ok {
+	for _, t := range tx.tabs {
+		if t.def.Name == name {
+			return t, nil
+		}
+	}
+	t := tx.db.resolve(name, tx)
+	if t == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
 	}
+	tx.lockTable(t)
 	return t, nil
+}
+
+// lockTable acquires t's lock in the transaction's mode and records it for
+// release. Tables created by this transaction are invisible to others and
+// are not locked.
+func (tx *Tx) lockTable(t *table) {
+	if t.pending == tx {
+		tx.tabs = append(tx.tabs, t)
+		return
+	}
+	if tx.writable {
+		if !t.mu.TryLock() {
+			tx.db.counters.ObserveTableWait()
+			t.mu.Lock()
+		}
+	} else {
+		if !t.mu.TryRLock() {
+			tx.db.counters.ObserveTableWait()
+			t.mu.RLock()
+		}
+	}
+	tx.tabs = append(tx.tabs, t)
+}
+
+// lockSeqs acquires the sequence lock on first touch (held to release) —
+// exclusively for writable transactions, shared for read-only ones.
+func (tx *Tx) lockSeqs() {
+	if tx.seqHeld {
+		return
+	}
+	if tx.writable {
+		tx.db.seqMu.Lock()
+	} else {
+		tx.db.seqMu.RLock()
+	}
+	tx.seqHeld = true
+}
+
+// release unlocks everything the transaction holds; called exactly once,
+// after commit or rollback (Update) or after fn returns (View).
+func (tx *Tx) release() {
+	for _, t := range tx.tabs {
+		if t.pending == tx {
+			continue
+		}
+		if tx.writable {
+			t.mu.Unlock()
+		} else {
+			t.mu.RUnlock()
+		}
+	}
+	tx.tabs = nil
+	if len(tx.created) > 0 {
+		tx.db.tablesMu.Lock()
+		for _, t := range tx.created {
+			if t.pending == tx { // still pending: commit publishes, rollback removed it
+				t.pending = nil
+			}
+		}
+		tx.db.tablesMu.Unlock()
+		tx.created = nil
+	}
+	if tx.seqHeld {
+		if tx.writable {
+			tx.db.seqMu.Unlock()
+		} else {
+			tx.db.seqMu.RUnlock()
+		}
+		tx.seqHeld = false
+	}
 }
 
 func (tx *Tx) requireWritable() error {
@@ -31,7 +136,18 @@ func (tx *Tx) requireWritable() error {
 	return nil
 }
 
-// CreateTable declares a new table.
+// logOp buffers op for the WAL; in-memory databases skip the buffer (and
+// its allocations) entirely since commit would discard it.
+func (tx *Tx) logOp(op walOp) {
+	if tx.db.log != nil {
+		tx.ops = append(tx.ops, op)
+	}
+}
+
+// CreateTable declares a new table. The table becomes visible to other
+// transactions when this one commits; DDL is not otherwise isolated from
+// concurrent DML, so declare tables before going concurrent (the central
+// store does all DDL at open).
 func (tx *Tx) CreateTable(def TableDef) error {
 	if err := tx.requireWritable(); err != nil {
 		return err
@@ -39,20 +155,26 @@ func (tx *Tx) CreateTable(def TableDef) error {
 	if err := def.validate(); err != nil {
 		return err
 	}
+	t := newTable(def)
+	t.pending = tx
+	tx.db.tablesMu.Lock()
 	if _, dup := tx.db.tables[def.Name]; dup {
+		tx.db.tablesMu.Unlock()
 		return fmt.Errorf("reldb: table %s already exists", def.Name)
 	}
-	tx.db.tables[def.Name] = newTable(def)
-	name := def.Name
-	tx.undo = append(tx.undo, func() { delete(tx.db.tables, name) })
-	tx.ops = append(tx.ops, walOp{Kind: opCreate, Def: def})
+	tx.db.tables[def.Name] = t
+	tx.db.tablesMu.Unlock()
+	tx.created = append(tx.created, t)
+	tx.tabs = append(tx.tabs, t)
+	tx.undo = append(tx.undo, undoOp{kind: undoDrop, t: t})
+	tx.logOp(walOp{Kind: opCreate, Def: def})
 	return nil
 }
 
-// HasTable reports whether a table exists.
+// HasTable reports whether a table exists (and is visible to this
+// transaction).
 func (tx *Tx) HasTable(name string) bool {
-	_, ok := tx.db.tables[name]
-	return ok
+	return tx.db.resolve(name, tx) != nil
 }
 
 // Insert adds a row; it fails with ErrDuplicateKey if the primary key or a
@@ -89,12 +211,11 @@ func (tx *Tx) write(tableName string, r Row, replace bool) error {
 	}
 	t.put(r)
 	if existed {
-		oldRow := old
-		tx.undo = append(tx.undo, func() { t.put(oldRow) })
+		tx.undo = append(tx.undo, undoOp{kind: undoPut, t: t, row: old})
 	} else {
-		tx.undo = append(tx.undo, func() { t.deleteByPK(pk) })
+		tx.undo = append(tx.undo, undoOp{kind: undoDelete, t: t, pk: pk})
 	}
-	tx.ops = append(tx.ops, walOp{Kind: opPut, Table: tableName, Row: r})
+	tx.logOp(walOp{Kind: opPut, Table: tableName, Row: r})
 	return nil
 }
 
@@ -113,8 +234,8 @@ func (tx *Tx) Delete(tableName string, key ...V) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	tx.undo = append(tx.undo, func() { t.put(old) })
-	tx.ops = append(tx.ops, walOp{Kind: opDelete, Table: tableName, PK: pk})
+	tx.undo = append(tx.undo, undoOp{kind: undoPut, t: t, row: old})
+	tx.logOp(walOp{Kind: opDelete, Table: tableName, PK: pk})
 	return true, nil
 }
 
@@ -202,31 +323,69 @@ func (tx *Tx) ScanIndex(tableName, indexName string, vals []V, fn func(r Row) bo
 // NextSeq increments and returns the named sequence (starting at 1), like
 // an SQL sequence; used by the central store for the epoch counter.
 func (tx *Tx) NextSeq(name string) (int64, error) {
+	return tx.AdvanceSeq(name, 1)
+}
+
+// AdvanceSeq advances the named sequence by the given positive amount and
+// returns the new value — the multi-epoch allocator's block refill: one
+// durable commit hands out `by` values at once.
+func (tx *Tx) AdvanceSeq(name string, by int64) (int64, error) {
 	if err := tx.requireWritable(); err != nil {
 		return 0, err
 	}
+	if by <= 0 {
+		return 0, fmt.Errorf("reldb: AdvanceSeq by %d", by)
+	}
+	tx.lockSeqs()
 	prev := tx.db.seqs[name]
-	next := prev + 1
+	next := prev + by
 	tx.db.seqs[name] = next
-	tx.undo = append(tx.undo, func() { tx.db.seqs[name] = prev })
-	tx.ops = append(tx.ops, walOp{Kind: opSeq, Seq: name, SeqV: next})
+	tx.undo = append(tx.undo, undoOp{kind: undoSeq, seq: name, seqV: prev})
+	tx.logOp(walOp{Kind: opSeq, Seq: name, SeqV: next})
 	return next, nil
 }
 
 // CurrentSeq returns the named sequence's current value without advancing.
-func (tx *Tx) CurrentSeq(name string) int64 { return tx.db.seqs[name] }
+// Like tables, the sequence namespace is locked at first touch and held to
+// the end of the transaction, so it participates in the same lock-order
+// contract.
+func (tx *Tx) CurrentSeq(name string) int64 {
+	tx.lockSeqs()
+	return tx.db.seqs[name]
+}
 
-// rollback undoes every buffered write in reverse order.
+// rollback undoes every buffered write in reverse order; the transaction
+// still holds its locks.
 func (tx *Tx) rollback() {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
-		tx.undo[i]()
+		u := &tx.undo[i]
+		switch u.kind {
+		case undoPut:
+			u.t.put(u.row)
+		case undoDelete:
+			u.t.deleteByPK(u.pk)
+		case undoSeq:
+			tx.db.seqs[u.seq] = u.seqV
+		case undoDrop:
+			tx.db.tablesMu.Lock()
+			delete(tx.db.tables, u.t.def.Name)
+			tx.db.tablesMu.Unlock()
+		}
 	}
 	tx.ops, tx.undo = nil, nil
 }
 
-// commit logs the buffered operations to the WAL.
+// commit logs the buffered operations to the WAL (directly, or through the
+// group committer), rolling back on a logging failure. Locks are released
+// by the caller afterwards, so a transaction's WAL record is durably
+// ordered before any conflicting transaction can even start. The commit
+// counter moves only after the append succeeded — a rolled-back
+// transaction is not a commit.
 func (tx *Tx) commit() error {
 	if len(tx.ops) == 0 || tx.db.log == nil {
+		if len(tx.undo) > 0 {
+			tx.db.counters.ObserveCommit()
+		}
 		return nil
 	}
 	var buf bytes.Buffer
@@ -235,10 +394,26 @@ func (tx *Tx) commit() error {
 		tx.rollback()
 		return fmt.Errorf("reldb: encode wal batch: %w", err)
 	}
+	if gc := tx.db.gc; gc != nil {
+		appended, err := gc.commit(buf.Bytes())
+		if !appended {
+			// Nothing durable (the failed group was truncated away): roll
+			// back so memory and log agree.
+			tx.rollback()
+			return err
+		}
+		tx.db.counters.ObserveCommit()
+		// A sync failure after a successful append keeps the state — the
+		// record is in the log and will replay — and surfaces the error,
+		// exactly like the serial path below.
+		return err
+	}
 	if err := tx.db.log.Append(buf.Bytes()); err != nil {
 		tx.rollback()
 		return err
 	}
+	tx.db.counters.ObserveWALAppend()
+	tx.db.counters.ObserveCommit()
 	if tx.db.sync {
 		return tx.db.log.Sync()
 	}

@@ -10,12 +10,18 @@
 // # Concurrency
 //
 // The store is sharded so concurrent publishers and reconcilers do not
-// contend on a single lock (see docs/ARCHITECTURE.md):
+// contend on a single lock (see docs/ARCHITECTURE.md and docs/STORAGE.md):
 //
-//   - Epoch allocation is the only global write lock (epochMu), and it is a
-//     short critical section: a durable sequence bump plus a registry
-//     insert. The stable-epoch scan takes the same lock shared, reading
-//     atomic finished flags.
+//   - Epoch allocation takes the only global write lock (epochMu) for a
+//     short, normally memory-only critical section: epoch numbers are
+//     handed out from a pre-allocated block, and the durable sequence
+//     commit that claims the next block runs once every epochBlock
+//     publishes (WithEpochBlock; block size 1 restores a durable commit
+//     per publish).
+//   - The stable-epoch frontier is maintained incrementally: every epoch
+//     finish advances it through consecutively finished epochs, so
+//     reconcilers read it from a single atomic — O(1) instead of a scan
+//     over all epochs.
 //   - Each open epoch carries its own mutex; since an epoch is owned by
 //     exactly one publisher, payload encoding and cache warming — the
 //     expensive parts of publishing — run without excluding other peers.
@@ -28,9 +34,13 @@
 // Lock order: an epoch mutex may be taken before a peer mutex (publish),
 // and a peer mutex before a *finished* epoch's mutex (reconciliation
 // snapshot); the two can never deadlock because an epoch is unfinished
-// while publishing and only finished epochs are snapshotted. The reldb
-// engine's internal lock is always innermost. RecordDecisionsBatch locks
-// its peers in sorted order.
+// while publishing and only finished epochs are snapshotted. epochMu is
+// taken after epoch/peer locks only for the brief frontier advance, whose
+// critical section takes no other store lock. The reldb engine's per-table
+// locks are always innermost; every multi-table commit touches tables in
+// the order epochs → txns → decisions → peers (the lock-order rule
+// documented in docs/STORAGE.md). RecordDecisionsBatch locks its peers in
+// sorted order.
 package central
 
 import (
@@ -39,11 +49,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"orchestra/internal/core"
 	"orchestra/internal/metrics"
 	"orchestra/internal/reldb"
-	"orchestra/internal/rpc"
 	"orchestra/internal/store"
 )
 
@@ -56,18 +66,88 @@ const OrderStride = 1 << 20
 // mix below distributes evenly.
 const txnShardCount = 32
 
+// DefaultEpochBlock is the default number of epochs claimed per durable
+// sequence commit (see WithEpochBlock).
+const DefaultEpochBlock = 8
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	epochBlock  int64
+	groupCommit bool
+	groupWindow time.Duration
+}
+
+func defaultConfig() config {
+	return config{epochBlock: DefaultEpochBlock, groupCommit: true}
+}
+
+// WithEpochBlock sets how many epoch numbers each durable sequence commit
+// claims. Larger blocks amortize the allocator's commit across that many
+// publishes; block size 1 restores one durable commit per epoch (the
+// allocator's serial escape hatch). Epoch numbers are handed out densely
+// either way — block size never changes epoch numbering, decisions, or
+// stable-epoch answers, only when the allocator touches the database.
+// After a crash, the unissued remainder of the current block becomes a
+// permanent gap that recovery marks void (finished and empty).
+func WithEpochBlock(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.epochBlock = int64(n)
+	}
+}
+
+// WithGroupCommit enables the backing database's WAL group-commit path
+// (the default) with the given gathering window; zero flushes whatever has
+// queued with no added latency. See reldb.Options.GroupCommitWindow.
+//
+// Flush groups form across commits on disjoint tables (e.g. publish
+// commits batching with reconciliation-point commits on the peers
+// table); publish commits all touch the epochs/txns/decisions tables and
+// therefore serialize on the engine's table locks, flushing alone. Keep
+// the window at zero unless fsync (SyncOnCommit) dominates commit cost:
+// a flush leader sleeps the window while holding its table locks, so a
+// nonzero window adds that much latency to every conflicting commit.
+func WithGroupCommit(window time.Duration) Option {
+	return func(c *config) {
+		c.groupCommit = true
+		c.groupWindow = window
+	}
+}
+
+// WithSerialCommit disables group commit: every database commit appends
+// its own WAL record — the serial escape hatch the differential tests pin
+// group commit against.
+func WithSerialCommit() Option {
+	return func(c *config) { c.groupCommit = false }
+}
+
 // Store is the centralized update store.
 type Store struct {
 	db       *reldb.DB
 	schema   *core.Schema
 	counters *metrics.StoreCounters
 
-	// epochMu guards the epoch registry (epochs, maxE). Exclusive only for
-	// the short allocation critical section; shared for lookups and the
-	// stable-epoch scan.
+	// epochMu guards the epoch registry (epochs, maxE) and the allocator
+	// block (blockNext, blockEnd). Exclusive only for the short allocation
+	// and frontier-advance critical sections; shared for lookups.
 	epochMu sync.RWMutex
 	epochs  map[core.Epoch]*epochMeta
 	maxE    core.Epoch
+
+	// epochBlock is how many epoch numbers each durable sequence commit
+	// claims; [blockNext, blockEnd] is the unissued remainder.
+	epochBlock int64
+	blockNext  core.Epoch
+	blockEnd   core.Epoch
+
+	// stableE is the incrementally maintained stable-epoch frontier: the
+	// latest epoch not preceded by an unfinished allocated epoch. Advanced
+	// under epochMu on every epoch finish, read lock-free.
+	stableE atomic.Int64
 
 	// shards stripe the TxnID → entry index.
 	shards [txnShardCount]txnShard
@@ -136,18 +216,31 @@ func (pm *peerMeta) recordDecisionLocked(id core.TxnID, d core.Decision) int64 {
 	return pm.nextSeq
 }
 
-// Open creates (or recovers) a store. dir == "" keeps everything in memory.
-func Open(schema *core.Schema, dir string) (*Store, error) {
-	db, err := reldb.Open(reldb.Options{Dir: dir})
+// Open creates (or recovers) a store. dir == "" keeps everything in
+// memory. By default the backing database batches concurrent commits
+// through the WAL group-commit path and the epoch allocator claims
+// DefaultEpochBlock epochs per durable sequence commit; see WithEpochBlock,
+// WithGroupCommit, WithSerialCommit.
+func Open(schema *core.Schema, dir string, opts ...Option) (*Store, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db, err := reldb.Open(reldb.Options{
+		Dir:               dir,
+		GroupCommit:       cfg.groupCommit,
+		GroupCommitWindow: cfg.groupWindow,
+	})
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
-		db:       db,
-		schema:   schema,
-		counters: &metrics.StoreCounters{},
-		epochs:   make(map[core.Epoch]*epochMeta),
-		peers:    make(map[core.PeerID]*peerMeta),
+		db:         db,
+		schema:     schema,
+		counters:   &metrics.StoreCounters{},
+		epochs:     make(map[core.Epoch]*epochMeta),
+		peers:      make(map[core.PeerID]*peerMeta),
+		epochBlock: cfg.epochBlock,
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[core.TxnID]*entry)
@@ -180,6 +273,10 @@ func (s *Store) Close() error {
 // Metrics exposes the store's concurrency counters: publish volume, lock
 // contention, and decision-batch shape.
 func (s *Store) Metrics() *metrics.StoreCounters { return s.counters }
+
+// DBMetrics exposes the backing storage engine's commit and contention
+// counters (group-commit flush economy, table-lock waits).
+func (s *Store) DBMetrics() *metrics.DBCounters { return s.db.Metrics() }
 
 // shard returns the index stripe owning id (FNV-1a over origin and seq).
 func (s *Store) shard(id core.TxnID) *txnShard {
@@ -311,7 +408,7 @@ func (s *Store) initTables() error {
 // loadCaches rebuilds the in-memory indexes from the tables after recovery.
 // Open is single-threaded, so no store locks are taken here.
 func (s *Store) loadCaches() error {
-	return s.db.View(func(tx *reldb.Tx) error {
+	err := s.db.View(func(tx *reldb.Tx) error {
 		if err := tx.Scan("epochs", func(r reldb.Row) bool {
 			e := core.Epoch(r[0].I())
 			em := &epochMeta{peer: core.PeerID(r[1].S())}
@@ -324,11 +421,30 @@ func (s *Store) loadCaches() error {
 		}); err != nil {
 			return err
 		}
+		// The durable sequence is the allocator's block high-water mark.
+		// Epochs up to it that never reached a durable publish commit —
+		// the unissued block remainder, or allocations whose publishes
+		// died with the previous process — can never carry transactions
+		// now; register them as void (finished, empty) so the stable
+		// frontier passes over the gaps. Allocation resumes with a fresh
+		// block above the high-water mark.
+		seqHW := core.Epoch(tx.CurrentSeq("epoch"))
+		for e := core.Epoch(1); e <= seqHW; e++ {
+			if _, ok := s.epochs[e]; !ok {
+				em := &epochMeta{}
+				em.finished.Store(true)
+				s.epochs[e] = em
+			}
+		}
+		if seqHW > s.maxE {
+			s.maxE = seqHW
+		}
+		s.blockNext, s.blockEnd = seqHW+1, seqHW
 		var scanErr error
 		var recovered []*entry
 		if err := tx.Scan("txns", func(r reldb.Row) bool {
-			var batch []store.PublishedTxn
-			if err := rpc.Decode(r[3].Raw(), &batch); err != nil {
+			batch, err := store.DecodePublishedTxns(r[3].Raw())
+			if err != nil {
 				scanErr = err
 				return false
 			}
@@ -380,6 +496,11 @@ func (s *Store) loadCaches() error {
 			return true
 		})
 	})
+	if err != nil {
+		return err
+	}
+	s.advanceFrontier()
+	return nil
 }
 
 // RegisterPeer implements store.Store. Re-registering an existing peer
@@ -417,9 +538,14 @@ func (s *Store) PublishBegin(peer core.PeerID) (core.Epoch, error) {
 	return s.allocEpoch(peer)
 }
 
-// allocEpoch is the publish path's single global critical section: a
-// durable sequence bump plus a registry insert. Everything expensive —
-// payload encoding, cache warming, indexing — happens outside it, under
+// allocEpoch is the publish path's single global critical section, and it
+// is normally memory-only: epoch numbers come from a pre-claimed block,
+// and the durable sequence commit runs once per epochBlock allocations.
+// The epoch becomes durable with its first publish commit (publishWrite
+// writes the epochs row in the same transaction as the batch); an epoch
+// that dies between allocation and its first commit leaves no durable
+// trace and is voided by recovery. Everything expensive — payload
+// encoding, cache warming, indexing — happens outside this lock, under
 // per-epoch and per-peer locks.
 func (s *Store) allocEpoch(peer core.PeerID) (core.Epoch, error) {
 	if !s.epochMu.TryLock() {
@@ -427,18 +553,20 @@ func (s *Store) allocEpoch(peer core.PeerID) (core.Epoch, error) {
 		s.epochMu.Lock()
 	}
 	defer s.epochMu.Unlock()
-	var epoch core.Epoch
-	err := s.db.Update(func(tx *reldb.Tx) error {
-		e, err := tx.NextSeq("epoch")
-		if err != nil {
+	if s.blockNext > s.blockEnd {
+		var end int64
+		err := s.db.Update(func(tx *reldb.Tx) error {
+			var err error
+			end, err = tx.AdvanceSeq("epoch", s.epochBlock)
 			return err
+		})
+		if err != nil {
+			return 0, err
 		}
-		epoch = core.Epoch(e)
-		return tx.Insert("epochs", reldb.Row{reldb.Int(e), reldb.Str(string(peer)), reldb.Bool(false)})
-	})
-	if err != nil {
-		return 0, err
+		s.blockNext, s.blockEnd = core.Epoch(end)-core.Epoch(s.epochBlock)+1, core.Epoch(end)
 	}
+	epoch := s.blockNext
+	s.blockNext++
 	s.epochs[epoch] = &epochMeta{peer: peer}
 	if epoch > s.maxE {
 		s.maxE = epoch
@@ -475,8 +603,10 @@ func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 	}
 	// Assign orders and encode the batch before taking the peer lock or
 	// the database lock: encoding is the expensive part of publishing, and
-	// it now runs under the per-epoch lock only, which nobody else
-	// contends for. The whole batch goes through one gob stream.
+	// it runs under the per-epoch lock only, which nobody else contends
+	// for. The whole batch becomes one compact binary payload
+	// (store.AppendPublishedTxns — reflection-free; gob's per-encoder type
+	// descriptors used to dominate the publish profile).
 	base := uint64(len(em.txns))
 	for i := range txns {
 		pt := &txns[i]
@@ -488,14 +618,21 @@ func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 		// populate a shared cache.
 		pt.Txn.PrecomputeEncodings(s.schema)
 	}
-	payload, err := rpc.Encode(txns)
-	if err != nil {
-		return err
-	}
+	payload := store.AppendPublishedTxns(nil, txns)
 
 	lockContended(&pm.mu, s.counters.ObservePeerContention)
 	defer pm.mu.Unlock()
+	// One commit carries the whole publish: the epoch registration (first
+	// durable trace of the epoch — allocation itself is memory-only), the
+	// batch payload, and the publisher's self-accepts; the fast path also
+	// finishes the epoch here. Tables are touched in the documented
+	// epochs → txns → decisions order.
 	err = s.db.Update(func(tx *reldb.Tx) error {
+		if err := tx.Upsert("epochs", reldb.Row{
+			reldb.Int(int64(epoch)), reldb.Str(string(peer)), reldb.Bool(finish),
+		}); err != nil {
+			return err
+		}
 		if err := tx.Insert("txns", reldb.Row{
 			reldb.Int(int64(txns[0].Txn.Order)),
 			reldb.Int(int64(epoch)),
@@ -516,9 +653,6 @@ func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 				return err
 			}
 		}
-		if finish {
-			return tx.Upsert("epochs", reldb.Row{reldb.Int(int64(epoch)), reldb.Str(string(peer)), reldb.Bool(true)})
-		}
 		return nil
 	})
 	if err != nil {
@@ -532,6 +666,7 @@ func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 	}
 	if finish {
 		em.finished.Store(true)
+		s.advanceFrontier()
 	}
 	return nil
 }
@@ -552,6 +687,7 @@ func (s *Store) PublishFinish(peer core.PeerID, epoch core.Epoch) error {
 		return err
 	}
 	em.finished.Store(true)
+	s.advanceFrontier()
 	return nil
 }
 
@@ -578,20 +714,31 @@ func (s *Store) Publish(_ context.Context, peer core.PeerID, txns []store.Publis
 }
 
 // stableEpoch returns the most recent epoch not preceded by an unfinished
-// epoch. The scan holds the epoch registry read lock only; the finished
-// flags are atomics, so publishers finishing concurrently never block it.
+// allocated epoch — a single atomic load: the frontier is maintained
+// incrementally by advanceFrontier at every epoch finish instead of being
+// recomputed by an O(epochs) scan per reconciliation.
 func (s *Store) stableEpoch() core.Epoch {
-	s.epochMu.RLock()
-	defer s.epochMu.RUnlock()
-	var stable core.Epoch
-	for e := core.Epoch(1); e <= s.maxE; e++ {
-		em, ok := s.epochs[e]
+	return core.Epoch(s.stableE.Load())
+}
+
+// advanceFrontier pushes the stable-epoch frontier through consecutively
+// finished (or void) epochs. Called after every epoch finish; the critical
+// section touches only the epoch registry, so taking epochMu here while
+// holding epoch/peer locks cannot deadlock. Advancement is monotone and
+// re-scans from the current frontier, so racing finishers converge on the
+// same answer regardless of order.
+func (s *Store) advanceFrontier() {
+	s.epochMu.Lock()
+	st := core.Epoch(s.stableE.Load())
+	for {
+		em, ok := s.epochs[st+1]
 		if !ok || !em.finished.Load() {
 			break
 		}
-		stable = e
+		st++
 	}
-	return stable
+	s.stableE.Store(int64(st))
+	s.epochMu.Unlock()
 }
 
 // BeginReconciliation implements store.Store. Only the reconciling peer's

@@ -1,0 +1,162 @@
+package central
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/store"
+	"orchestra/internal/store/storetest"
+)
+
+// differentialWorkload drives a deterministic multi-peer publish/reconcile
+// history against a store opened with the given options and returns a full
+// transcript: every step's accept/reject/defer decisions, the live
+// stable-epoch answer after every step, and the durable state recovered by
+// a reopen (replayed decisions plus the candidate window a fresh peer
+// sees). Group commit and the epoch allocator may only change performance,
+// so the transcript must be bit-identical across every option combination.
+func differentialWorkload(t *testing.T, opts ...Option) string {
+	t.Helper()
+	const rounds = 4
+	ctx := context.Background()
+	schema := storetest.Schema(t)
+	dir := t.TempDir()
+	s, err := Open(schema, dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unequal trust so contended keys produce real rejects, not just
+	// deferrals: everyone ranks a over b over c.
+	trust := core.TrustOrigins(map[core.PeerID]int{"a": 3, "b": 2, "c": 1})
+	ids := []core.PeerID{"a", "b", "c"}
+	peers := make(map[core.PeerID]*store.Peer, len(ids))
+	for _, id := range ids {
+		p, err := store.NewPeer(ctx, id, schema, trust, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[id] = p
+	}
+
+	var b strings.Builder
+	sortedIDs := func(xs []core.TxnID) []string {
+		out := make([]string, len(xs))
+		for i, x := range xs {
+			out[i] = fmt.Sprintf("%s/%d", x.Origin, x.Seq)
+		}
+		sort.Strings(out)
+		return out
+	}
+	for r := 0; r < rounds; r++ {
+		for _, id := range ids {
+			p := peers[id]
+			// One unique key and one key contended across all three peers.
+			if _, err := p.Edit(core.Insert("F",
+				core.Strs(string(id), fmt.Sprintf("p-%d", r), "fn"), id)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Edit(core.Insert("F",
+				core.Strs("shared", fmt.Sprintf("p-%d", r), "fn-"+string(id)), id)); err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.PublishAndReconcile(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&b, "r%d %s recno=%d acc=%v rej=%v def=%v stable=%d\n",
+				r, id, res.Recno, sortedIDs(res.Accepted), sortedIDs(res.Rejected),
+				sortedIDs(res.Deferred), s.stableEpoch())
+		}
+	}
+	fmt.Fprintf(&b, "txns=%d\n", s.TxnCount())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery must replay to the same decisions, and a fresh peer's
+	// candidate window (visibility through the recovered stable frontier)
+	// must be identical — even though void recovery gaps make the raw
+	// frontier number block-size dependent.
+	s2, err := Open(schema, dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	fmt.Fprintf(&b, "recovered txns=%d\n", s2.TxnCount())
+	for _, id := range ids {
+		if err := s2.RegisterPeer(ctx, id, trust); err != nil {
+			t.Fatal(err)
+		}
+		_, decisions, err := s2.ReplayFor(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type dec struct {
+			id  string
+			d   core.Decision
+			seq int64
+		}
+		var ds []dec
+		for txn, rd := range decisions {
+			ds = append(ds, dec{fmt.Sprintf("%s/%d", txn.Origin, txn.Seq), rd.Decision, rd.Seq})
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].seq < ds[j].seq })
+		fmt.Fprintf(&b, "replay %s:", id)
+		for _, d := range ds {
+			fmt.Fprintf(&b, " %s=%d@%d", d.id, d.d, d.seq)
+		}
+		fmt.Fprintln(&b)
+	}
+	if err := s2.RegisterPeer(ctx, "fresh", core.TrustAll(1)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s2.BeginReconciliation(ctx, "fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var window []string
+	for _, c := range rec.Candidates {
+		window = append(window, fmt.Sprintf("%s/%d@%d", c.Txn.ID.Origin, c.Txn.ID.Seq, c.Txn.Order))
+	}
+	fmt.Fprintf(&b, "fresh window=%v\n", window)
+	return b.String()
+}
+
+// TestDifferentialGroupCommitAndEpochBlocks pins every combination of
+// group commit on/off × epoch block size 1/8/64 to a bit-identical
+// reconciliation transcript: identical decisions, identical live
+// stable-epoch answers, identical recovered state. The knobs may change
+// performance only.
+func TestDifferentialGroupCommitAndEpochBlocks(t *testing.T) {
+	baseline := differentialWorkload(t, WithSerialCommit(), WithEpochBlock(1))
+	if !strings.Contains(baseline, "rej=[") || !strings.Contains(baseline, "acc=[") {
+		t.Fatalf("workload produced no decisions:\n%s", baseline)
+	}
+	// The workload must actually exercise rejects (contended keys with
+	// unequal trust), or the differential would prove too little.
+	if !strings.Contains(baseline, "rej=[b/") && !strings.Contains(baseline, "rej=[c/") {
+		t.Fatalf("workload never rejected a transaction:\n%s", baseline)
+	}
+	for _, group := range []bool{false, true} {
+		for _, block := range []int{1, 8, 64} {
+			name := fmt.Sprintf("group=%v/block=%d", group, block)
+			t.Run(name, func(t *testing.T) {
+				opts := []Option{WithEpochBlock(block)}
+				if group {
+					opts = append(opts, WithGroupCommit(0))
+				} else {
+					opts = append(opts, WithSerialCommit())
+				}
+				got := differentialWorkload(t, opts...)
+				if got != baseline {
+					t.Errorf("transcript diverged from serial/block=1 baseline:\n--- got ---\n%s\n--- want ---\n%s", got, baseline)
+				}
+			})
+		}
+	}
+}

@@ -2,8 +2,11 @@ package dhtstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"orchestra/internal/core"
 	"orchestra/internal/dht"
@@ -217,14 +220,21 @@ func (cl *client) RecordDecisions(ctx context.Context, peer core.PeerID, _ int, 
 	return nil
 }
 
+// decidePipelineWidth bounds how many controller messages
+// RecordDecisionsBatch keeps in flight at once.
+const decidePipelineWidth = 8
+
 // RecordDecisionsBatch implements store.Store. The DHT partitions decision
 // state by transaction controller, so the wave's decisions are regrouped
 // per transaction: one message per distinct transaction carrying every
 // peer's verdict for it — fewer messages than one per (peer, decision)
-// whenever several peers decide the same transactions in one wave.
+// whenever several peers decide the same transactions in one wave. The
+// controller messages are independent (one transaction's verdicts each),
+// so they are pipelined: up to decidePipelineWidth requests in flight
+// instead of one latency-bound round trip per controller.
 func (cl *client) RecordDecisionsBatch(ctx context.Context, batches []store.DecisionBatch) error {
 	grouped := make(map[core.TxnID][]peerDecision)
-	var ids []core.TxnID // first-appearance order, for deterministic sends
+	var ids []core.TxnID // first-appearance order, for deterministic send starts
 	add := func(peer core.PeerID, id core.TxnID, d core.Decision) {
 		if _, seen := grouped[id]; !seen {
 			ids = append(ids, id)
@@ -239,13 +249,45 @@ func (cl *client) RecordDecisionsBatch(ctx context.Context, batches []store.Deci
 			add(b.Peer, id, core.DecisionReject)
 		}
 	}
-	for _, id := range ids {
-		args := &txnDecideBatchArgs{ID: id, Decisions: grouped[id]}
-		if err := cl.call(ctx, txnKey(id), mTxnDecideN, args, nil); err != nil {
-			return fmt.Errorf("dhtstore: record decision batch %s: %w", id, err)
-		}
+	width := decidePipelineWidth
+	if width > len(ids) {
+		width = len(ids)
 	}
-	return nil
+	if width <= 1 {
+		for _, id := range ids {
+			args := &txnDecideBatchArgs{ID: id, Decisions: grouped[id]}
+			if err := cl.call(ctx, txnKey(id), mTxnDecideN, args, nil); err != nil {
+				return fmt.Errorf("dhtstore: record decision batch %s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(ids))
+	var failed atomic.Bool
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		// Fail fast: once any controller call has errored, in-flight
+		// messages drain but no new ones launch (the old sequential loop
+		// aborted at the first error; a wave can carry thousands of
+		// controllers, and submitting them all into a dead network would
+		// stack timeout rounds).
+		if failed.Load() {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id core.TxnID) {
+			defer func() { <-sem; wg.Done() }()
+			args := &txnDecideBatchArgs{ID: id, Decisions: grouped[id]}
+			if err := cl.call(ctx, txnKey(id), mTxnDecideN, args, nil); err != nil {
+				errs[i] = fmt.Errorf("dhtstore: record decision batch %s: %w", id, err)
+				failed.Store(true)
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // CurrentRecno implements store.Store.

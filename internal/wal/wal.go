@@ -1,10 +1,20 @@
 // Package wal implements a segmented, CRC-checked, append-only write-ahead
 // log used by the reldb relational engine for durability: every committed
 // transaction is framed and appended; on open, the log is replayed and any
-// torn tail (from a crash mid-append) is truncated.
+// torn tail (from a crash mid-append or mid-flush) is truncated.
 //
 // Record framing: 4-byte little-endian payload length, 4-byte CRC-32
-// (Castagnoli) of the payload, payload bytes.
+// (Castagnoli) of the payload, payload bytes. Records never straddle
+// segment files; a segment whose size reaches the rotation threshold is
+// synced, closed, and succeeded by the next-numbered segment.
+//
+// Two append paths exist. Append frames one record. AppendBatch frames a
+// whole group of records and writes them with a single Write call (and at
+// most one fsync when SyncOnAppend is set) — the primitive behind reldb's
+// group commit, where concurrent committers share one flush. Either way a
+// record is atomic on recovery: replay stops at the first record whose
+// frame is torn or whose checksum fails, so a crash mid-flush drops the
+// uncommitted tail and nothing else.
 package wal
 
 import (
@@ -160,10 +170,25 @@ func validLength(path string) (int64, error) {
 	}
 }
 
-// Append frames and appends a record, rotating segments as needed. It
-// returns after the record is buffered in the OS (or fsynced when
-// SyncOnAppend is set).
+// Append frames and appends one record: AppendBatch with a single-record
+// group. It returns after the record is buffered in the OS (or fsynced
+// when SyncOnAppend is set).
 func (l *Log) Append(payload []byte) error {
+	return l.AppendBatch([][]byte{payload})
+}
+
+// AppendBatch frames and appends a group of records with one Write call
+// and, when SyncOnAppend is set, a single fsync — the group-commit flush
+// path. The records land in slice order; recovery sees an all-or-nothing
+// of the group: rotation happens before the batch (never inside it, so a
+// segment may overshoot the threshold by one group, exactly as a single
+// oversized Append overshoots it), the whole group goes down in one
+// write, and a failed or partial write is truncated away so no prefix of
+// a failed group survives to replay.
+func (l *Log) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -174,12 +199,25 @@ func (l *Log) Append(payload []byte) error {
 			return err
 		}
 	}
-	buf := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
-	copy(buf[headerSize:], payload)
+	total := 0
+	for _, p := range payloads {
+		total += headerSize + len(p)
+	}
+	buf := make([]byte, 0, total)
+	for _, p := range payloads {
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(p, castagnoli))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
 	if _, err := l.seg.Write(buf); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		// A short write would otherwise leave a durable prefix of a group
+		// whose committers were all told it failed; drop it.
+		if terr := l.seg.Truncate(l.segOff); terr == nil {
+			l.seg.Seek(l.segOff, io.SeekStart)
+		}
+		return fmt.Errorf("wal: append batch: %w", err)
 	}
 	l.segOff += int64(len(buf))
 	if l.syncAll {
