@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json clean
+.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ bench-smoke:
 # reconciliation perf baseline future PRs compare against.
 bench-json:
 	$(GO) run ./cmd/orchestra-bench -json BENCH_core.json
+
+# fuzz-smoke gives every native fuzz target a short budget on top of its
+# checked-in seed corpus (testdata/fuzz): enough to catch decoder panics
+# and corpus rot on every PR without CI paying for a real fuzzing campaign.
+# go's -fuzz runs one target per invocation, so each gets its own line.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodePublishedTxns$$' -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 10s ./internal/wal
 
 clean:
 	$(GO) clean ./...

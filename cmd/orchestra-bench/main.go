@@ -155,6 +155,24 @@ type groupCommitBenchEntry struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 }
 
+// publishOverlapEntry is one cell of the sharded-vs-unsharded publish
+// sweep: P publishers racing durable batches into a central store laid out
+// with S epoch-shards (WithTableShards). Shards = 1 is the historical
+// single-table layout, where every publish commit write-locks the same
+// tables; with S > 1 publishes to different epochs commit against disjoint
+// tables and overlap. ShardContention counts same-shard publish overlaps
+// (the serialization sharding is meant to remove), TableWaits the reldb
+// table-lock waits underneath.
+type publishOverlapEntry struct {
+	Name            string  `json:"name"`
+	TableShards     int     `json:"table_shards"`
+	Publishers      int     `json:"publishers"`
+	NsPerTxn        float64 `json:"ns_per_txn"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	ShardContention int64   `json:"shard_contention"`
+	TableWaits      int64   `json:"table_waits"`
+}
+
 // epochAllocBenchEntry is one cell of the epoch-allocator suite: durable
 // concurrent publishes at a given allocator block size (block 1 = one
 // durable sequence commit per publish, the historical behaviour).
@@ -179,6 +197,7 @@ type coreBenchReport struct {
 	DecisionBatching  decisionBatchStats      `json:"decision_batching"`
 	ReldbGroupCommit  []groupCommitBenchEntry `json:"reldb_group_commit"`
 	EpochAllocator    []epochAllocBenchEntry  `json:"epoch_allocator"`
+	PublishOverlap    []publishOverlapEntry   `json:"publish_overlap"`
 }
 
 // runCoreSuite measures Engine.Reconcile on the shared contended workload
@@ -238,6 +257,9 @@ func runCoreSuite(path string) error {
 		return err
 	}
 	if err := runEpochAllocatorSuite(&report); err != nil {
+		return err
+	}
+	if err := runPublishOverlapSuite(&report); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -522,6 +544,107 @@ func runEpochAllocatorSuite(report *coreBenchReport) error {
 		report.EpochAllocator = append(report.EpochAllocator, e)
 		fmt.Printf("%-40s %12.0f ns/txn %7.2f db-commits/publish %10d allocs/op\n",
 			e.Name, e.NsPerTxn, e.DBCommitsPerPub, e.AllocsPerOp)
+	}
+	return nil
+}
+
+// runPublishOverlapSuite measures durable multi-publisher publish
+// throughput on the epoch-sharded layout against the single-table layout
+// on the same box. Multi-core hardware is where the sharded cells pull
+// ahead (disjoint-table commits overlap and share WAL group flushes); on a
+// single core the sweep mostly shows the contention counters moving to the
+// right shards — report the numbers either way.
+func runPublishOverlapSuite(report *coreBenchReport) error {
+	const perBatch = 4
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	ctx := context.Background()
+	var benchErr error
+	for _, shards := range []int{1, 8} {
+		for _, pubs := range []int{1, 2, 4, 8} {
+			shards, pubs := shards, pubs
+			var shardContention, tableWaits int64
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				dir, err := os.MkdirTemp("", "orchestra-overlap-bench")
+				if err != nil {
+					benchErr = err
+					b.Skip(err)
+				}
+				defer os.RemoveAll(dir)
+				s, err := central.Open(schema, dir, central.WithTableShards(shards))
+				if err != nil {
+					benchErr = err
+					b.Skip(err)
+				}
+				defer s.Close()
+				engines := make([]*core.Engine, pubs)
+				for p := 0; p < pubs; p++ {
+					id := core.PeerID(fmt.Sprintf("pub%d", p))
+					engines[p] = core.NewEngine(id, schema, core.TrustAll(1))
+					if err := s.RegisterPeer(ctx, id, core.TrustAll(1)); err != nil {
+						benchErr = err
+						b.Skip(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					batches := make([][]store.PublishedTxn, pubs)
+					for p, eng := range engines {
+						for k := 0; k < perBatch; k++ {
+							x, err := eng.NewLocalTransaction(core.Insert("F",
+								core.Strs(fmt.Sprintf("org%d", p), fmt.Sprintf("prot-%d-%d", i, k), "fn"),
+								eng.Peer()))
+							if err != nil {
+								benchErr = err
+								b.Skip(err)
+							}
+							batches[p] = append(batches[p], store.PublishedTxn{
+								Txn: x, Antecedents: eng.LocalAntecedents(x.ID),
+							})
+						}
+					}
+					errs := make([]error, pubs)
+					b.StartTimer()
+					done := make(chan struct{}, pubs)
+					for p := 0; p < pubs; p++ {
+						go func(p int) {
+							_, errs[p] = s.Publish(ctx, engines[p].Peer(), batches[p])
+							done <- struct{}{}
+						}(p)
+					}
+					for p := 0; p < pubs; p++ {
+						<-done
+					}
+					b.StopTimer()
+					for _, err := range errs {
+						if err != nil {
+							benchErr = err
+							b.Skip(err)
+						}
+					}
+					b.StartTimer()
+				}
+				b.StopTimer()
+				shardContention = s.Metrics().Snapshot().ShardContentionTotal()
+				tableWaits = s.DBMetrics().Snapshot().TableWaits
+			})
+			if benchErr != nil {
+				return benchErr
+			}
+			e := publishOverlapEntry{
+				Name:            fmt.Sprintf("PublishOverlap/shards=%d/publishers=%d", shards, pubs),
+				TableShards:     shards,
+				Publishers:      pubs,
+				NsPerTxn:        float64(r.T.Nanoseconds()) / float64(r.N*pubs*perBatch),
+				AllocsPerOp:     r.AllocsPerOp(),
+				ShardContention: shardContention,
+				TableWaits:      tableWaits,
+			}
+			report.PublishOverlap = append(report.PublishOverlap, e)
+			fmt.Printf("%-45s %12.0f ns/txn %8d shard-waits %8d table-waits %10d allocs/op\n",
+				e.Name, e.NsPerTxn, e.ShardContention, e.TableWaits, e.AllocsPerOp)
+		}
 	}
 	return nil
 }

@@ -26,13 +26,18 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7400", "address to listen on")
 	dir := flag.String("dir", "", "durability directory (empty = in-memory)")
 	schemaName := flag.String("schema", "protein", "built-in schema: protein|swissprot")
+	shards := flag.Int("shards", 0, "epoch-shard count for a fresh directory (0 = default; existing directories keep the count they were created with)")
 	flag.Parse()
 
 	schema, err := builtinSchema(*schemaName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	backend, err := central.Open(schema, *dir)
+	var opts []central.Option
+	if *shards > 0 {
+		opts = append(opts, central.WithTableShards(*shards))
+	}
+	backend, err := central.Open(schema, *dir, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	log.Printf("orchestra-store: serving schema %q on %s (dir=%q)", *schemaName, addr, *dir)
+	log.Printf("orchestra-store: serving schema %q on %s (dir=%q, shards=%d)", *schemaName, addr, *dir, backend.TableShards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

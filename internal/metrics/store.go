@@ -33,6 +33,51 @@ type StoreCounters struct {
 	decisionPeers atomic.Int64
 	decisions     atomic.Int64
 	batchPeak     atomic.Int64
+
+	// shards carries per-epoch-shard publish counters; sized once by
+	// InitShards before the store goes concurrent, then only the atomics
+	// move.
+	shards []shardCounter
+}
+
+// shardCounter tracks one table shard: how many publish commits it served
+// and how many of them arrived while another publish was already committing
+// into the same shard (the serialization the sharding exists to avoid —
+// a hot contended counter means epochs are hashing onto too few shards).
+type shardCounter struct {
+	publishes atomic.Int64
+	contended atomic.Int64
+	inflight  atomic.Int64
+}
+
+// InitShards sizes the per-shard counters. Call once, before any
+// EnterShard/LeaveShard; nil-safe like every other method.
+func (c *StoreCounters) InitShards(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.shards = make([]shardCounter, n)
+}
+
+// EnterShard records a publish commit entering table shard k, counting it
+// as contended when another publish is already in flight on the same shard.
+func (c *StoreCounters) EnterShard(k int) {
+	if c == nil || k < 0 || k >= len(c.shards) {
+		return
+	}
+	sh := &c.shards[k]
+	sh.publishes.Add(1)
+	if sh.inflight.Add(1) > 1 {
+		sh.contended.Add(1)
+	}
+}
+
+// LeaveShard records the publish commit leaving shard k.
+func (c *StoreCounters) LeaveShard(k int) {
+	if c == nil || k < 0 || k >= len(c.shards) {
+		return
+	}
+	c.shards[k].inflight.Add(-1)
 }
 
 // ObservePublish counts one Publish call.
@@ -84,6 +129,9 @@ type StoreSnapshot struct {
 	DecisionPeers      int64 // reconciliation outcomes carried by those calls
 	Decisions          int64 // individual accept/reject decisions recorded
 	BatchPeak          int64 // most outcomes carried by a single round trip
+
+	ShardPublishes  []int64 // publish commits per table shard (nil when unsharded)
+	ShardContention []int64 // same-shard publish overlaps per table shard
 }
 
 // Snapshot returns a copy of the counters (each field read atomically).
@@ -92,7 +140,7 @@ func (c *StoreCounters) Snapshot() StoreSnapshot {
 	if c == nil {
 		return StoreSnapshot{}
 	}
-	return StoreSnapshot{
+	snap := StoreSnapshot{
 		Publishes:          c.publishes.Load(),
 		EpochContention:    c.epochContention.Load(),
 		PeerContention:     c.peerContention.Load(),
@@ -101,12 +149,31 @@ func (c *StoreCounters) Snapshot() StoreSnapshot {
 		Decisions:          c.decisions.Load(),
 		BatchPeak:          c.batchPeak.Load(),
 	}
+	if len(c.shards) > 0 {
+		snap.ShardPublishes = make([]int64, len(c.shards))
+		snap.ShardContention = make([]int64, len(c.shards))
+		for i := range c.shards {
+			snap.ShardPublishes[i] = c.shards[i].publishes.Load()
+			snap.ShardContention[i] = c.shards[i].contended.Load()
+		}
+	}
+	return snap
+}
+
+// ShardContentionTotal sums same-shard publish overlaps across all shards.
+func (s StoreSnapshot) ShardContentionTotal() int64 {
+	var n int64
+	for _, v := range s.ShardContention {
+		n += v
+	}
+	return n
 }
 
 // String renders the snapshot as a compact one-line summary.
 func (s StoreSnapshot) String() string {
 	return fmt.Sprintf(
-		"publishes=%d epochwait=%d peerwait=%d dtrips=%d dpeers=%d decisions=%d batchpeak=%d",
+		"publishes=%d epochwait=%d peerwait=%d dtrips=%d dpeers=%d decisions=%d batchpeak=%d shardwait=%d",
 		s.Publishes, s.EpochContention, s.PeerContention,
-		s.DecisionRoundTrips, s.DecisionPeers, s.Decisions, s.BatchPeak)
+		s.DecisionRoundTrips, s.DecisionPeers, s.Decisions, s.BatchPeak,
+		s.ShardContentionTotal())
 }

@@ -31,6 +31,20 @@
 //   - Per-peer state (trust, recno, decided sets) sits behind a per-peer
 //     mutex: one peer's reconciliation never blocks another's.
 //
+// # Epoch-sharded tables
+//
+// The epochs/txns/decisions tables are split into WithTableShards(n)
+// epoch-shards (default DefaultTableShards): epoch e lives entirely in the
+// shard-k tables (epochs_k, txns_k, decisions_k) with k = e mod n. A
+// publish commit touches only its epoch's shard, so concurrent publishes
+// to different epochs write-lock disjoint reldb tables and their WAL group
+// commits share flushes instead of serializing on one txns table.
+// WithTableShards(1) restores the single-table locking behaviour and is
+// the differential baseline. The shard count is recorded in the meta table
+// at creation and adopted on reopen; directories written by the pre-shard
+// layout (a plain "txns" table) cannot be migrated and fail Open with a
+// version error.
+//
 // Lock order: an epoch mutex may be taken before a peer mutex (publish),
 // and a peer mutex before a *finished* epoch's mutex (reconciliation
 // snapshot); the two can never deadlock because an epoch is unfinished
@@ -38,9 +52,10 @@
 // taken after epoch/peer locks only for the brief frontier advance, whose
 // critical section takes no other store lock. The reldb engine's per-table
 // locks are always innermost; every multi-table commit touches tables in
-// the order epochs → txns → decisions → peers (the lock-order rule
-// documented in docs/STORAGE.md). RecordDecisionsBatch locks its peers in
-// sorted order.
+// the order epochs_k → txns_k → decisions_k → peers, shard indexes
+// ascending within each group (the lock-order rule documented in
+// docs/STORAGE.md). RecordDecisionsBatch locks its peers in sorted order
+// and writes its decisions_k shards in ascending k order.
 package central
 
 import (
@@ -70,17 +85,29 @@ const txnShardCount = 32
 // sequence commit (see WithEpochBlock).
 const DefaultEpochBlock = 8
 
+// DefaultTableShards is the default number of epoch-shards the
+// epochs/txns/decisions tables are split into (see WithTableShards).
+const DefaultTableShards = 8
+
+// layoutVersion identifies the on-disk table layout; it is recorded in the
+// meta table when a directory is created. Version 2 is the epoch-sharded
+// layout. Pre-shard directories (no meta table, a plain "txns" table)
+// cannot be migrated.
+const layoutVersion = 2
+
 // Option configures Open.
 type Option func(*config)
 
 type config struct {
-	epochBlock  int64
-	groupCommit bool
-	groupWindow time.Duration
+	epochBlock     int64
+	groupCommit    bool
+	groupWindow    time.Duration
+	tableShards    int
+	shardsExplicit bool
 }
 
 func defaultConfig() config {
-	return config{epochBlock: DefaultEpochBlock, groupCommit: true}
+	return config{epochBlock: DefaultEpochBlock, groupCommit: true, tableShards: DefaultTableShards}
 }
 
 // WithEpochBlock sets how many epoch numbers each durable sequence commit
@@ -104,13 +131,14 @@ func WithEpochBlock(n int) Option {
 // (the default) with the given gathering window; zero flushes whatever has
 // queued with no added latency. See reldb.Options.GroupCommitWindow.
 //
-// Flush groups form across commits on disjoint tables (e.g. publish
-// commits batching with reconciliation-point commits on the peers
-// table); publish commits all touch the epochs/txns/decisions tables and
-// therefore serialize on the engine's table locks, flushing alone. Keep
-// the window at zero unless fsync (SyncOnCommit) dominates commit cost:
-// a flush leader sleeps the window while holding its table locks, so a
-// nonzero window adds that much latency to every conflicting commit.
+// Flush groups form across commits on disjoint tables: with the
+// epoch-sharded layout (WithTableShards) concurrent publishes to epochs in
+// different shards touch disjoint tables, so their commits share flushes
+// instead of serializing — same-shard publishes still queue on the shard's
+// table locks and flush alone. Keep the window at zero unless fsync
+// (SyncOnCommit) dominates commit cost: a flush leader sleeps the window
+// while holding its table locks, so a nonzero window adds that much
+// latency to every conflicting commit.
 func WithGroupCommit(window time.Duration) Option {
 	return func(c *config) {
 		c.groupCommit = true
@@ -125,11 +153,41 @@ func WithSerialCommit() Option {
 	return func(c *config) { c.groupCommit = false }
 }
 
+// WithTableShards sets how many epoch-shards the epochs/txns/decisions
+// tables are split into. Epoch e lives in shard e mod n, so publishes to
+// different epochs commit against disjoint tables and overlap across
+// cores; n = 1 restores the single-table locking behaviour (the
+// differential baseline). Sharding changes the physical layout only —
+// epoch numbering, decisions, stable-epoch answers, and recovery are
+// bit-identical at every shard count.
+//
+// The shard count is fixed when the directory is created (it determines
+// which table holds each epoch) and recorded in the meta table; reopening
+// an existing directory adopts the recorded count, and passing an
+// explicit, different WithTableShards to such a directory is an error.
+func WithTableShards(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.tableShards = n
+		c.shardsExplicit = true
+	}
+}
+
 // Store is the centralized update store.
 type Store struct {
 	db       *reldb.DB
 	schema   *core.Schema
 	counters *metrics.StoreCounters
+
+	// tableShards is the epoch-shard count; epoch e lives in the shard-k
+	// tables below with k = e mod tableShards. The per-shard table names
+	// are precomputed at open.
+	tableShards  int
+	epochsTab    []string
+	txnsTab      []string
+	decisionsTab []string
 
 	// epochMu guards the epoch registry (epochs, maxE) and the allocator
 	// block (blockNext, blockEnd). Exclusive only for the short allocation
@@ -245,7 +303,7 @@ func Open(schema *core.Schema, dir string, opts ...Option) (*Store, error) {
 	for i := range s.shards {
 		s.shards[i].m = make(map[core.TxnID]*entry)
 	}
-	if err := s.initTables(); err != nil {
+	if err := s.initTables(cfg); err != nil {
 		db.Close()
 		return nil, err
 	}
@@ -271,8 +329,13 @@ func (s *Store) Close() error {
 }
 
 // Metrics exposes the store's concurrency counters: publish volume, lock
-// contention, and decision-batch shape.
+// contention (including per-shard publish overlap), and decision-batch
+// shape.
 func (s *Store) Metrics() *metrics.StoreCounters { return s.counters }
+
+// TableShards returns the epoch-shard count of the store's table layout
+// (fixed at directory creation; see WithTableShards).
+func (s *Store) TableShards() int { return s.tableShards }
 
 // DBMetrics exposes the backing storage engine's commit and contention
 // counters (group-commit flush economy, table-lock waits).
@@ -336,12 +399,79 @@ func lockContended(mu *sync.Mutex, onWait func()) {
 	mu.Lock()
 }
 
-func (s *Store) initTables() error {
-	// A recovered directory written before the per-batch payload format
-	// (its txns table had 5 per-transaction columns) cannot be decoded by
-	// this version; fail with a clear error instead of a garbled recovery.
-	if def, ok := s.db.TableDef("txns"); ok && len(def.Cols) != 4 {
-		return fmt.Errorf("central: store directory uses the pre-batch txns format (%d columns); no migration path", len(def.Cols))
+// shardOf returns the epoch-shard index owning epoch e.
+func (s *Store) shardOf(e core.Epoch) int {
+	return int(uint64(e) % uint64(s.tableShards))
+}
+
+// decisionShard routes a decision row to the shard of the decided
+// transaction's epoch — the same shard its publish self-accepts used, so
+// every row about one transaction lives in one table. A decision for a
+// transaction this store never indexed (unreachable through the public
+// API, which only decides delivered candidates) falls back to shard 0.
+func (s *Store) decisionShard(id core.TxnID) int {
+	if en := s.lookup(id); en != nil {
+		return s.shardOf(en.epoch)
+	}
+	return 0
+}
+
+// resolveLayout decides the shard count: a fresh directory uses the
+// configured count; an existing sharded directory has it recorded in the
+// meta table and Open adopts it (an explicit, conflicting WithTableShards
+// is an error, since the count determines which table holds each epoch).
+// Pre-shard directories fail with a version error — same no-migration
+// policy as the binary-codec break.
+func (s *Store) resolveLayout(cfg config) error {
+	if _, ok := s.db.TableDef("txns"); ok {
+		return fmt.Errorf("central: store directory uses the pre-shard single-table layout; no migration path (layout version %d writes epoch-sharded tables)", layoutVersion)
+	}
+	shards := cfg.tableShards
+	if _, ok := s.db.TableDef("meta"); ok {
+		var layout, stored int64
+		err := s.db.View(func(tx *reldb.Tx) error {
+			if r, ok, err := tx.Get("meta", reldb.Str("layout")); err != nil {
+				return err
+			} else if ok {
+				layout = r[1].I()
+			}
+			if r, ok, err := tx.Get("meta", reldb.Str("table_shards")); err != nil {
+				return err
+			} else if ok {
+				stored = r[1].I()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if layout != layoutVersion {
+			return fmt.Errorf("central: store directory has layout version %d, this build reads %d; no migration path", layout, layoutVersion)
+		}
+		if stored < 1 {
+			return fmt.Errorf("central: store directory records invalid table shard count %d", stored)
+		}
+		if cfg.shardsExplicit && int(stored) != cfg.tableShards {
+			return fmt.Errorf("central: store directory was created with %d table shards, not %d; reopen with WithTableShards(%d) or omit the option", stored, cfg.tableShards, stored)
+		}
+		shards = int(stored)
+	}
+	s.tableShards = shards
+	s.epochsTab = make([]string, shards)
+	s.txnsTab = make([]string, shards)
+	s.decisionsTab = make([]string, shards)
+	for k := 0; k < shards; k++ {
+		s.epochsTab[k] = fmt.Sprintf("epochs_%02d", k)
+		s.txnsTab[k] = fmt.Sprintf("txns_%02d", k)
+		s.decisionsTab[k] = fmt.Sprintf("decisions_%02d", k)
+	}
+	s.counters.InitShards(shards)
+	return nil
+}
+
+func (s *Store) initTables(cfg config) error {
+	if err := s.resolveLayout(cfg); err != nil {
+		return err
 	}
 	return s.db.Update(func(tx *reldb.Tx) error {
 		create := func(def reldb.TableDef) error {
@@ -350,37 +480,77 @@ func (s *Store) initTables() error {
 			}
 			return tx.CreateTable(def)
 		}
-		if err := create(reldb.TableDef{
-			Name: "epochs",
-			Cols: []reldb.ColDef{
-				{Name: "epoch", Type: reldb.ColInt},
-				{Name: "peer", Type: reldb.ColString},
-				{Name: "finished", Type: reldb.ColBool},
-			},
-			Key: []int{0},
-		}); err != nil {
-			return err
+		if !tx.HasTable("meta") {
+			if err := tx.CreateTable(reldb.TableDef{
+				Name: "meta",
+				Cols: []reldb.ColDef{
+					{Name: "key", Type: reldb.ColString},
+					{Name: "value", Type: reldb.ColInt},
+				},
+				Key: []int{0},
+			}); err != nil {
+				return err
+			}
+			if err := tx.Insert("meta", reldb.Row{reldb.Str("layout"), reldb.Int(layoutVersion)}); err != nil {
+				return err
+			}
+			if err := tx.Insert("meta", reldb.Row{reldb.Str("table_shards"), reldb.Int(int64(s.tableShards))}); err != nil {
+				return err
+			}
+		}
+		// Tables are created in the documented lock order (epochs_k, then
+		// txns_k, then decisions_k, shard indexes ascending) — irrelevant at
+		// open, which is single-threaded, but it keeps every multi-table
+		// transaction in this package consistent with the contract.
+		for k := 0; k < s.tableShards; k++ {
+			if err := create(reldb.TableDef{
+				Name: s.epochsTab[k],
+				Cols: []reldb.ColDef{
+					{Name: "epoch", Type: reldb.ColInt},
+					{Name: "peer", Type: reldb.ColString},
+					{Name: "finished", Type: reldb.ColBool},
+				},
+				Key: []int{0},
+			}); err != nil {
+				return err
+			}
 		}
 		// One row per published batch, not per transaction: the payload is
-		// the whole []store.PublishedTxn in a single gob stream, so the
-		// encoder's type descriptors are sent once per publish instead of
-		// once per transaction (they dominated the publish profile).
-		if err := create(reldb.TableDef{
-			Name: "txns",
-			Cols: []reldb.ColDef{
-				{Name: "ord", Type: reldb.ColInt},
-				{Name: "epoch", Type: reldb.ColInt},
-				{Name: "count", Type: reldb.ColInt},
-				{Name: "payload", Type: reldb.ColBytes},
-			},
-			Key: []int{0},
-			Indexes: []reldb.IndexDef{
-				{Name: "by_epoch", Cols: []int{1}},
-			},
-		}); err != nil {
-			return err
+		// the whole []store.PublishedTxn in one binary-codec stream
+		// (store.AppendPublishedTxns).
+		for k := 0; k < s.tableShards; k++ {
+			if err := create(reldb.TableDef{
+				Name: s.txnsTab[k],
+				Cols: []reldb.ColDef{
+					{Name: "ord", Type: reldb.ColInt},
+					{Name: "epoch", Type: reldb.ColInt},
+					{Name: "count", Type: reldb.ColInt},
+					{Name: "payload", Type: reldb.ColBytes},
+				},
+				Key: []int{0},
+				Indexes: []reldb.IndexDef{
+					{Name: "by_epoch", Cols: []int{1}},
+				},
+			}); err != nil {
+				return err
+			}
 		}
-		if err := create(reldb.TableDef{
+		for k := 0; k < s.tableShards; k++ {
+			if err := create(reldb.TableDef{
+				Name: s.decisionsTab[k],
+				Cols: []reldb.ColDef{
+					{Name: "peer", Type: reldb.ColString},
+					{Name: "origin", Type: reldb.ColString},
+					{Name: "seq", Type: reldb.ColInt},
+					{Name: "decision", Type: reldb.ColInt},
+					{Name: "dseq", Type: reldb.ColInt},
+				},
+				Key: []int{0, 1, 2},
+			}); err != nil {
+				return err
+			}
+		}
+		return create(reldb.TableDef{
 			Name: "peers",
 			Cols: []reldb.ColDef{
 				{Name: "peer", Type: reldb.ColString},
@@ -388,19 +558,6 @@ func (s *Store) initTables() error {
 				{Name: "recno", Type: reldb.ColInt},
 			},
 			Key: []int{0},
-		}); err != nil {
-			return err
-		}
-		return create(reldb.TableDef{
-			Name: "decisions",
-			Cols: []reldb.ColDef{
-				{Name: "peer", Type: reldb.ColString},
-				{Name: "origin", Type: reldb.ColString},
-				{Name: "seq", Type: reldb.ColInt},
-				{Name: "decision", Type: reldb.ColInt},
-				{Name: "dseq", Type: reldb.ColInt},
-			},
-			Key: []int{0, 1, 2},
 		})
 	})
 }
@@ -409,17 +566,19 @@ func (s *Store) initTables() error {
 // Open is single-threaded, so no store locks are taken here.
 func (s *Store) loadCaches() error {
 	err := s.db.View(func(tx *reldb.Tx) error {
-		if err := tx.Scan("epochs", func(r reldb.Row) bool {
-			e := core.Epoch(r[0].I())
-			em := &epochMeta{peer: core.PeerID(r[1].S())}
-			em.finished.Store(r[2].B())
-			s.epochs[e] = em
-			if e > s.maxE {
-				s.maxE = e
+		for k := 0; k < s.tableShards; k++ {
+			if err := tx.Scan(s.epochsTab[k], func(r reldb.Row) bool {
+				e := core.Epoch(r[0].I())
+				em := &epochMeta{peer: core.PeerID(r[1].S())}
+				em.finished.Store(r[2].B())
+				s.epochs[e] = em
+				if e > s.maxE {
+					s.maxE = e
+				}
+				return true
+			}); err != nil {
+				return err
 			}
-			return true
-		}); err != nil {
-			return err
 		}
 		// The durable sequence is the allocator's block high-water mark.
 		// Epochs up to it that never reached a durable publish commit —
@@ -442,25 +601,27 @@ func (s *Store) loadCaches() error {
 		s.blockNext, s.blockEnd = seqHW+1, seqHW
 		var scanErr error
 		var recovered []*entry
-		if err := tx.Scan("txns", func(r reldb.Row) bool {
-			batch, err := store.DecodePublishedTxns(r[3].Raw())
-			if err != nil {
-				scanErr = err
-				return false
+		for k := 0; k < s.tableShards; k++ {
+			if err := tx.Scan(s.txnsTab[k], func(r reldb.Row) bool {
+				batch, err := store.DecodePublishedTxns(r[3].Raw())
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				for _, pub := range batch {
+					// Decoding drops the unexported caches; re-warm before
+					// the recovered transactions are shared across
+					// reconciling peers.
+					pub.Txn.PrecomputeEncodings(s.schema)
+					recovered = append(recovered, &entry{pub: pub, epoch: core.Epoch(r[1].I())})
+				}
+				return true
+			}); err != nil {
+				return err
 			}
-			for _, pub := range batch {
-				// Gob decoding drops the unexported caches; re-warm before
-				// the recovered transactions are shared across reconciling
-				// peers.
-				pub.Txn.PrecomputeEncodings(s.schema)
-				recovered = append(recovered, &entry{pub: pub, epoch: core.Epoch(r[1].I())})
+			if scanErr != nil {
+				return scanErr
 			}
-			return true
-		}); err != nil {
-			return err
-		}
-		if scanErr != nil {
-			return scanErr
 		}
 		sort.Slice(recovered, func(i, j int) bool {
 			return recovered[i].pub.Txn.Order < recovered[j].pub.Txn.Order
@@ -482,19 +643,24 @@ func (s *Store) loadCaches() error {
 		}); err != nil {
 			return err
 		}
-		return tx.Scan("decisions", func(r reldb.Row) bool {
-			pm := s.peers[core.PeerID(r[0].S())]
-			if pm == nil {
+		for k := 0; k < s.tableShards; k++ {
+			if err := tx.Scan(s.decisionsTab[k], func(r reldb.Row) bool {
+				pm := s.peers[core.PeerID(r[0].S())]
+				if pm == nil {
+					return true
+				}
+				id := core.TxnID{Origin: core.PeerID(r[1].S()), Seq: uint64(r[2].I())}
+				pm.decided[id] = core.Decision(r[3].I())
+				pm.decidedSeq[id] = r[4].I()
+				if r[4].I() > pm.nextSeq {
+					pm.nextSeq = r[4].I()
+				}
 				return true
+			}); err != nil {
+				return err
 			}
-			id := core.TxnID{Origin: core.PeerID(r[1].S()), Seq: uint64(r[2].I())}
-			pm.decided[id] = core.Decision(r[3].I())
-			pm.decidedSeq[id] = r[4].I()
-			if r[4].I() > pm.nextSeq {
-				pm.nextSeq = r[4].I()
-			}
-			return true
-		})
+		}
+		return nil
 	})
 	if err != nil {
 		return err
@@ -624,16 +790,19 @@ func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 	defer pm.mu.Unlock()
 	// One commit carries the whole publish: the epoch registration (first
 	// durable trace of the epoch — allocation itself is memory-only), the
-	// batch payload, and the publisher's self-accepts; the fast path also
-	// finishes the epoch here. Tables are touched in the documented
-	// epochs → txns → decisions order.
+	// batch payload, and the publisher's self-accepts. The fast path also
+	// finishes the epoch here. Everything lands in the epoch's shard k, in
+	// the documented epochs_k → txns_k → decisions_k order — publishes to
+	// epochs in other shards touch disjoint tables and commit in parallel.
+	k := s.shardOf(epoch)
+	s.counters.EnterShard(k)
 	err = s.db.Update(func(tx *reldb.Tx) error {
-		if err := tx.Upsert("epochs", reldb.Row{
+		if err := tx.Upsert(s.epochsTab[k], reldb.Row{
 			reldb.Int(int64(epoch)), reldb.Str(string(peer)), reldb.Bool(finish),
 		}); err != nil {
 			return err
 		}
-		if err := tx.Insert("txns", reldb.Row{
+		if err := tx.Insert(s.txnsTab[k], reldb.Row{
 			reldb.Int(int64(txns[0].Txn.Order)),
 			reldb.Int(int64(epoch)),
 			reldb.Int(int64(len(txns))),
@@ -643,7 +812,7 @@ func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 		}
 		for i := range txns {
 			pt := &txns[i]
-			if err := tx.Insert("decisions", reldb.Row{
+			if err := tx.Insert(s.decisionsTab[k], reldb.Row{
 				reldb.Str(string(peer)),
 				reldb.Str(string(pt.Txn.ID.Origin)),
 				reldb.Int(int64(pt.Txn.ID.Seq)),
@@ -655,6 +824,7 @@ func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 		}
 		return nil
 	})
+	s.counters.LeaveShard(k)
 	if err != nil {
 		return err
 	}
@@ -681,7 +851,7 @@ func (s *Store) PublishFinish(peer core.PeerID, epoch core.Epoch) error {
 	em.mu.Lock()
 	defer em.mu.Unlock()
 	err := s.db.Update(func(tx *reldb.Tx) error {
-		return tx.Upsert("epochs", reldb.Row{reldb.Int(int64(epoch)), reldb.Str(string(peer)), reldb.Bool(true)})
+		return tx.Upsert(s.epochsTab[s.shardOf(epoch)], reldb.Row{reldb.Int(int64(epoch)), reldb.Str(string(peer)), reldb.Bool(true)})
 	})
 	if err != nil {
 		return err
@@ -888,31 +1058,46 @@ func (s *Store) RecordDecisionsBatch(_ context.Context, batches []store.Decision
 	if total > 0 {
 		// dseq continues each peer's sequence across the whole commit; the
 		// cache update below replays the same order, keeping the durable
-		// and in-memory sequences identical.
+		// and in-memory sequences identical. Rows are assigned their seq in
+		// batch order first, then written grouped by epoch-shard with the
+		// shard indexes ascending — the documented decisions_k lock order,
+		// so a wave's commit cannot deadlock against a concurrent publish
+		// or another wave.
+		type decRow struct {
+			peer core.PeerID
+			id   core.TxnID
+			d    core.Decision
+			dseq int64
+		}
+		perShard := make([][]decRow, s.tableShards)
 		next := make(map[*peerMeta]int64, len(batches))
+		for i, b := range batches {
+			pm := pms[i]
+			if _, ok := next[pm]; !ok {
+				next[pm] = pm.nextSeq
+			}
+			add := func(id core.TxnID, d core.Decision) {
+				next[pm]++
+				k := s.decisionShard(id)
+				perShard[k] = append(perShard[k], decRow{peer: b.Peer, id: id, d: d, dseq: next[pm]})
+			}
+			for _, id := range b.Accepted {
+				add(id, core.DecisionAccept)
+			}
+			for _, id := range b.Rejected {
+				add(id, core.DecisionReject)
+			}
+		}
 		err := s.db.Update(func(tx *reldb.Tx) error {
-			for i, b := range batches {
-				pm := pms[i]
-				if _, ok := next[pm]; !ok {
-					next[pm] = pm.nextSeq
-				}
-				put := func(id core.TxnID, d core.Decision) error {
-					next[pm]++
-					return tx.Upsert("decisions", reldb.Row{
-						reldb.Str(string(b.Peer)),
-						reldb.Str(string(id.Origin)),
-						reldb.Int(int64(id.Seq)),
-						reldb.Int(int64(d)),
-						reldb.Int(next[pm]),
-					})
-				}
-				for _, id := range b.Accepted {
-					if err := put(id, core.DecisionAccept); err != nil {
-						return err
-					}
-				}
-				for _, id := range b.Rejected {
-					if err := put(id, core.DecisionReject); err != nil {
+			for k := 0; k < s.tableShards; k++ {
+				for _, r := range perShard[k] {
+					if err := tx.Upsert(s.decisionsTab[k], reldb.Row{
+						reldb.Str(string(r.peer)),
+						reldb.Str(string(r.id.Origin)),
+						reldb.Int(int64(r.id.Seq)),
+						reldb.Int(int64(r.d)),
+						reldb.Int(r.dseq),
+					}); err != nil {
 						return err
 					}
 				}

@@ -3,6 +3,7 @@ package central
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"testing"
@@ -12,13 +13,27 @@ import (
 	"orchestra/internal/store/storetest"
 )
 
+// crashImage copies the store directory while the store is still open — the
+// moral equivalent of the process dying after its last commit returned: the
+// copy sees exactly the bytes the WAL writes produced, with none of the
+// tidying a clean Close performs.
+func crashImage(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	if err := os.CopyFS(dst, os.DirFS(src)); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
 // differentialWorkload drives a deterministic multi-peer publish/reconcile
 // history against a store opened with the given options and returns a full
 // transcript: every step's accept/reject/defer decisions, the live
-// stable-epoch answer after every step, and the durable state recovered by
-// a reopen (replayed decisions plus the candidate window a fresh peer
-// sees). Group commit and the epoch allocator may only change performance,
-// so the transcript must be bit-identical across every option combination.
+// stable-epoch answer after every step, and the state recovered from a
+// crash image of the directory (replayed decisions plus the candidate
+// window a fresh peer sees). Table sharding, group commit, and the epoch
+// allocator may only change performance, so the transcript must be
+// bit-identical across every option combination.
 func differentialWorkload(t *testing.T, opts ...Option) string {
 	t.Helper()
 	const rounds = 4
@@ -74,15 +89,17 @@ func differentialWorkload(t *testing.T, opts ...Option) string {
 		}
 	}
 	fmt.Fprintf(&b, "txns=%d\n", s.TxnCount())
+	// Snapshot the directory before Close (crash image), then shut down.
+	crashDir := crashImage(t, dir)
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Recovery must replay to the same decisions, and a fresh peer's
-	// candidate window (visibility through the recovered stable frontier)
-	// must be identical — even though void recovery gaps make the raw
-	// frontier number block-size dependent.
-	s2, err := Open(schema, dir, opts...)
+	// Post-crash recovery must replay to the same decisions, and a fresh
+	// peer's candidate window (visibility through the recovered stable
+	// frontier) must be identical — even though void recovery gaps make the
+	// raw frontier number block-size dependent.
+	s2, err := Open(schema, crashDir, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,13 +144,15 @@ func differentialWorkload(t *testing.T, opts ...Option) string {
 	return b.String()
 }
 
-// TestDifferentialGroupCommitAndEpochBlocks pins every combination of
-// group commit on/off × epoch block size 1/8/64 to a bit-identical
+// TestDifferentialMatrix pins every combination of table shards 1/4/8 ×
+// group commit on/off × epoch block size 1/8 to a bit-identical
 // reconciliation transcript: identical decisions, identical live
-// stable-epoch answers, identical recovered state. The knobs may change
-// performance only.
-func TestDifferentialGroupCommitAndEpochBlocks(t *testing.T) {
-	baseline := differentialWorkload(t, WithSerialCommit(), WithEpochBlock(1))
+// stable-epoch answers, identical post-crash recovered state. The knobs
+// may change the physical layout and performance only. The baseline is the
+// fully serial historical configuration: one shard, serial WAL commits,
+// one durable sequence commit per epoch.
+func TestDifferentialMatrix(t *testing.T) {
+	baseline := differentialWorkload(t, WithSerialCommit(), WithEpochBlock(1), WithTableShards(1))
 	if !strings.Contains(baseline, "rej=[") || !strings.Contains(baseline, "acc=[") {
 		t.Fatalf("workload produced no decisions:\n%s", baseline)
 	}
@@ -142,21 +161,54 @@ func TestDifferentialGroupCommitAndEpochBlocks(t *testing.T) {
 	if !strings.Contains(baseline, "rej=[b/") && !strings.Contains(baseline, "rej=[c/") {
 		t.Fatalf("workload never rejected a transaction:\n%s", baseline)
 	}
-	for _, group := range []bool{false, true} {
-		for _, block := range []int{1, 8, 64} {
-			name := fmt.Sprintf("group=%v/block=%d", group, block)
-			t.Run(name, func(t *testing.T) {
-				opts := []Option{WithEpochBlock(block)}
-				if group {
-					opts = append(opts, WithGroupCommit(0))
-				} else {
-					opts = append(opts, WithSerialCommit())
-				}
-				got := differentialWorkload(t, opts...)
-				if got != baseline {
-					t.Errorf("transcript diverged from serial/block=1 baseline:\n--- got ---\n%s\n--- want ---\n%s", got, baseline)
-				}
-			})
+	for _, shards := range []int{1, 4, 8} {
+		for _, group := range []bool{false, true} {
+			for _, block := range []int{1, 8} {
+				name := fmt.Sprintf("shards=%d/group=%v/block=%d", shards, group, block)
+				t.Run(name, func(t *testing.T) {
+					opts := []Option{WithTableShards(shards), WithEpochBlock(block)}
+					if group {
+						opts = append(opts, WithGroupCommit(0))
+					} else {
+						opts = append(opts, WithSerialCommit())
+					}
+					got := differentialWorkload(t, opts...)
+					if got != baseline {
+						t.Errorf("transcript diverged from shards=1/serial/block=1 baseline:\n--- got ---\n%s\n--- want ---\n%s", got, baseline)
+					}
+				})
+			}
 		}
+	}
+}
+
+// TestShardCountPinnedToDirectory: the shard count is part of the on-disk
+// layout — reopening without the option adopts the recorded count, and an
+// explicit conflicting count is refused instead of silently mis-scanning.
+func TestShardCountPinnedToDirectory(t *testing.T) {
+	schema := storetest.Schema(t)
+	dir := t.TempDir()
+	s, err := Open(schema, dir, WithTableShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TableShards() != 4 {
+		t.Fatalf("TableShards() = %d, want 4", s.TableShards())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(schema, dir) // no option: adopt the recorded count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.TableShards() != 4 {
+		t.Errorf("reopen adopted %d shards, want 4", s2.TableShards())
+	}
+	s2.Close()
+
+	if _, err := Open(schema, dir, WithTableShards(8)); err == nil || !strings.Contains(err.Error(), "table shards") {
+		t.Errorf("conflicting explicit shard count: err = %v, want table-shards mismatch", err)
 	}
 }

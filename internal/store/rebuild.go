@@ -10,14 +10,35 @@ import (
 // Replayer is the optional store capability behind §5.2's soft-state
 // guarantee: "it is possible to reconstruct the entire state of the
 // participant, up to his or her last reconciliation, from the update
-// store". The central store implements it; the DHT store does not (a full
-// scan of every transaction controller is exactly the kind of operation the
-// paper's design avoids).
+// store". The central store implements it, and the remote client proxies
+// it to its server's backend; the DHT store does not (a full scan of every
+// transaction controller is exactly the kind of operation the paper's
+// design avoids).
 type Replayer interface {
 	// ReplayFor returns every published transaction in global order
 	// together with the peer's recorded decisions (with their acceptance
 	// sequence).
 	ReplayFor(ctx context.Context, peer core.PeerID) ([]PublishedTxn, map[core.TxnID]core.RestoredDecision, error)
+}
+
+// ReplayProber lets a store client answer the CanReplay question
+// dynamically. The remote client needs it: it always has a ReplayFor
+// method (the RPC stub), but whether replay actually works depends on the
+// backend at the other end of the wire.
+type ReplayProber interface {
+	CanReplay(ctx context.Context) bool
+}
+
+// CanReplay reports whether the store supports peer reconstruction — the
+// gate callers (and the storetest conformance suite) check before reaching
+// for RebuildPeer. A store that implements ReplayProber is asked; anything
+// else is judged by whether it implements Replayer at all.
+func CanReplay(ctx context.Context, st Store) bool {
+	if p, ok := st.(ReplayProber); ok {
+		return p.CanReplay(ctx)
+	}
+	_, ok := st.(Replayer)
+	return ok
 }
 
 // RebuildPeer reconstructs a participant's engine — instance, applied and

@@ -23,6 +23,8 @@ const (
 	mDecide      = "store.decide"
 	mDecideBatch = "store.decide.batch"
 	mRecno       = "store.recno"
+	mReplay      = "store.replay"
+	mCanReplay   = "store.canreplay"
 )
 
 type registerArgs struct {
@@ -32,7 +34,11 @@ type registerArgs struct {
 
 type publishArgs struct {
 	Peer core.PeerID
-	Txns []store.PublishedTxn
+	// Payload is the published batch in the store codec's binary encoding
+	// (store.AppendPublishedTxns) — the transaction graph never crosses the
+	// wire as gob, whose per-encoder type descriptors made every publish
+	// re-ship the schema of the whole Transaction/Update tree.
+	Payload []byte
 }
 
 type publishReply struct {
@@ -75,6 +81,21 @@ type recnoReply struct {
 	Recno int
 }
 
+type canReplayReply struct {
+	OK bool
+}
+
+type replayArgs struct {
+	Peer core.PeerID
+}
+
+type replayReply struct {
+	// Log is the full published log in global order, binary-codec encoded
+	// like a publish payload.
+	Log       []byte
+	Decisions map[core.TxnID]core.RestoredDecision
+}
+
 // Server adapts a store.Store to the RPC transport.
 type Server struct {
 	backend store.Store
@@ -93,6 +114,8 @@ func NewServer(backend store.Store, schema *core.Schema) *Server {
 	mux.Handle(mDecide, s.decide)
 	mux.Handle(mDecideBatch, s.decideBatch)
 	mux.Handle(mRecno, s.recno)
+	mux.Handle(mReplay, s.replay)
+	mux.Handle(mCanReplay, s.canReplay)
 	s.srv = rpc.NewServer(mux)
 	return s
 }
@@ -125,7 +148,11 @@ func (s *Server) publish(req rpc.Request) ([]byte, error) {
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
 	}
-	epoch, err := s.backend.Publish(context.Background(), args.Peer, args.Txns)
+	txns, err := store.DecodePublishedTxns(args.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("remote: publish payload from %s: %w", args.Peer, err)
+	}
+	epoch, err := s.backend.Publish(context.Background(), args.Peer, txns)
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +211,29 @@ func (s *Server) recno(req rpc.Request) ([]byte, error) {
 	return rpc.Encode(&recnoReply{Recno: n})
 }
 
+func (s *Server) canReplay(rpc.Request) ([]byte, error) {
+	return rpc.Encode(&canReplayReply{OK: store.CanReplay(context.Background(), s.backend)})
+}
+
+func (s *Server) replay(req rpc.Request) ([]byte, error) {
+	var args replayArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	rp, ok := s.backend.(store.Replayer)
+	if !ok {
+		return nil, fmt.Errorf("remote: backend %T cannot replay peer state", s.backend)
+	}
+	log, decisions, err := rp.ReplayFor(context.Background(), args.Peer)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.Encode(&replayReply{
+		Log:       store.AppendPublishedTxns(nil, log),
+		Decisions: decisions,
+	})
+}
+
 // Client implements store.Store against a remote Server. Trust policies
 // must be textual (*trust.Policy): predicate code cannot travel over the
 // wire.
@@ -214,10 +264,12 @@ func (c *Client) RegisterPeer(ctx context.Context, peer core.PeerID, t core.Trus
 		&registerArgs{Peer: peer, Policy: policy.String()}, nil)
 }
 
-// Publish implements store.Store.
+// Publish implements store.Store; the batch travels in the binary store
+// codec, not gob.
 func (c *Client) Publish(ctx context.Context, peer core.PeerID, txns []store.PublishedTxn) (core.Epoch, error) {
 	var reply publishReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mPublish, &publishArgs{Peer: peer, Txns: txns}, &reply); err != nil {
+	args := publishArgs{Peer: peer, Payload: store.AppendPublishedTxns(nil, txns)}
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mPublish, &args, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Epoch, nil
@@ -257,4 +309,32 @@ func (c *Client) CurrentRecno(ctx context.Context, peer core.PeerID) (int, error
 		return 0, err
 	}
 	return reply.Recno, nil
+}
+
+// CanReplay implements store.ReplayProber: the client's ReplayFor stub
+// always exists, but whether replay works depends on the backend at the
+// other end of the wire, so the capability question travels as an RPC. An
+// unreachable or pre-probe server counts as "cannot replay".
+func (c *Client) CanReplay(ctx context.Context) bool {
+	var reply canReplayReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mCanReplay, &struct{}{}, &reply); err != nil {
+		return false
+	}
+	return reply.OK
+}
+
+// ReplayFor implements store.Replayer when the server's backend does: the
+// full log crosses the wire once, in the binary store codec, so a lost
+// participant can rebuild its soft state from a remote store exactly as
+// from a local one (store.RebuildPeer).
+func (c *Client) ReplayFor(ctx context.Context, peer core.PeerID) ([]store.PublishedTxn, map[core.TxnID]core.RestoredDecision, error) {
+	var reply replayReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mReplay, &replayArgs{Peer: peer}, &reply); err != nil {
+		return nil, nil, err
+	}
+	log, err := store.DecodePublishedTxns(reply.Log)
+	if err != nil {
+		return nil, nil, fmt.Errorf("remote: replay payload: %w", err)
+	}
+	return log, reply.Decisions, nil
 }

@@ -38,6 +38,17 @@ func policyAll(t *testing.T) *trust.Policy {
 	return p
 }
 
+// TestConformance runs the full storetest suite over the wire: every peer
+// is a TCP client of a server hosting a central backend, so the suite
+// exercises the binary publish payloads, textual trust policies, batched
+// decisions, and the replay RPC end-to-end.
+func TestConformance(t *testing.T) {
+	storetest.RunConformance(t, func(t *testing.T, schema *core.Schema) (func(core.PeerID) store.Store, func()) {
+		addr := startServer(t, schema)
+		return func(p core.PeerID) store.Store { return NewClient(string(p), addr) }, func() {}
+	})
+}
+
 func TestRemoteEndToEnd(t *testing.T) {
 	schema := storetest.Schema(t)
 	addr := startServer(t, schema)

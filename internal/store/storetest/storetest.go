@@ -1,16 +1,58 @@
 // Package storetest provides a conformance suite run against every
 // store.Store implementation: the paper's Figure 2 scenario end-to-end,
-// trust and antecedent chasing, deferral and resolution, and a
-// cross-implementation equivalence check.
+// trust and antecedent chasing, deferral and resolution, soft-state
+// recovery (publish → reconcile → recover, for stores that can replay),
+// and a cross-implementation equivalence check.
+//
+// Trust policies are built textually (TrustAll, TrustOrigins below) so the
+// identical suite drives in-process backends and wire-protocol backends,
+// whose RegisterPeer only carries policies as text.
 package storetest
 
 import (
 	"context"
+	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"orchestra/internal/core"
 	"orchestra/internal/store"
+	"orchestra/internal/trust"
 )
+
+// TrustAll returns a textual policy assigning the same priority to every
+// update — core.TrustAll semantics in the form every backend can carry.
+func TrustAll(priority int) core.Trust {
+	p, err := trust.Parse(fmt.Sprintf("priority %d when true", priority))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TrustOrigins returns a textual policy mapping each originating peer to a
+// priority, 0 for unlisted peers — core.TrustOrigins semantics in the form
+// every backend can carry.
+func TrustOrigins(prio map[core.PeerID]int) core.Trust {
+	ids := make([]string, 0, len(prio))
+	for id := range prio {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		if prio[core.PeerID(id)] <= 0 {
+			continue // priority 0 is the implicit "untrusted" default
+		}
+		fmt.Fprintf(&b, "priority %d when origin = '%s'\n", prio[core.PeerID(id)], id)
+	}
+	p, err := trust.Parse(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 // Factory builds a fresh store for a schema, plus a per-peer store client
 // (some implementations, like the DHT store, give each peer its own entry
@@ -86,6 +128,81 @@ func RunConformance(t *testing.T, factory Factory) {
 	t.Run("NoRedelivery", func(t *testing.T) { testNoRedelivery(t, factory) })
 	t.Run("PriorityConflict", func(t *testing.T) { testPriorityConflict(t, factory) })
 	t.Run("BatchedDecisions", func(t *testing.T) { testBatchedDecisions(t, factory) })
+	t.Run("ReplayRebuild", func(t *testing.T) { testReplayRebuild(t, factory) })
+}
+
+// testReplayRebuild round-trips publish → reconcile → recover: after a
+// history with accepts and rejects, every peer is rebuilt from nothing but
+// the store's replay log (store.RebuildPeer, the §5.2 soft-state
+// guarantee) and must come back with an identical instance and decision
+// sets — and keep reconciling from where the lost peer stopped. Stores
+// that cannot replay (the DHT store, by design) skip.
+func testReplayRebuild(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	if !store.CanReplay(ctx, clientFor("pq")) {
+		t.Skipf("%T cannot replay peer state", clientFor("pq"))
+	}
+
+	trustQ := TrustOrigins(map[core.PeerID]int{"pa": 2, "pb": 1})
+	pa, _ := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
+	pb, _ := store.NewPeer(ctx, "pb", s, TrustAll(1), clientFor("pb"))
+	pq, err := store.NewPeer(ctx, "pq", s, trustQ, clientFor("pq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// History: pa publishes an insert and a revision of it; pb publishes a
+	// conflicting value for the same key; pq accepts pa's chain and rejects
+	// pb's — so the rebuilt state must reproduce accepts *and* rejects.
+	xa0 := mustEdit(t, pa, core.Insert("F", core.Strs("rat", "p1", "v0"), "pa"))
+	xa1 := mustEdit(t, pa, core.Modify("F", core.Strs("rat", "p1", "v0"), core.Strs("rat", "p1", "v1"), "pa"))
+	mustCycle(t, pa)
+	xb := mustEdit(t, pb, core.Insert("F", core.Strs("rat", "p1", "other"), "pb"))
+	mustCycle(t, pb)
+	res := mustCycle(t, pq)
+	wantIDSet(t, "pq accepted", res.Accepted, xa0.ID, xa1.ID)
+	wantIDSet(t, "pq rejected", res.Rejected, xb.ID)
+
+	// Recover pq from the store alone and compare against the live peer.
+	rq, err := store.RebuildPeer(ctx, "pq", s, trustQ, clientFor("pq"))
+	if err != nil {
+		t.Fatalf("rebuild pq: %v", err)
+	}
+	wantTuples(t, rq.Instance(), "F", pq.Instance().Tuples("F")...)
+	for _, id := range []core.TxnID{xa0.ID, xa1.ID} {
+		if !rq.Engine().Applied(id) {
+			t.Errorf("rebuilt pq lost accept of %s", id)
+		}
+	}
+	if !rq.Engine().Rejected(xb.ID) {
+		t.Errorf("rebuilt pq lost reject of %s", xb.ID)
+	}
+
+	// The rebuilt peer continues the protocol: a fresh publish from pa is
+	// delivered to it exactly once, with no redelivery of decided history.
+	xa2 := mustEdit(t, pa, core.Insert("F", core.Strs("mouse", "p2", "w"), "pa"))
+	mustCycle(t, pa)
+	res, err = rq.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDSet(t, "rebuilt pq accepted", res.Accepted, xa2.ID)
+	if len(res.Rejected)+len(res.Deferred) != 0 {
+		t.Errorf("rebuilt pq redelivered decided txns: %+v", res)
+	}
+	wantTuples(t, rq.Instance(), "F",
+		core.Strs("rat", "p1", "v1"),
+		core.Strs("mouse", "p2", "w"))
+
+	// Publishers rebuild too: their self-accepts are part of the log.
+	ra, err := store.RebuildPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
+	if err != nil {
+		t.Fatalf("rebuild pa: %v", err)
+	}
+	wantTuples(t, ra.Instance(), "F", pa.Instance().Tuples("F")...)
 }
 
 // testBatchedDecisions: RecordDecisionsBatch persists several peers'
@@ -96,9 +213,9 @@ func testBatchedDecisions(t *testing.T, factory Factory) {
 	clientFor, cleanup := factory(t, s)
 	defer cleanup()
 	ctx := context.Background()
-	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
-	pq, _ := store.NewPeer(ctx, "pq", s, core.TrustAll(1), clientFor("pq"))
-	pr, _ := store.NewPeer(ctx, "pr", s, core.TrustAll(1), clientFor("pr"))
+	pa, _ := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
+	pq, _ := store.NewPeer(ctx, "pq", s, TrustAll(1), clientFor("pq"))
+	pr, _ := store.NewPeer(ctx, "pr", s, TrustAll(1), clientFor("pr"))
 
 	xa := mustEdit(t, pa, core.Insert("F", core.Strs("rat", "p1", "v"), "pa"))
 	xb := mustEdit(t, pa, core.Insert("F", core.Strs("mouse", "p2", "w"), "pa"))
@@ -142,15 +259,15 @@ func testBatchedDecisions(t *testing.T, factory Factory) {
 func figure2Peers(t *testing.T, s *core.Schema, clientFor func(core.PeerID) store.Store) (p1, p2, p3 *store.Peer) {
 	ctx := context.Background()
 	var err error
-	p1, err = store.NewPeer(ctx, "p1", s, core.TrustOrigins(map[core.PeerID]int{"p2": 1, "p3": 1}), clientFor("p1"))
+	p1, err = store.NewPeer(ctx, "p1", s, TrustOrigins(map[core.PeerID]int{"p2": 1, "p3": 1}), clientFor("p1"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err = store.NewPeer(ctx, "p2", s, core.TrustOrigins(map[core.PeerID]int{"p1": 2, "p3": 1}), clientFor("p2"))
+	p2, err = store.NewPeer(ctx, "p2", s, TrustOrigins(map[core.PeerID]int{"p1": 2, "p3": 1}), clientFor("p2"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p3, err = store.NewPeer(ctx, "p3", s, core.TrustOrigins(map[core.PeerID]int{"p2": 1}), clientFor("p3"))
+	p3, err = store.NewPeer(ctx, "p3", s, TrustOrigins(map[core.PeerID]int{"p2": 1}), clientFor("p3"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,15 +353,15 @@ func testAntecedentChasing(t *testing.T, factory Factory) {
 	clientFor, cleanup := factory(t, s)
 	defer cleanup()
 	ctx := context.Background()
-	pa, err := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	pa, err := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := store.NewPeer(ctx, "pb", s, core.TrustAll(1), clientFor("pb"))
+	pb, err := store.NewPeer(ctx, "pb", s, TrustAll(1), clientFor("pb"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pc, err := store.NewPeer(ctx, "pc", s, core.TrustOrigins(map[core.PeerID]int{"pb": 1}), clientFor("pc"))
+	pc, err := store.NewPeer(ctx, "pc", s, TrustOrigins(map[core.PeerID]int{"pb": 1}), clientFor("pc"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,9 +382,9 @@ func testUntrustedSkipped(t *testing.T, factory Factory) {
 	clientFor, cleanup := factory(t, s)
 	defer cleanup()
 	ctx := context.Background()
-	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
-	pz, _ := store.NewPeer(ctx, "pz", s, core.TrustAll(1), clientFor("pz"))
-	pq, err := store.NewPeer(ctx, "pq", s, core.TrustOrigins(map[core.PeerID]int{"pa": 1}), clientFor("pq"))
+	pa, _ := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
+	pz, _ := store.NewPeer(ctx, "pz", s, TrustAll(1), clientFor("pz"))
+	pq, err := store.NewPeer(ctx, "pq", s, TrustOrigins(map[core.PeerID]int{"pa": 1}), clientFor("pq"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +402,7 @@ func testEmptyPublish(t *testing.T, factory Factory) {
 	clientFor, cleanup := factory(t, s)
 	defer cleanup()
 	ctx := context.Background()
-	pa, err := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	pa, err := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +424,7 @@ func testRecnoAdvances(t *testing.T, factory Factory) {
 	clientFor, cleanup := factory(t, s)
 	defer cleanup()
 	ctx := context.Background()
-	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
+	pa, _ := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
 	for i := 0; i < 3; i++ {
 		if _, err := pa.Reconcile(ctx); err != nil {
 			t.Fatal(err)
@@ -325,8 +442,8 @@ func testNoRedelivery(t *testing.T, factory Factory) {
 	clientFor, cleanup := factory(t, s)
 	defer cleanup()
 	ctx := context.Background()
-	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
-	pb, _ := store.NewPeer(ctx, "pb", s, core.TrustAll(1), clientFor("pb"))
+	pa, _ := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
+	pb, _ := store.NewPeer(ctx, "pb", s, TrustAll(1), clientFor("pb"))
 	mustEdit(t, pa, core.Insert("F", core.Strs("rat", "p1", "v"), "pa"))
 	mustCycle(t, pa)
 	res := mustCycle(t, pb)
@@ -344,9 +461,9 @@ func testPriorityConflict(t *testing.T, factory Factory) {
 	clientFor, cleanup := factory(t, s)
 	defer cleanup()
 	ctx := context.Background()
-	pa, _ := store.NewPeer(ctx, "pa", s, core.TrustAll(1), clientFor("pa"))
-	pb, _ := store.NewPeer(ctx, "pb", s, core.TrustAll(1), clientFor("pb"))
-	pq, err := store.NewPeer(ctx, "pq", s, core.TrustOrigins(map[core.PeerID]int{"pa": 2, "pb": 1}), clientFor("pq"))
+	pa, _ := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
+	pb, _ := store.NewPeer(ctx, "pb", s, TrustAll(1), clientFor("pb"))
+	pq, err := store.NewPeer(ctx, "pq", s, TrustOrigins(map[core.PeerID]int{"pa": 2, "pb": 1}), clientFor("pq"))
 	if err != nil {
 		t.Fatal(err)
 	}

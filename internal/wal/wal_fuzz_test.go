@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// frame encodes one valid WAL record frame, for seed corpus entries.
+func frame(payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	return append(hdr[:], payload...)
+}
+
+// FuzzWALReplay hands the record reader an arbitrary segment file —
+// including random mutations of valid frames, via the seed corpus. Open
+// must never panic: it truncates the file to its longest valid record
+// prefix. Every replayed record must be an intact payload that was fully
+// framed in the input, replay must agree with what a reopen sees, and the
+// log must remain writable after recovery (the crash-test invariant: a
+// torn or corrupt tail never wedges the log).
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(frame([]byte("hello")))
+	f.Add(append(frame([]byte("a")), frame(bytes.Repeat([]byte{0xee}, 300))...))
+	f.Add(append(frame([]byte("committed")), 0xde, 0xad, 0xbe)) // torn tail
+	corrupt := frame([]byte("zzzz"))
+	corrupt[9] ^= 0xff // flip a payload byte: CRC mismatch
+	f.Add(corrupt)
+	// Each exec opens, appends, fsyncs, and reopens a real log; on-disk
+	// temp dirs make that fsync-bound (~1 exec/s). Prefer tmpfs scratch
+	// space so the fuzzer actually explores.
+	scratch := "/dev/shm"
+	if st, err := os.Stat(scratch); err != nil || !st.IsDir() {
+		scratch = ""
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir, err := os.MkdirTemp(scratch, "walfuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		if err := os.WriteFile(filepath.Join(dir, "00000000.wal"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open on fuzzed segment: %v", err)
+		}
+		var replayed [][]byte
+		if err := l.Replay(func(p []byte) error {
+			replayed = append(replayed, append([]byte(nil), p...))
+			return nil
+		}); err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		// Open truncated to the valid prefix; the surviving bytes must be
+		// exactly the frames Replay reported.
+		kept, err := os.ReadFile(filepath.Join(dir, "00000000.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rebuilt []byte
+		for _, p := range replayed {
+			rebuilt = append(rebuilt, frame(p)...)
+		}
+		if !bytes.Equal(kept, rebuilt) {
+			t.Fatalf("truncated segment (%d bytes) != replayed frames (%d bytes)", len(kept), len(rebuilt))
+		}
+		if !bytes.HasPrefix(data, kept) {
+			t.Fatalf("recovered prefix is not a prefix of the original input")
+		}
+		// The log stays writable: a fresh append must survive a reopen,
+		// after all prior records.
+		sentinel := []byte("post-recovery append")
+		if err := l.Append(sentinel); err != nil {
+			t.Fatalf("Append after recovery: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer l2.Close()
+		var after [][]byte
+		if err := l2.Replay(func(p []byte) error {
+			after = append(after, append([]byte(nil), p...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(after) != len(replayed)+1 {
+			t.Fatalf("after append: %d records, want %d", len(after), len(replayed)+1)
+		}
+		for i, p := range replayed {
+			if !bytes.Equal(after[i], p) {
+				t.Fatalf("record %d changed across recovery", i)
+			}
+		}
+		if !bytes.Equal(after[len(after)-1], sentinel) {
+			t.Fatalf("sentinel not replayed")
+		}
+	})
+}
