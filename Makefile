@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json fuzz-smoke clean
+.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json fuzz-smoke linkcheck clean
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,14 @@ bench-json:
 # go's -fuzz runs one target per invocation, so each gets its own line.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePublishedTxns$$' -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSnapshot$$' -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 10s ./internal/wal
+
+# linkcheck verifies every relative markdown link in README.md and docs/
+# resolves to an existing file (offline; external URLs are not fetched).
+# make verify covers it too — this target just runs it by name for CI.
+linkcheck:
+	$(GO) test -run '^TestMarkdownLinks$$' .
 
 clean:
 	$(GO) clean ./...

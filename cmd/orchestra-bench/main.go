@@ -185,6 +185,20 @@ type epochAllocBenchEntry struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 }
 
+// snapshotRebuildEntry is one cell of the peer-recovery sweep: rebuilding
+// one consumer peer from the store after a history of HistoryEpochs
+// single-transaction epochs, by full log replay versus by snapshot + tail
+// (the snapshot taken TailEpochs epochs before the end). Full replay grows
+// with the history; the snapshot path should track the tail length only.
+type snapshotRebuildEntry struct {
+	Name          string  `json:"name"`
+	HistoryEpochs int     `json:"history_epochs"`
+	TailEpochs    int     `json:"tail_epochs"`
+	Mode          string  `json:"mode"` // full_replay | snapshot_tail
+	NsPerRebuild  float64 `json:"ns_per_rebuild"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+}
+
 // coreBenchReport is the BENCH_core.json schema; future PRs compare their
 // runs against the committed serial baseline to track the perf trajectory.
 // See docs/BENCHMARKING.md.
@@ -198,6 +212,7 @@ type coreBenchReport struct {
 	ReldbGroupCommit  []groupCommitBenchEntry `json:"reldb_group_commit"`
 	EpochAllocator    []epochAllocBenchEntry  `json:"epoch_allocator"`
 	PublishOverlap    []publishOverlapEntry   `json:"publish_overlap"`
+	SnapshotRebuild   []snapshotRebuildEntry  `json:"snapshot_rebuild"`
 }
 
 // runCoreSuite measures Engine.Reconcile on the shared contended workload
@@ -260,6 +275,9 @@ func runCoreSuite(path string) error {
 		return err
 	}
 	if err := runPublishOverlapSuite(&report); err != nil {
+		return err
+	}
+	if err := runSnapshotRebuildSuite(&report); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -645,6 +663,119 @@ func runPublishOverlapSuite(report *coreBenchReport) error {
 			fmt.Printf("%-45s %12.0f ns/txn %8d shard-waits %8d table-waits %10d allocs/op\n",
 				e.Name, e.NsPerTxn, e.ShardContention, e.TableWaits, e.AllocsPerOp)
 		}
+	}
+	return nil
+}
+
+// runSnapshotRebuildSuite measures peer recovery cost against history
+// length: a consumer peer is rebuilt from an in-memory central store after
+// H single-transaction epochs, once by full log replay and once via the
+// retained snapshot (taken tailEpochs before the end) plus the tail. The
+// workload is revision-heavy — modify chains cycling over a small fixed
+// key set, the long-lived-store shape the paper's state ratio describes —
+// so the instance stays small while the log grows: full replay is
+// O(history), the snapshot path O(instance + tail) and should stay flat as
+// H grows. (An insert-only unique-key workload has instance ≈ log and the
+// two paths converge; snapshots bound catch-up, they don't compress
+// live state.)
+func runSnapshotRebuildSuite(report *coreBenchReport) error {
+	const (
+		tailEpochs = 8
+		hotKeys    = 16
+	)
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	ctx := context.Background()
+	for _, history := range []int{64, 256} {
+		s := central.MustOpenMemory(schema)
+		pub := core.NewEngine("pub", schema, core.TrustAll(1))
+		if err := s.RegisterPeer(ctx, "pub", core.TrustAll(1)); err != nil {
+			return err
+		}
+		if err := s.RegisterPeer(ctx, "q", core.TrustAll(1)); err != nil {
+			return err
+		}
+		consume := func() error {
+			rec, err := s.BeginReconciliation(ctx, "q")
+			if err != nil {
+				return err
+			}
+			var accepted []core.TxnID
+			for _, c := range rec.Candidates {
+				accepted = append(accepted, c.Txn.ID)
+			}
+			return s.RecordDecisions(ctx, "q", rec.Recno, accepted, nil)
+		}
+		revs := make([]int, hotKeys)
+		for e := 0; e < history; e++ {
+			k := e % hotKeys
+			prot := fmt.Sprintf("prot-%d", k)
+			var u core.Update
+			if revs[k] == 0 {
+				u = core.Insert("F", core.Strs("org", prot, "rev-0"), "pub")
+			} else {
+				u = core.Modify("F",
+					core.Strs("org", prot, fmt.Sprintf("rev-%d", revs[k]-1)),
+					core.Strs("org", prot, fmt.Sprintf("rev-%d", revs[k])), "pub")
+			}
+			revs[k]++
+			x, err := pub.NewLocalTransaction(u)
+			if err != nil {
+				return err
+			}
+			if _, err := s.Publish(ctx, "pub",
+				[]store.PublishedTxn{{Txn: x, Antecedents: pub.LocalAntecedents(x.ID)}}); err != nil {
+				return err
+			}
+			if e%8 == 7 {
+				if err := consume(); err != nil {
+					return err
+				}
+			}
+			if e == history-tailEpochs-1 {
+				if err := consume(); err != nil {
+					return err
+				}
+				if _, err := s.Snapshot(ctx); err != nil {
+					return err
+				}
+			}
+		}
+		if err := consume(); err != nil {
+			return err
+		}
+		for _, mode := range []string{"full_replay", "snapshot_tail"} {
+			mode := mode
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var err error
+					if mode == "full_replay" {
+						_, err = store.FullReplayRebuild(ctx, "q", schema, core.TrustAll(1), s)
+					} else {
+						_, err = store.RebuildPeer(ctx, "q", schema, core.TrustAll(1), s)
+					}
+					if err != nil {
+						benchErr = err
+						b.Skip(err)
+					}
+				}
+			})
+			if benchErr != nil {
+				return benchErr
+			}
+			e := snapshotRebuildEntry{
+				Name:          fmt.Sprintf("SnapshotRebuild/history=%d/mode=%s", history, mode),
+				HistoryEpochs: history,
+				TailEpochs:    tailEpochs,
+				Mode:          mode,
+				NsPerRebuild:  float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp:   r.AllocsPerOp(),
+			}
+			report.SnapshotRebuild = append(report.SnapshotRebuild, e)
+			fmt.Printf("%-45s %12.0f ns/rebuild %10d allocs/op\n", e.Name, e.NsPerRebuild, e.AllocsPerOp)
+		}
+		s.Close()
 	}
 	return nil
 }

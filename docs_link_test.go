@@ -1,0 +1,64 @@
+package orchestra
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are not used in this repo's docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks walks README.md and docs/ and verifies that every
+// relative link target exists — the `make linkcheck` gate CI runs, so a
+// renamed or forgotten document (say, a recovery doc a PR promises) fails
+// the build instead of rotting quietly. External URLs are not fetched:
+// the check must work offline and never flake on someone else's server.
+func TestMarkdownLinks(t *testing.T) {
+	var files []string
+	files = append(files, "README.md")
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	if len(files) < 2 {
+		t.Fatalf("suspiciously few markdown files: %v", files)
+	}
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external: not checked offline
+			case strings.HasPrefix(target, "#"):
+				continue // intra-document anchor
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no relative links found; the check is not checking anything")
+	}
+}

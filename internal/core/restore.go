@@ -23,10 +23,9 @@ type RestoredDecision struct {
 	Seq      int64
 }
 
-// Restore rebuilds the engine's state from the update store's log and this
-// peer's recorded decisions — the §5.2 soft-state guarantee: "it is
-// possible to reconstruct the entire state of the participant, up to his or
-// her last reconciliation, from the update store".
+// Restore rebuilds the engine's state from the update store's full log and
+// this peer's recorded decisions — the soft-state reconstruction path of
+// the paper's §5.2 (see docs/RECOVERY.md for the recovery contract).
 //
 // The instance is the net effect of every accepted transaction's updates in
 // acceptance order (flattened, so superseded intermediate states are
@@ -38,6 +37,25 @@ func (e *Engine) Restore(log []LoggedTxn, decisions map[TxnID]RestoredDecision) 
 	if len(e.applied) > 0 || e.inst.TotalLen() > 0 {
 		return fmt.Errorf("core: Restore requires a fresh engine")
 	}
+	return e.restoreLog(log, decisions)
+}
+
+// RestoreTail replays a suffix of the update store's log onto an engine
+// previously seeded from a snapshot (NewEngineFromSnapshot): the log should
+// contain every published transaction the snapshot does not already fold in
+// (the post-snapshot epochs plus the snapshot's residue), and decisions the
+// peer's decisions recorded after the snapshot's per-peer sequence
+// high-water mark. Transactions the engine has already decided are skipped,
+// so overlapping log entries are harmless. RestoreTail on a fresh engine is
+// exactly Restore.
+func (e *Engine) RestoreTail(log []LoggedTxn, decisions map[TxnID]RestoredDecision) error {
+	return e.restoreLog(log, decisions)
+}
+
+// restoreLog is the shared replay body of Restore and RestoreTail: fold the
+// given decisions over the log in acceptance order, applying accepted
+// transactions' updates on top of whatever state the engine already holds.
+func (e *Engine) restoreLog(log []LoggedTxn, decisions map[TxnID]RestoredDecision) error {
 	ordered := append([]LoggedTxn(nil), log...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Txn.Order < ordered[j].Txn.Order })
 
@@ -51,6 +69,9 @@ func (e *Engine) Restore(log []LoggedTxn, decisions map[TxnID]RestoredDecision) 
 			if id.Seq > maxOwnSeq {
 				maxOwnSeq = id.Seq
 			}
+		}
+		if e.applied.Has(id) || e.rejected.Has(id) {
+			continue // already folded in by the snapshot
 		}
 		switch decisions[id].Decision {
 		case DecisionAccept:
@@ -81,7 +102,7 @@ func (e *Engine) Restore(log []LoggedTxn, decisions map[TxnID]RestoredDecision) 
 		e.inst.applyUnchecked(u)
 	}
 	e.noteProducers(accepted)
-	if haveOwn {
+	if haveOwn && maxOwnSeq+1 > e.nextSeq {
 		e.nextSeq = maxOwnSeq + 1
 	}
 	return nil

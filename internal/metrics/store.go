@@ -34,6 +34,10 @@ type StoreCounters struct {
 	decisions     atomic.Int64
 	batchPeak     atomic.Int64
 
+	snapshots       atomic.Int64
+	compactions     atomic.Int64
+	compactedEpochs atomic.Int64
+
 	// shards carries per-epoch-shard publish counters; sized once by
 	// InitShards before the store goes concurrent, then only the atomics
 	// move.
@@ -119,6 +123,24 @@ func (c *StoreCounters) ObserveDecisionRoundTrip(peers, decisions int) {
 	atomicMax(&c.batchPeak, int64(peers))
 }
 
+// ObserveSnapshot counts one retained engine-state snapshot written.
+func (c *StoreCounters) ObserveSnapshot() {
+	if c == nil {
+		return
+	}
+	c.snapshots.Add(1)
+}
+
+// ObserveCompaction counts one compaction pass that dropped the given
+// number of epochs from the publish tables.
+func (c *StoreCounters) ObserveCompaction(epochs int) {
+	if c == nil {
+		return
+	}
+	c.compactions.Add(1)
+	c.compactedEpochs.Add(int64(epochs))
+}
+
 // StoreSnapshot is a point-in-time copy of StoreCounters.
 type StoreSnapshot struct {
 	Publishes       int64 // Publish calls
@@ -129,6 +151,10 @@ type StoreSnapshot struct {
 	DecisionPeers      int64 // reconciliation outcomes carried by those calls
 	Decisions          int64 // individual accept/reject decisions recorded
 	BatchPeak          int64 // most outcomes carried by a single round trip
+
+	Snapshots       int64 // retained engine-state snapshots written
+	Compactions     int64 // compaction passes that dropped rows
+	CompactedEpochs int64 // epochs dropped from the publish tables
 
 	ShardPublishes  []int64 // publish commits per table shard (nil when unsharded)
 	ShardContention []int64 // same-shard publish overlaps per table shard
@@ -148,6 +174,9 @@ func (c *StoreCounters) Snapshot() StoreSnapshot {
 		DecisionPeers:      c.decisionPeers.Load(),
 		Decisions:          c.decisions.Load(),
 		BatchPeak:          c.batchPeak.Load(),
+		Snapshots:          c.snapshots.Load(),
+		Compactions:        c.compactions.Load(),
+		CompactedEpochs:    c.compactedEpochs.Load(),
 	}
 	if len(c.shards) > 0 {
 		snap.ShardPublishes = make([]int64, len(c.shards))

@@ -45,17 +45,37 @@
 // layout (a plain "txns" table) cannot be migrated and fail Open with a
 // version error.
 //
+// # Snapshots and compaction
+//
+// The store can serialize a global engine-state snapshot at a
+// stable-epoch boundary (Snapshot, or periodically via WithSnapshotEvery)
+// into the snapshots table: per registered peer, the engine state its
+// decisions produce, plus the residue — transactions not yet accepted by
+// every peer, whose payloads may still be needed by future extensions or
+// late decisions. store.RebuildPeer then restores a peer from the
+// snapshot and replays only the post-snapshot tail (ReplayFrom) instead
+// of the whole history, and CompactBefore drops the publish/decision rows
+// of epochs a retained snapshot has absorbed — refusing to outrun any
+// peer's reconciliation frontier or the snapshot's coverage. The recovery
+// contract lives in docs/RECOVERY.md; the differential matrix pins
+// compaction to change storage only, never decisions.
+//
 // Lock order: an epoch mutex may be taken before a peer mutex (publish),
 // and a peer mutex before a *finished* epoch's mutex (reconciliation
 // snapshot); the two can never deadlock because an epoch is unfinished
-// while publishing and only finished epochs are snapshotted. epochMu is
-// taken after epoch/peer locks only for the brief frontier advance, whose
-// critical section takes no other store lock. The reldb engine's per-table
-// locks are always innermost; every multi-table commit touches tables in
-// the order epochs_k → txns_k → decisions_k → peers, shard indexes
-// ascending within each group (the lock-order rule documented in
-// docs/STORAGE.md). RecordDecisionsBatch locks its peers in sorted order
-// and writes its decisions_k shards in ascending k order.
+// while publishing and only finished epochs are snapshotted. snapMu
+// (serializing Snapshot/CompactBefore) is outermost and never needed by
+// the publish/reconcile paths; Snapshot takes every peer mutex in sorted
+// ID order — the same order RecordDecisionsBatch uses — for its brief
+// copy phase. epochMu is taken after epoch/peer locks only for the brief
+// frontier advance, whose critical section takes no other store lock. The
+// reldb engine's per-table locks are always innermost; every multi-table
+// commit touches tables in the order epochs_k → txns_k → decisions_k →
+// peers → meta → snapshots, shard indexes ascending within each group
+// (the lock-order rule documented in docs/STORAGE.md).
+// RecordDecisionsBatch locks its peers in sorted order and writes its
+// decisions_k shards in ascending k order; CompactBefore deletes across
+// whole shard groups ascending and stamps meta last.
 package central
 
 import (
@@ -90,10 +110,11 @@ const DefaultEpochBlock = 8
 const DefaultTableShards = 8
 
 // layoutVersion identifies the on-disk table layout; it is recorded in the
-// meta table when a directory is created. Version 2 is the epoch-sharded
-// layout. Pre-shard directories (no meta table, a plain "txns" table)
-// cannot be migrated.
-const layoutVersion = 2
+// meta table when a directory is created. Version 2 was the epoch-sharded
+// layout; version 3 adds the snapshots table and the compacted_before meta
+// key. Earlier layouts (including pre-shard directories with no meta table
+// and a plain "txns" table) cannot be migrated.
+const layoutVersion = 3
 
 // Option configures Open.
 type Option func(*config)
@@ -104,10 +125,17 @@ type config struct {
 	groupWindow    time.Duration
 	tableShards    int
 	shardsExplicit bool
+	snapEvery      int64
+	compactKeep    int64
 }
 
 func defaultConfig() config {
-	return config{epochBlock: DefaultEpochBlock, groupCommit: true, tableShards: DefaultTableShards}
+	return config{
+		epochBlock:  DefaultEpochBlock,
+		groupCommit: true,
+		tableShards: DefaultTableShards,
+		compactKeep: -1,
+	}
 }
 
 // WithEpochBlock sets how many epoch numbers each durable sequence commit
@@ -175,6 +203,27 @@ func WithTableShards(n int) Option {
 	}
 }
 
+// WithSnapshotEvery enables automatic snapshots: after a publish moves the
+// stable epoch n or more epochs past the retained snapshot, the publishing
+// call takes a fresh one (Store.Snapshot). n <= 0 (the default) disables
+// the automatism; Snapshot stays available on demand either way. Automatic
+// maintenance is best-effort: its failures never fail the publish that
+// triggered it.
+func WithSnapshotEvery(n int) Option {
+	return func(c *config) { c.snapEvery = int64(n) }
+}
+
+// WithCompactKeep enables automatic compaction after each automatic
+// snapshot (so it only takes effect together with WithSnapshotEvery): the
+// publish log is compacted to keep epochs below the allowed horizon — the
+// minimum of the snapshot epoch and every peer's reconciliation frontier.
+// keep = 0 compacts as far as the safety invariants allow; negative (the
+// default) never compacts automatically. CompactBefore stays available on
+// demand either way.
+func WithCompactKeep(keep int) Option {
+	return func(c *config) { c.compactKeep = int64(keep) }
+}
+
 // Store is the centralized update store.
 type Store struct {
 	db       *reldb.DB
@@ -214,6 +263,27 @@ type Store struct {
 	// each peerMeta's own mutex.
 	peersMu sync.RWMutex
 	peers   map[core.PeerID]*peerMeta
+
+	// snapMu serializes Snapshot and CompactBefore against each other; it
+	// is the outermost store lock (never taken while holding any other) and
+	// is never needed by the publish/reconcile paths.
+	snapMu sync.Mutex
+	// snapState caches what the snapshots table and the compacted_before
+	// meta key record: the retained snapshot's epoch, its per-peer
+	// decision-sequence high-water marks and coverage, and the compaction
+	// horizon.
+	snapState struct {
+		mu        sync.RWMutex
+		epoch     core.Epoch
+		hw        map[core.PeerID]int64
+		covered   map[core.PeerID]bool
+		residue   map[core.TxnID]bool
+		compacted core.Epoch
+	}
+	// snapEvery/compactKeep hold the automatic-maintenance policy
+	// (WithSnapshotEvery, WithCompactKeep; compactKeep < 0 = off).
+	snapEvery   int64
+	compactKeep int64
 }
 
 type txnShard struct {
@@ -293,12 +363,14 @@ func Open(schema *core.Schema, dir string, opts ...Option) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		db:         db,
-		schema:     schema,
-		counters:   &metrics.StoreCounters{},
-		epochs:     make(map[core.Epoch]*epochMeta),
-		peers:      make(map[core.PeerID]*peerMeta),
-		epochBlock: cfg.epochBlock,
+		db:          db,
+		schema:      schema,
+		counters:    &metrics.StoreCounters{},
+		epochs:      make(map[core.Epoch]*epochMeta),
+		peers:       make(map[core.PeerID]*peerMeta),
+		epochBlock:  cfg.epochBlock,
+		snapEvery:   cfg.snapEvery,
+		compactKeep: cfg.compactKeep,
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[core.TxnID]*entry)
@@ -550,12 +622,26 @@ func (s *Store) initTables(cfg config) error {
 				return err
 			}
 		}
-		return create(reldb.TableDef{
+		if err := create(reldb.TableDef{
 			Name: "peers",
 			Cols: []reldb.ColDef{
 				{Name: "peer", Type: reldb.ColString},
 				{Name: "last_epoch", Type: reldb.ColInt},
 				{Name: "recno", Type: reldb.ColInt},
+			},
+			Key: []int{0},
+		}); err != nil {
+			return err
+		}
+		// One row: the retained global engine-state snapshot (binary codec,
+		// store.AppendSnapshot). Each Snapshot() commit atomically replaces
+		// it; a torn commit rolls back whole, so the previous snapshot (and
+		// the publish log) are never voided by a crash mid-snapshot.
+		return create(reldb.TableDef{
+			Name: "snapshots",
+			Cols: []reldb.ColDef{
+				{Name: "epoch", Type: reldb.ColInt},
+				{Name: "payload", Type: reldb.ColBytes},
 			},
 			Key: []int{0},
 		})
@@ -660,12 +746,63 @@ func (s *Store) loadCaches() error {
 				return err
 			}
 		}
+		if r, ok, err := tx.Get("meta", reldb.Str("compacted_before")); err != nil {
+			return err
+		} else if ok {
+			s.snapState.compacted = core.Epoch(r[1].I())
+		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	if err := s.loadSnapshotState(); err != nil {
+		return err
+	}
 	s.advanceFrontier()
+	return nil
+}
+
+// loadSnapshotState rebuilds the snapshot-derived caches after recovery:
+// the retained snapshot's epoch, per-peer decision high-water marks and
+// coverage, the residue entries (whose payloads exist only in the snapshot
+// once their epochs are compacted), and each peer's decision-sequence
+// floor. Open is single-threaded, so no store locks are taken here.
+func (s *Store) loadSnapshotState() error {
+	snap, err := s.LatestSnapshot(context.Background())
+	if err != nil {
+		return err
+	}
+	if snap == nil {
+		if s.snapState.compacted > 0 {
+			return fmt.Errorf("central: directory compacted through epoch %d but retains no snapshot", s.snapState.compacted)
+		}
+		return nil
+	}
+	s.snapState.epoch = snap.Epoch
+	s.snapState.hw = make(map[core.PeerID]int64, len(snap.Peers))
+	s.snapState.covered = make(map[core.PeerID]bool, len(snap.Peers))
+	s.snapState.residue = make(map[core.TxnID]bool, len(snap.Residue))
+	for i := range snap.Residue {
+		s.snapState.residue[snap.Residue[i].Txn.ID] = true
+	}
+	for i := range snap.Peers {
+		ps := &snap.Peers[i]
+		s.snapState.hw[ps.Engine.Peer] = ps.DecisionSeq
+		s.snapState.covered[ps.Engine.Peer] = true
+		// Decision sequences must keep ascending past what the snapshot
+		// folded in, even when compaction dropped every durable decision
+		// row of a peer.
+		if pm := s.peers[ps.Engine.Peer]; pm != nil && ps.DecisionSeq > pm.nextSeq {
+			pm.nextSeq = ps.DecisionSeq
+		}
+	}
+	for i := range snap.Residue {
+		pub := snap.Residue[i]
+		if s.lookup(pub.Txn.ID) == nil {
+			s.index(&entry{pub: pub, epoch: pub.Txn.Epoch})
+		}
+	}
 	return nil
 }
 
@@ -862,8 +999,10 @@ func (s *Store) PublishFinish(peer core.PeerID, epoch core.Epoch) error {
 }
 
 // Publish implements store.Store: allocate an epoch, then write and finish
-// in a single database commit.
-func (s *Store) Publish(_ context.Context, peer core.PeerID, txns []store.PublishedTxn) (core.Epoch, error) {
+// in a single database commit. When automatic maintenance is configured
+// (WithSnapshotEvery/WithCompactKeep), the publish that crosses the
+// snapshot cadence runs it before returning.
+func (s *Store) Publish(ctx context.Context, peer core.PeerID, txns []store.PublishedTxn) (core.Epoch, error) {
 	s.counters.ObservePublish()
 	if _, err := s.peer(peer); err != nil {
 		return 0, err
@@ -880,6 +1019,7 @@ func (s *Store) Publish(_ context.Context, peer core.PeerID, txns []store.Publis
 	if err := s.publishWrite(peer, epoch, txns, true); err != nil {
 		return 0, err
 	}
+	s.maybeMaintain(ctx)
 	return epoch, nil
 }
 
@@ -1151,11 +1291,23 @@ func (s *Store) TxnCount() int {
 
 // ReplayFor implements store.Replayer: the full published log in global
 // order together with the peer's recorded decisions in acceptance order,
-// from which a lost client reconstructs itself (§5.2).
+// from which a lost client reconstructs itself (see docs/RECOVERY.md).
+// After compaction, full replay no longer exists for peers the retained
+// snapshot covers — their early history lives only in the snapshot — so
+// the call fails for them; store.RebuildPeer takes the snapshot + tail
+// path instead. Peers registered after the snapshot (whose whole history
+// is in the retained epochs) still replay fully.
 func (s *Store) ReplayFor(_ context.Context, peer core.PeerID) ([]store.PublishedTxn, map[core.TxnID]core.RestoredDecision, error) {
 	pm, err := s.peer(peer)
 	if err != nil {
 		return nil, nil, err
+	}
+	s.snapState.mu.RLock()
+	compacted := s.snapState.compacted
+	snapCovered := s.snapState.covered[peer]
+	s.snapState.mu.RUnlock()
+	if compacted > 0 && snapCovered {
+		return nil, nil, fmt.Errorf("central: epochs through %d are compacted; rebuild %s from the retained snapshot (store.RebuildPeer)", compacted, peer)
 	}
 	s.epochMu.RLock()
 	maxE := s.maxE

@@ -26,15 +26,22 @@ func crashImage(t *testing.T, src string) string {
 	return dst
 }
 
+// roundsMarker separates the live reconciliation transcript (identical
+// across every knob, including compaction) from the storage-dependent
+// recovery section.
+const roundsMarker = "txns="
+
 // differentialWorkload drives a deterministic multi-peer publish/reconcile
 // history against a store opened with the given options and returns a full
 // transcript: every step's accept/reject/defer decisions, the live
 // stable-epoch answer after every step, and the state recovered from a
-// crash image of the directory (replayed decisions plus the candidate
-// window a fresh peer sees). Table sharding, group commit, and the epoch
-// allocator may only change performance, so the transcript must be
-// bit-identical across every option combination.
-func differentialWorkload(t *testing.T, opts ...Option) string {
+// crash image of the directory. With compact set, every round ends with a
+// snapshot and a compaction to the allowed horizon — which may only change
+// what is stored, never any decision, so the transcript through the
+// roundsMarker must be bit-identical to the uncompacted run, and the
+// recovery section (rebuilt-peer state, fresh window) bit-identical across
+// every other knob.
+func differentialWorkload(t *testing.T, compact bool, opts ...Option) string {
 	t.Helper()
 	const rounds = 4
 	ctx := context.Background()
@@ -56,6 +63,12 @@ func differentialWorkload(t *testing.T, opts ...Option) string {
 			t.Fatal(err)
 		}
 		peers[id] = p
+	}
+	var universe []core.TxnID
+	for _, id := range ids {
+		for seq := uint64(0); seq < 2*rounds; seq++ {
+			universe = append(universe, core.TxnID{Origin: id, Seq: seq})
+		}
 	}
 
 	var b strings.Builder
@@ -87,18 +100,31 @@ func differentialWorkload(t *testing.T, opts ...Option) string {
 				r, id, res.Recno, sortedIDs(res.Accepted), sortedIDs(res.Rejected),
 				sortedIDs(res.Deferred), s.stableEpoch())
 		}
+		if compact {
+			if _, err := s.Snapshot(ctx); err != nil {
+				t.Fatalf("round %d snapshot: %v", r, err)
+			}
+			if h := s.CompactionHorizon(); h > s.CompactedBefore() {
+				if err := s.CompactBefore(ctx, h); err != nil {
+					t.Fatalf("round %d compact to %d: %v", r, h, err)
+				}
+			}
+		}
 	}
-	fmt.Fprintf(&b, "txns=%d\n", s.TxnCount())
+	fmt.Fprintf(&b, "%s%d\n", roundsMarker, s.TxnCount())
 	// Snapshot the directory before Close (crash image), then shut down.
 	crashDir := crashImage(t, dir)
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Post-crash recovery must replay to the same decisions, and a fresh
-	// peer's candidate window (visibility through the recovered stable
-	// frontier) must be identical — even though void recovery gaps make the
-	// raw frontier number block-size dependent.
+	// Post-crash recovery must land on the same user-visible state: every
+	// peer rebuilt from the recovered store alone (full replay, or snapshot
+	// + tail once compaction has dropped the early epochs) carries the same
+	// instance and per-transaction verdicts, and a fresh peer's candidate
+	// window (visibility through the recovered stable frontier) is
+	// identical — even though void recovery gaps make the raw frontier
+	// number block-size dependent.
 	s2, err := Open(schema, crashDir, opts...)
 	if err != nil {
 		t.Fatal(err)
@@ -109,25 +135,51 @@ func differentialWorkload(t *testing.T, opts ...Option) string {
 		if err := s2.RegisterPeer(ctx, id, trust); err != nil {
 			t.Fatal(err)
 		}
-		_, decisions, err := s2.ReplayFor(ctx, id)
+	}
+	if !compact {
+		// Uncompacted stores also pin the raw replayed decision sequences.
+		for _, id := range ids {
+			_, decisions, err := s2.ReplayFor(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type dec struct {
+				id  string
+				d   core.Decision
+				seq int64
+			}
+			var ds []dec
+			for txn, rd := range decisions {
+				ds = append(ds, dec{fmt.Sprintf("%s/%d", txn.Origin, txn.Seq), rd.Decision, rd.Seq})
+			}
+			sort.Slice(ds, func(i, j int) bool { return ds[i].seq < ds[j].seq })
+			fmt.Fprintf(&b, "replay %s:", id)
+			for _, d := range ds {
+				fmt.Fprintf(&b, " %s=%d@%d", d.id, d.d, d.seq)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	for _, id := range ids {
+		p, err := store.RebuildPeer(ctx, id, schema, trust, s2)
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("rebuild %s: %v", id, err)
 		}
-		type dec struct {
-			id  string
-			d   core.Decision
-			seq int64
+		var acc, rej []core.TxnID
+		for _, x := range universe {
+			if p.Engine().Applied(x) {
+				acc = append(acc, x)
+			}
+			if p.Engine().Rejected(x) {
+				rej = append(rej, x)
+			}
 		}
-		var ds []dec
-		for txn, rd := range decisions {
-			ds = append(ds, dec{fmt.Sprintf("%s/%d", txn.Origin, txn.Seq), rd.Decision, rd.Seq})
+		var inst []string
+		for _, tp := range p.Instance().Tuples("F") {
+			inst = append(inst, tp.String())
 		}
-		sort.Slice(ds, func(i, j int) bool { return ds[i].seq < ds[j].seq })
-		fmt.Fprintf(&b, "replay %s:", id)
-		for _, d := range ds {
-			fmt.Fprintf(&b, " %s=%d@%d", d.id, d.d, d.seq)
-		}
-		fmt.Fprintln(&b)
+		fmt.Fprintf(&b, "rebuilt %s acc=%v rej=%v inst=%v\n",
+			id, sortedIDs(acc), sortedIDs(rej), inst)
 	}
 	if err := s2.RegisterPeer(ctx, "fresh", core.TrustAll(1)); err != nil {
 		t.Fatal(err)
@@ -144,15 +196,28 @@ func differentialWorkload(t *testing.T, opts ...Option) string {
 	return b.String()
 }
 
+// roundsPrefix cuts a transcript at the roundsMarker: the live decision
+// transcript that every knob — including compaction — must reproduce.
+func roundsPrefix(t *testing.T, transcript string) string {
+	t.Helper()
+	i := strings.Index(transcript, roundsMarker)
+	if i < 0 {
+		t.Fatalf("transcript lacks %q marker:\n%s", roundsMarker, transcript)
+	}
+	return transcript[:i]
+}
+
 // TestDifferentialMatrix pins every combination of table shards 1/4/8 ×
-// group commit on/off × epoch block size 1/8 to a bit-identical
-// reconciliation transcript: identical decisions, identical live
-// stable-epoch answers, identical post-crash recovered state. The knobs
-// may change the physical layout and performance only. The baseline is the
-// fully serial historical configuration: one shard, serial WAL commits,
-// one durable sequence commit per epoch.
+// group commit on/off × epoch block size 1/8 × compaction off/on to a
+// bit-identical reconciliation transcript: identical decisions, identical
+// live stable-epoch answers, identical post-crash rebuilt state. The knobs
+// may change the physical layout and performance only; compaction may
+// additionally change what is stored (the whole point), but never a
+// decision, a rebuilt peer's state, or a stable-epoch answer. The baseline
+// is the fully serial historical configuration: one shard, serial WAL
+// commits, one durable sequence commit per epoch.
 func TestDifferentialMatrix(t *testing.T) {
-	baseline := differentialWorkload(t, WithSerialCommit(), WithEpochBlock(1), WithTableShards(1))
+	baseline := differentialWorkload(t, false, WithSerialCommit(), WithEpochBlock(1), WithTableShards(1))
 	if !strings.Contains(baseline, "rej=[") || !strings.Contains(baseline, "acc=[") {
 		t.Fatalf("workload produced no decisions:\n%s", baseline)
 	}
@@ -161,22 +226,38 @@ func TestDifferentialMatrix(t *testing.T) {
 	if !strings.Contains(baseline, "rej=[b/") && !strings.Contains(baseline, "rej=[c/") {
 		t.Fatalf("workload never rejected a transaction:\n%s", baseline)
 	}
+	baselineCompact := differentialWorkload(t, true, WithSerialCommit(), WithEpochBlock(1), WithTableShards(1))
+	// Compaction must not touch a single live decision or stable answer…
+	if got, want := roundsPrefix(t, baselineCompact), roundsPrefix(t, baseline); got != want {
+		t.Fatalf("compaction changed the live transcript:\n--- compacted ---\n%s\n--- baseline ---\n%s", got, want)
+	}
+	// …and must actually have compacted something, or the cell proves
+	// nothing.
+	if baselineCompact == baseline {
+		t.Fatalf("compacting run left the storage transcript untouched:\n%s", baselineCompact)
+	}
 	for _, shards := range []int{1, 4, 8} {
 		for _, group := range []bool{false, true} {
 			for _, block := range []int{1, 8} {
-				name := fmt.Sprintf("shards=%d/group=%v/block=%d", shards, group, block)
-				t.Run(name, func(t *testing.T) {
-					opts := []Option{WithTableShards(shards), WithEpochBlock(block)}
-					if group {
-						opts = append(opts, WithGroupCommit(0))
-					} else {
-						opts = append(opts, WithSerialCommit())
-					}
-					got := differentialWorkload(t, opts...)
-					if got != baseline {
-						t.Errorf("transcript diverged from shards=1/serial/block=1 baseline:\n--- got ---\n%s\n--- want ---\n%s", got, baseline)
-					}
-				})
+				for _, compact := range []bool{false, true} {
+					name := fmt.Sprintf("shards=%d/group=%v/block=%d/compact=%v", shards, group, block, compact)
+					t.Run(name, func(t *testing.T) {
+						opts := []Option{WithTableShards(shards), WithEpochBlock(block)}
+						if group {
+							opts = append(opts, WithGroupCommit(0))
+						} else {
+							opts = append(opts, WithSerialCommit())
+						}
+						want := baseline
+						if compact {
+							want = baselineCompact
+						}
+						got := differentialWorkload(t, compact, opts...)
+						if got != want {
+							t.Errorf("transcript diverged from shards=1/serial/block=1 baseline:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+						}
+					})
+				}
 			}
 		}
 	}

@@ -1,0 +1,599 @@
+package central
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"orchestra/internal/core"
+	"orchestra/internal/reldb"
+	"orchestra/internal/store"
+)
+
+// This file implements the snapshot + compaction subsystem: periodic (or
+// on-demand) global engine-state snapshots at stable-epoch boundaries, the
+// bounded snapshot + tail rebuild path, and publish-log compaction behind a
+// retained snapshot. The safety invariants — the reconciliation-frontier
+// rule, the snapshot-coverage rule, and the residue rule — are documented
+// in docs/RECOVERY.md; the differential matrix pins compaction to change
+// storage only, never decisions.
+
+// peerCopy is a consistent point-in-time copy of one peer's store state,
+// taken with every peer lock held so the decision sequences of all peers
+// describe the same instant.
+type peerCopy struct {
+	id         core.PeerID
+	trust      core.Trust
+	lastEpoch  core.Epoch
+	recno      int
+	nextSeq    int64
+	decided    map[core.TxnID]core.Decision
+	decidedSeq map[core.TxnID]int64
+	// hw is the peer's folded decision prefix for the snapshot being
+	// taken: the largest sequence such that every decision at or below it
+	// references a transaction at or below the snapshot epoch. Usually
+	// nextSeq; smaller when the peer has self-accepts on a finished epoch
+	// the stable frontier has not reached yet (an earlier epoch still
+	// open) — those decisions stay in the tail, where ReplayFrom can pair
+	// them with their payloads.
+	hw int64
+}
+
+// sortedPeers returns the registered peers and their metas, sorted by ID —
+// the lock-acquisition order shared with RecordDecisionsBatch.
+func (s *Store) sortedPeers() ([]core.PeerID, []*peerMeta) {
+	s.peersMu.RLock()
+	ids := make([]core.PeerID, 0, len(s.peers))
+	for id := range s.peers {
+		ids = append(ids, id)
+	}
+	s.peersMu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	pms := make([]*peerMeta, len(ids))
+	for i, id := range ids {
+		pms[i], _ = s.peer(id)
+	}
+	return ids, pms
+}
+
+// copyPeers captures every registered peer's decision state at one instant:
+// all peer locks are held (in sorted order) while the maps are copied, so
+// no decision can land between two peers' copies. The stable epoch is read
+// inside the critical section — every decision in the copies therefore
+// references transactions at or below it.
+func (s *Store) copyPeers() ([]peerCopy, core.Epoch) {
+	ids, pms := s.sortedPeers()
+	for _, pm := range pms {
+		lockContended(&pm.mu, s.counters.ObservePeerContention)
+	}
+	stable := s.stableEpoch()
+	copies := make([]peerCopy, len(ids))
+	for i, pm := range pms {
+		cp := peerCopy{
+			id:         ids[i],
+			trust:      pm.trust,
+			lastEpoch:  pm.lastEpoch,
+			recno:      pm.recno,
+			nextSeq:    pm.nextSeq,
+			decided:    make(map[core.TxnID]core.Decision, len(pm.decided)),
+			decidedSeq: make(map[core.TxnID]int64, len(pm.decidedSeq)),
+		}
+		for id, d := range pm.decided {
+			cp.decided[id] = d
+		}
+		for id, seq := range pm.decidedSeq {
+			cp.decidedSeq[id] = seq
+		}
+		copies[i] = cp
+	}
+	for _, pm := range pms {
+		pm.mu.Unlock()
+	}
+	return copies, stable
+}
+
+// entriesThrough returns every indexed transaction with epoch <= e, sorted
+// by global order. This covers both the live (uncompacted) epochs and the
+// residue of a previous snapshot, whose entries stay indexed after their
+// epochs are compacted.
+func (s *Store) entriesThrough(e core.Epoch) []*entry {
+	var out []*entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, en := range sh.m {
+			if en.epoch <= e {
+				out = append(out, en)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pub.Txn.Order < out[j].pub.Txn.Order })
+	return out
+}
+
+// Snapshot implements store.Snapshotter: it serializes a global engine-state
+// snapshot at the current stable epoch into the snapshots table (one atomic
+// commit replaces the previously retained snapshot) and returns the epoch it
+// covers. With nothing published yet it writes nothing and returns 0.
+//
+// The per-peer engine states are built server-side: each peer's recorded
+// decisions are folded over the published log (seeded incrementally from the
+// previously retained snapshot, so repeated snapshots do not re-replay
+// compacted history). The residue — every transaction at or below the
+// snapshot epoch not accepted by all registered peers — rides inside the
+// snapshot payload so compaction can never strand a payload a future
+// extension or late decision still needs.
+func (s *Store) Snapshot(ctx context.Context) (core.Epoch, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapshotLocked(ctx)
+}
+
+func (s *Store) snapshotLocked(ctx context.Context) (core.Epoch, error) {
+	copies, stable := s.copyPeers()
+	if stable == 0 {
+		return 0, nil
+	}
+	prior, err := s.LatestSnapshot(ctx)
+	if err != nil {
+		return 0, err
+	}
+	entries := s.entriesThrough(stable)
+	logged := make([]core.LoggedTxn, len(entries))
+	for i, en := range entries {
+		logged[i] = core.LoggedTxn{Txn: en.pub.Txn, Antecedents: en.pub.Antecedents}
+	}
+
+	// A decision is foldable iff its transaction is at or below the
+	// snapshot epoch (or already compacted, which implies it). A peer can
+	// hold self-accepts above the stable frontier — a finished epoch
+	// waiting on an earlier open one — and those must stay in the tail:
+	// each peer's high-water mark is its longest foldable decision
+	// *prefix* (sequences are dense), so that the seq > hw tail filter of
+	// ReplayFrom pairs exactly with what the snapshot lacks.
+	foldable := func(id core.TxnID) bool {
+		en := s.lookup(id)
+		return en == nil || en.epoch <= stable
+	}
+	for i := range copies {
+		cp := &copies[i]
+		type sd struct {
+			seq int64
+			id  core.TxnID
+		}
+		ordered := make([]sd, 0, len(cp.decidedSeq))
+		for id, seq := range cp.decidedSeq {
+			ordered = append(ordered, sd{seq: seq, id: id})
+		}
+		sort.Slice(ordered, func(a, b int) bool { return ordered[a].seq < ordered[b].seq })
+		for _, d := range ordered {
+			if !foldable(d.id) {
+				break
+			}
+			cp.hw = d.seq
+		}
+	}
+
+	snap := &store.Snapshot{Epoch: stable}
+	for i := range copies {
+		cp := &copies[i]
+		var eng *core.Engine
+		afterSeq := int64(0)
+		if prior != nil {
+			if ps := prior.Peer(cp.id); ps != nil {
+				eng, err = core.NewEngineFromSnapshot(s.schema, cp.trust, &ps.Engine)
+				if err != nil {
+					return 0, fmt.Errorf("central: seed snapshot for %s: %w", cp.id, err)
+				}
+				afterSeq = ps.DecisionSeq
+			}
+		}
+		if eng == nil {
+			eng = core.NewEngine(cp.id, s.schema, cp.trust)
+		}
+		decs := make(map[core.TxnID]core.RestoredDecision)
+		for id, seq := range cp.decidedSeq {
+			if seq > afterSeq && seq <= cp.hw {
+				decs[id] = core.RestoredDecision{Decision: cp.decided[id], Seq: seq}
+			}
+		}
+		if err := eng.RestoreTail(logged, decs); err != nil {
+			return 0, fmt.Errorf("central: snapshot state for %s: %w", cp.id, err)
+		}
+		snap.Peers = append(snap.Peers, store.PeerSnapshot{
+			LastEpoch:   cp.lastEpoch,
+			Recno:       cp.recno,
+			DecisionSeq: cp.hw,
+			Engine:      *eng.ExportSnapshot(),
+		})
+	}
+	// Residue: anything some registered peer has not accepted *within its
+	// folded prefix* can still appear in a future antecedent closure or
+	// have its (late, or unfolded) decision replayed after this snapshot;
+	// its payload must survive compaction.
+	for _, en := range entries {
+		settled := true
+		for i := range copies {
+			cp := &copies[i]
+			id := en.pub.Txn.ID
+			if cp.decided[id] != core.DecisionAccept || cp.decidedSeq[id] > cp.hw {
+				settled = false
+				break
+			}
+		}
+		if !settled {
+			snap.Residue = append(snap.Residue, en.pub)
+		}
+	}
+
+	payload := store.AppendSnapshot(nil, snap)
+	err = s.db.Update(func(tx *reldb.Tx) error {
+		var old []int64
+		if err := tx.Scan("snapshots", func(r reldb.Row) bool {
+			old = append(old, r[0].I())
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, e := range old {
+			if _, err := tx.Delete("snapshots", reldb.Int(e)); err != nil {
+				return err
+			}
+		}
+		return tx.Insert("snapshots", reldb.Row{reldb.Int(int64(stable)), reldb.Bytes(payload)})
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.snapState.mu.Lock()
+	s.snapState.epoch = stable
+	s.snapState.hw = make(map[core.PeerID]int64, len(copies))
+	s.snapState.covered = make(map[core.PeerID]bool, len(copies))
+	for i := range copies {
+		s.snapState.hw[copies[i].id] = copies[i].hw
+		s.snapState.covered[copies[i].id] = true
+	}
+	s.snapState.residue = make(map[core.TxnID]bool, len(snap.Residue))
+	for i := range snap.Residue {
+		s.snapState.residue[snap.Residue[i].Txn.ID] = true
+	}
+	s.snapState.mu.Unlock()
+	s.counters.ObserveSnapshot()
+	return stable, nil
+}
+
+// LatestSnapshot implements store.SnapshotReplayer: the most recent
+// retained snapshot, decoded fresh (callers get private transaction
+// copies), or nil if none has been taken. Residue encodings are re-warmed
+// before the transactions reach reconciling engines.
+func (s *Store) LatestSnapshot(_ context.Context) (*store.Snapshot, error) {
+	var payload []byte
+	err := s.db.View(func(tx *reldb.Tx) error {
+		best := int64(-1)
+		return tx.Scan("snapshots", func(r reldb.Row) bool {
+			if e := r[0].I(); e > best {
+				best = e
+				payload = append(payload[:0], r[1].Raw()...)
+			}
+			return true
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if payload == nil {
+		return nil, nil
+	}
+	snap, err := store.DecodeSnapshot(payload)
+	if err != nil {
+		return nil, fmt.Errorf("central: retained snapshot: %w", err)
+	}
+	for i := range snap.Residue {
+		snap.Residue[i].Txn.PrecomputeEncodings(s.schema)
+	}
+	return snap, nil
+}
+
+// ReplayFrom implements store.SnapshotReplayer: the published tail above
+// the given epoch in global order, plus the peer's decisions recorded after
+// the afterSeq high-water mark. The tail never needs compacted payloads:
+// from must be at or above the compaction horizon (snapshot epochs always
+// are).
+func (s *Store) ReplayFrom(_ context.Context, peer core.PeerID, from core.Epoch, afterSeq int64) ([]store.PublishedTxn, map[core.TxnID]core.RestoredDecision, error) {
+	pm, err := s.peer(peer)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.snapState.mu.RLock()
+	compacted := s.snapState.compacted
+	s.snapState.mu.RUnlock()
+	if from < compacted {
+		return nil, nil, fmt.Errorf("central: replay from epoch %d crosses the compaction horizon %d", from, compacted)
+	}
+	s.epochMu.RLock()
+	maxE := s.maxE
+	s.epochMu.RUnlock()
+	var log []store.PublishedTxn
+	for e := from + 1; e <= maxE; e++ {
+		em := s.epoch(e)
+		if em == nil {
+			continue
+		}
+		for _, id := range em.txnIDs() {
+			if en := s.lookup(id); en != nil {
+				log = append(log, en.pub)
+			}
+		}
+	}
+	lockContended(&pm.mu, s.counters.ObservePeerContention)
+	defer pm.mu.Unlock()
+	decisions := make(map[core.TxnID]core.RestoredDecision)
+	for id, seq := range pm.decidedSeq {
+		if seq > afterSeq {
+			decisions[id] = core.RestoredDecision{Decision: pm.decided[id], Seq: seq}
+		}
+	}
+	return log, decisions, nil
+}
+
+// CompactionHorizon returns the highest epoch CompactBefore would currently
+// accept: the minimum of the retained snapshot's epoch and every registered
+// peer's reconciliation frontier. It returns 0 when no snapshot is retained
+// or some registered peer is not covered by it (a fresh snapshot fixes
+// both).
+func (s *Store) CompactionHorizon() core.Epoch {
+	s.snapState.mu.RLock()
+	h := s.snapState.epoch
+	covered := s.snapState.covered
+	s.snapState.mu.RUnlock()
+	if h == 0 {
+		return 0
+	}
+	ids, pms := s.sortedPeers()
+	for i, pm := range pms {
+		if !covered[ids[i]] {
+			return 0
+		}
+		lockContended(&pm.mu, s.counters.ObservePeerContention)
+		le := pm.lastEpoch
+		pm.mu.Unlock()
+		if le < h {
+			h = le
+		}
+	}
+	return h
+}
+
+// SnapshotEpoch returns the epoch of the retained snapshot (0 if none).
+func (s *Store) SnapshotEpoch() core.Epoch {
+	s.snapState.mu.RLock()
+	defer s.snapState.mu.RUnlock()
+	return s.snapState.epoch
+}
+
+// CompactedBefore returns the compaction horizon: every epoch at or below
+// it has had its publish and decision rows dropped (0 = nothing compacted).
+func (s *Store) CompactedBefore() core.Epoch {
+	s.snapState.mu.RLock()
+	defer s.snapState.mu.RUnlock()
+	return s.snapState.compacted
+}
+
+// CompactBefore implements store.Snapshotter: drop the publish and decision
+// rows of every epoch at or below e, in one atomic commit, and release the
+// corresponding in-memory state. The call refuses to outrun the safety
+// invariants (docs/RECOVERY.md): e must not exceed the retained snapshot's
+// epoch or any registered peer's reconciliation frontier, and every
+// registered peer must be covered by the retained snapshot. Decision rows
+// recorded after the snapshot's per-peer high-water mark survive even when
+// their transaction's epoch is compacted — they are the tail a
+// snapshot-based rebuild replays, and the payloads they need live in the
+// snapshot's residue.
+func (s *Store) CompactBefore(ctx context.Context, e core.Epoch) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.compactBeforeLocked(ctx, e)
+}
+
+func (s *Store) compactBeforeLocked(_ context.Context, e core.Epoch) error {
+	s.snapState.mu.RLock()
+	snapE := s.snapState.epoch
+	compacted := s.snapState.compacted
+	covered := s.snapState.covered
+	hw := s.snapState.hw
+	residue := s.snapState.residue
+	s.snapState.mu.RUnlock()
+	if e <= compacted {
+		return nil // already compacted through e
+	}
+	if snapE == 0 {
+		return fmt.Errorf("central: compaction requires a retained snapshot (Store.Snapshot)")
+	}
+	if e > snapE {
+		return fmt.Errorf("central: cannot compact through epoch %d past the retained snapshot at %d", e, snapE)
+	}
+	ids, pms := s.sortedPeers()
+	for i, pm := range pms {
+		if !covered[ids[i]] {
+			return fmt.Errorf("central: peer %s is not covered by the retained snapshot; take a new snapshot before compacting", ids[i])
+		}
+		lockContended(&pm.mu, s.counters.ObservePeerContention)
+		le := pm.lastEpoch
+		pm.mu.Unlock()
+		if le < e {
+			return fmt.Errorf("central: cannot compact through epoch %d past peer %s's reconciliation frontier %d", e, ids[i], le)
+		}
+	}
+
+	// The epochs whose rows go away this pass, and every indexed
+	// transaction at or below the horizon: the epochs being dropped now
+	// plus former residue whose hold-outs have since settled (the retained
+	// snapshot's residue set no longer lists them — time to release their
+	// payloads too). The index still holds everything (purged below, after
+	// the commit), so decision rows can be routed to their epochs.
+	var dropEpochs []core.Epoch
+	s.epochMu.RLock()
+	for ep := compacted + 1; ep <= e; ep++ {
+		if _, ok := s.epochs[ep]; ok {
+			dropEpochs = append(dropEpochs, ep)
+		}
+	}
+	s.epochMu.RUnlock()
+	oldIDs := make(map[core.TxnID]bool)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, en := range sh.m {
+			if en.epoch <= e {
+				oldIDs[id] = true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+
+	// One atomic commit, tables touched in the documented lock order:
+	// epochs_k, txns_k, decisions_k (shard indexes ascending within each
+	// group), then meta.
+	err := s.db.Update(func(tx *reldb.Tx) error {
+		for k := 0; k < s.tableShards; k++ {
+			for _, ep := range dropEpochs {
+				if s.shardOf(ep) != k {
+					continue
+				}
+				if _, err := tx.Delete(s.epochsTab[k], reldb.Int(int64(ep))); err != nil {
+					return err
+				}
+			}
+		}
+		for k := 0; k < s.tableShards; k++ {
+			var ords []int64
+			if err := tx.Scan(s.txnsTab[k], func(r reldb.Row) bool {
+				if core.Epoch(r[1].I()) <= e {
+					ords = append(ords, r[0].I())
+				}
+				return true
+			}); err != nil {
+				return err
+			}
+			for _, ord := range ords {
+				if _, err := tx.Delete(s.txnsTab[k], reldb.Int(ord)); err != nil {
+					return err
+				}
+			}
+		}
+		for k := 0; k < s.tableShards; k++ {
+			type decKey struct {
+				peer, origin string
+				seq          int64
+			}
+			var drop []decKey
+			if err := tx.Scan(s.decisionsTab[k], func(r reldb.Row) bool {
+				id := core.TxnID{Origin: core.PeerID(r[1].S()), Seq: uint64(r[2].I())}
+				if en := s.lookup(id); en != nil && en.epoch > e {
+					return true // retained epoch: keep
+				}
+				if r[4].I() <= hw[core.PeerID(r[0].S())] {
+					drop = append(drop, decKey{peer: r[0].S(), origin: r[1].S(), seq: r[2].I()})
+				}
+				return true
+			}); err != nil {
+				return err
+			}
+			for _, d := range drop {
+				if _, err := tx.Delete(s.decisionsTab[k], reldb.Str(d.peer), reldb.Str(d.origin), reldb.Int(d.seq)); err != nil {
+					return err
+				}
+			}
+		}
+		return tx.Upsert("meta", reldb.Row{reldb.Str("compacted_before"), reldb.Int(int64(e))})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Release the in-memory state the rows backed. Compacted epochs become
+	// void metas — finished and empty, exactly what recovery reconstructs
+	// for them — and the index keeps only the *current* residue, whose
+	// payloads now live solely in the snapshot; entries below the horizon
+	// that the retained snapshot no longer lists (formerly residue, since
+	// settled) are released along with everything else.
+	s.epochMu.Lock()
+	for _, ep := range dropEpochs {
+		em := &epochMeta{}
+		em.finished.Store(true)
+		s.epochs[ep] = em
+	}
+	s.epochMu.Unlock()
+	for id := range oldIDs {
+		if residue[id] {
+			continue
+		}
+		sh := s.shard(id)
+		sh.mu.Lock()
+		delete(sh.m, id)
+		sh.mu.Unlock()
+	}
+	// Decision caches mirror the rows: entries folded into the snapshot
+	// (seq <= high-water) for transactions at or below the horizon go
+	// away, so a live compacted store and a reopened one serve identical
+	// state.
+	for i, pm := range pms {
+		h := hw[ids[i]]
+		lockContended(&pm.mu, s.counters.ObservePeerContention)
+		for id := range oldIDs {
+			if seq, ok := pm.decidedSeq[id]; ok && seq <= h {
+				delete(pm.decided, id)
+				delete(pm.decidedSeq, id)
+			}
+		}
+		pm.mu.Unlock()
+	}
+	s.snapState.mu.Lock()
+	s.snapState.compacted = e
+	s.snapState.mu.Unlock()
+	s.counters.ObserveCompaction(len(dropEpochs))
+	return nil
+}
+
+// maybeMaintain runs the automatic snapshot/compaction policy after a
+// publish: with WithSnapshotEvery(n), a snapshot is taken once the stable
+// epoch is n past the retained one, and with WithCompactKeep(k) the log is
+// then compacted to k epochs below the allowed horizon. Best-effort by
+// design — maintenance failures never fail the publish that triggered them
+// (the next publish retries), and a TryLock skips the cycle when another
+// snapshot is already running.
+func (s *Store) maybeMaintain(ctx context.Context) {
+	if s.snapEvery <= 0 {
+		return
+	}
+	s.snapState.mu.RLock()
+	last := s.snapState.epoch
+	s.snapState.mu.RUnlock()
+	if int64(s.stableEpoch()-last) < s.snapEvery {
+		return
+	}
+	if !s.snapMu.TryLock() {
+		return
+	}
+	defer s.snapMu.Unlock()
+	s.snapState.mu.RLock()
+	last = s.snapState.epoch
+	s.snapState.mu.RUnlock()
+	if int64(s.stableEpoch()-last) < s.snapEvery {
+		return
+	}
+	if _, err := s.snapshotLocked(ctx); err != nil {
+		return
+	}
+	if s.compactKeep < 0 {
+		return
+	}
+	e := s.CompactionHorizon() - core.Epoch(s.compactKeep)
+	s.snapState.mu.RLock()
+	compacted := s.snapState.compacted
+	s.snapState.mu.RUnlock()
+	if e > compacted {
+		_ = s.compactBeforeLocked(ctx, e)
+	}
+}

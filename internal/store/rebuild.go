@@ -7,17 +7,21 @@ import (
 	"orchestra/internal/core"
 )
 
-// Replayer is the optional store capability behind §5.2's soft-state
-// guarantee: "it is possible to reconstruct the entire state of the
-// participant, up to his or her last reconciliation, from the update
-// store". The central store implements it, and the remote client proxies
-// it to its server's backend; the DHT store does not (a full scan of every
-// transaction controller is exactly the kind of operation the paper's
-// design avoids).
+// Replayer is the optional store capability behind the paper's §5.2
+// soft-state guarantee: a participant's entire state is reconstructable
+// from the update store. ReplayFor is the full-history path; stores that
+// also implement SnapshotReplayer offer the bounded snapshot + tail path,
+// which RebuildPeer prefers. The central store implements both, the remote
+// client proxies both to its server's backend, and the DHT store implements
+// neither (a full scan of every transaction controller is exactly the kind
+// of operation the paper's design avoids). The recovery contract — which
+// path applies when, and what compaction changes — is documented in
+// docs/RECOVERY.md.
 type Replayer interface {
 	// ReplayFor returns every published transaction in global order
 	// together with the peer's recorded decisions (with their acceptance
-	// sequence).
+	// sequence). After compaction it fails for peers covered by the
+	// retained snapshot: their early history exists only in the snapshot.
 	ReplayFor(ctx context.Context, peer core.PeerID) ([]PublishedTxn, map[core.TxnID]core.RestoredDecision, error)
 }
 
@@ -42,14 +46,45 @@ func CanReplay(ctx context.Context, st Store) bool {
 }
 
 // RebuildPeer reconstructs a participant's engine — instance, applied and
-// rejected sets, provenance — from the update store's log and the peer's
-// recorded decisions. Deferred state is not recorded in the store (it is
+// rejected sets, provenance — from the update store alone. When the store
+// retains a snapshot covering the peer (SnapshotReplayer), the rebuild is
+// bounded: the engine is restored from the snapshot and only the log tail
+// after the snapshot epoch is replayed — for a remote store, two round
+// trips instead of shipping the whole history. Otherwise it falls back to
+// FullReplayRebuild. Deferred state is not recorded in the store (it is
 // client soft state in the truest sense) and is reconstructed by the next
 // reconciliation, which reconsiders anything undecided.
 //
 // The returned peer is ready to continue reconciling where the lost one
 // stopped.
 func RebuildPeer(ctx context.Context, id core.PeerID, schema *core.Schema, trust core.Trust, st Store) (*Peer, error) {
+	if sr, ok := st.(SnapshotReplayer); ok && CanSnapshot(ctx, st) {
+		// LatestSnapshot and ReplayFrom are two calls; a concurrent
+		// snapshot + compaction cycle can retire the fetched snapshot in
+		// between, failing the tail fetch. One retry against the fresh
+		// snapshot resolves that transient — a second failure is a real
+		// error.
+		for attempt := 0; ; attempt++ {
+			snap, err := sr.LatestSnapshot(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if snap == nil || snap.Peer(id) == nil {
+				break // no snapshot coverage: full replay below
+			}
+			p, err := rebuildFromSnapshot(ctx, schema, trust, st, sr, snap, snap.Peer(id))
+			if err == nil || attempt > 0 {
+				return p, err
+			}
+		}
+	}
+	return FullReplayRebuild(ctx, id, schema, trust, st)
+}
+
+// FullReplayRebuild reconstructs the peer by replaying the complete
+// published log — the historical O(total history) path, and the fallback
+// for stores without a snapshot (or peers a snapshot does not cover).
+func FullReplayRebuild(ctx context.Context, id core.PeerID, schema *core.Schema, trust core.Trust, st Store) (*Peer, error) {
 	rp, ok := st.(Replayer)
 	if !ok {
 		return nil, fmt.Errorf("store: %T cannot replay peer state", st)
@@ -58,13 +93,38 @@ func RebuildPeer(ctx context.Context, id core.PeerID, schema *core.Schema, trust
 	if err != nil {
 		return nil, err
 	}
-	logged := make([]core.LoggedTxn, len(log))
-	for i, pt := range log {
-		logged[i] = core.LoggedTxn{Txn: pt.Txn, Antecedents: pt.Antecedents}
-	}
 	engine := core.NewEngine(id, schema, trust)
-	if err := engine.Restore(logged, decisions); err != nil {
+	if err := engine.Restore(loggedTxns(log), decisions); err != nil {
 		return nil, err
 	}
 	return &Peer{engine: engine, store: st}, nil
+}
+
+// rebuildFromSnapshot is the bounded path: seed the engine from the peer's
+// snapshot state, then replay the residue plus the post-snapshot tail with
+// the decisions recorded after the snapshot's high-water mark.
+func rebuildFromSnapshot(ctx context.Context, schema *core.Schema, trust core.Trust, st Store, sr SnapshotReplayer, snap *Snapshot, ps *PeerSnapshot) (*Peer, error) {
+	engine, err := core.NewEngineFromSnapshot(schema, trust, &ps.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot for %s: %w", ps.Engine.Peer, err)
+	}
+	tail, decisions, err := sr.ReplayFrom(ctx, ps.Engine.Peer, snap.Epoch, ps.DecisionSeq)
+	if err != nil {
+		return nil, err
+	}
+	log := loggedTxns(snap.Residue)
+	log = append(log, loggedTxns(tail)...)
+	if err := engine.RestoreTail(log, decisions); err != nil {
+		return nil, fmt.Errorf("store: snapshot tail for %s: %w", ps.Engine.Peer, err)
+	}
+	return &Peer{engine: engine, store: st}, nil
+}
+
+// loggedTxns converts published transactions to the core restore log form.
+func loggedTxns(pts []PublishedTxn) []core.LoggedTxn {
+	out := make([]core.LoggedTxn, len(pts))
+	for i, pt := range pts {
+		out[i] = core.LoggedTxn{Txn: pt.Txn, Antecedents: pt.Antecedents}
+	}
+	return out
 }

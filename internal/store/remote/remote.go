@@ -17,14 +17,19 @@ import (
 
 // Method names.
 const (
-	mRegister    = "store.register"
-	mPublish     = "store.publish"
-	mBegin       = "store.begin"
-	mDecide      = "store.decide"
-	mDecideBatch = "store.decide.batch"
-	mRecno       = "store.recno"
-	mReplay      = "store.replay"
-	mCanReplay   = "store.canreplay"
+	mRegister     = "store.register"
+	mPublish      = "store.publish"
+	mBegin        = "store.begin"
+	mDecide       = "store.decide"
+	mDecideBatch  = "store.decide.batch"
+	mRecno        = "store.recno"
+	mReplay       = "store.replay"
+	mCanReplay    = "store.canreplay"
+	mCanSnapshot  = "store.cansnapshot"
+	mTakeSnapshot = "store.snapshot.take"
+	mSnapshot     = "store.snapshot"
+	mReplayFrom   = "store.replayfrom"
+	mCompact      = "store.compact"
 )
 
 type registerArgs struct {
@@ -96,6 +101,26 @@ type replayReply struct {
 	Decisions map[core.TxnID]core.RestoredDecision
 }
 
+type takeSnapshotReply struct {
+	Epoch core.Epoch
+}
+
+type snapshotReply struct {
+	// Snapshot is the retained snapshot in the store codec's binary
+	// encoding (store.AppendSnapshot); empty when none is retained.
+	Snapshot []byte
+}
+
+type replayFromArgs struct {
+	Peer     core.PeerID
+	From     core.Epoch
+	AfterSeq int64
+}
+
+type compactArgs struct {
+	Epoch core.Epoch
+}
+
 // Server adapts a store.Store to the RPC transport.
 type Server struct {
 	backend store.Store
@@ -116,6 +141,11 @@ func NewServer(backend store.Store, schema *core.Schema) *Server {
 	mux.Handle(mRecno, s.recno)
 	mux.Handle(mReplay, s.replay)
 	mux.Handle(mCanReplay, s.canReplay)
+	mux.Handle(mCanSnapshot, s.canSnapshot)
+	mux.Handle(mTakeSnapshot, s.takeSnapshot)
+	mux.Handle(mSnapshot, s.latestSnapshot)
+	mux.Handle(mReplayFrom, s.replayFrom)
+	mux.Handle(mCompact, s.compact)
 	s.srv = rpc.NewServer(mux)
 	return s
 }
@@ -234,6 +264,72 @@ func (s *Server) replay(req rpc.Request) ([]byte, error) {
 	})
 }
 
+func (s *Server) canSnapshot(rpc.Request) ([]byte, error) {
+	return rpc.Encode(&canReplayReply{OK: store.CanSnapshot(context.Background(), s.backend)})
+}
+
+func (s *Server) takeSnapshot(rpc.Request) ([]byte, error) {
+	sn, ok := s.backend.(store.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("remote: backend %T cannot take snapshots", s.backend)
+	}
+	epoch, err := sn.Snapshot(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return rpc.Encode(&takeSnapshotReply{Epoch: epoch})
+}
+
+func (s *Server) latestSnapshot(rpc.Request) ([]byte, error) {
+	sr, ok := s.backend.(store.SnapshotReplayer)
+	if !ok {
+		return nil, fmt.Errorf("remote: backend %T retains no snapshots", s.backend)
+	}
+	snap, err := sr.LatestSnapshot(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	reply := snapshotReply{}
+	if snap != nil {
+		reply.Snapshot = store.AppendSnapshot(nil, snap)
+	}
+	return rpc.Encode(&reply)
+}
+
+func (s *Server) replayFrom(req rpc.Request) ([]byte, error) {
+	var args replayFromArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	sr, ok := s.backend.(store.SnapshotReplayer)
+	if !ok {
+		return nil, fmt.Errorf("remote: backend %T cannot replay a tail", s.backend)
+	}
+	log, decisions, err := sr.ReplayFrom(context.Background(), args.Peer, args.From, args.AfterSeq)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.Encode(&replayReply{
+		Log:       store.AppendPublishedTxns(nil, log),
+		Decisions: decisions,
+	})
+}
+
+func (s *Server) compact(req rpc.Request) ([]byte, error) {
+	var args compactArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	sn, ok := s.backend.(store.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("remote: backend %T cannot compact", s.backend)
+	}
+	if err := sn.CompactBefore(context.Background(), args.Epoch); err != nil {
+		return nil, err
+	}
+	return rpc.Encode(&struct{}{})
+}
+
 // Client implements store.Store against a remote Server. Trust policies
 // must be textual (*trust.Policy): predicate code cannot travel over the
 // wire.
@@ -335,6 +431,67 @@ func (c *Client) ReplayFor(ctx context.Context, peer core.PeerID) ([]store.Publi
 	log, err := store.DecodePublishedTxns(reply.Log)
 	if err != nil {
 		return nil, nil, fmt.Errorf("remote: replay payload: %w", err)
+	}
+	return log, reply.Decisions, nil
+}
+
+// CanSnapshot implements store.SnapshotProber: like CanReplay, the stubs
+// below always exist, but whether snapshots work depends on the backend at
+// the other end of the wire.
+func (c *Client) CanSnapshot(ctx context.Context) bool {
+	var reply canReplayReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mCanSnapshot, &struct{}{}, &reply); err != nil {
+		return false
+	}
+	return reply.OK
+}
+
+// Snapshot implements store.Snapshotter by proxy: the server's backend
+// takes and retains the snapshot; only the covered epoch returns.
+func (c *Client) Snapshot(ctx context.Context) (core.Epoch, error) {
+	var reply takeSnapshotReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mTakeSnapshot, &struct{}{}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Epoch, nil
+}
+
+// CompactBefore implements store.Snapshotter by proxy; the backend enforces
+// the compaction safety invariants and its refusals travel back as errors.
+func (c *Client) CompactBefore(ctx context.Context, e core.Epoch) error {
+	return rpc.Invoke(ctx, c.caller, c.addr, mCompact, &compactArgs{Epoch: e}, nil)
+}
+
+// LatestSnapshot implements store.SnapshotReplayer: the retained snapshot
+// crosses the wire once in the binary snapshot codec. Together with
+// ReplayFrom this is the two-round-trip catch-up path store.RebuildPeer
+// uses against a remote store.
+func (c *Client) LatestSnapshot(ctx context.Context) (*store.Snapshot, error) {
+	var reply snapshotReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mSnapshot, &struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	if len(reply.Snapshot) == 0 {
+		return nil, nil
+	}
+	snap, err := store.DecodeSnapshot(reply.Snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("remote: snapshot payload: %w", err)
+	}
+	return snap, nil
+}
+
+// ReplayFrom implements store.SnapshotReplayer: the post-snapshot tail and
+// the peer's post-snapshot decisions in one round trip.
+func (c *Client) ReplayFrom(ctx context.Context, peer core.PeerID, from core.Epoch, afterSeq int64) ([]store.PublishedTxn, map[core.TxnID]core.RestoredDecision, error) {
+	var reply replayReply
+	args := replayFromArgs{Peer: peer, From: from, AfterSeq: afterSeq}
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mReplayFrom, &args, &reply); err != nil {
+		return nil, nil, err
+	}
+	log, err := store.DecodePublishedTxns(reply.Log)
+	if err != nil {
+		return nil, nil, fmt.Errorf("remote: tail payload: %w", err)
 	}
 	return log, reply.Decisions, nil
 }

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"orchestra/internal/core"
+)
+
+// snapshotVersion tags the binary encoding of store snapshots. Same policy
+// as the publish-payload codec: hand-rolled, length-prefixed, version byte
+// first, and no migration across versions — a mismatched byte is an
+// explicit error, never a silent misparse.
+const snapshotVersion = 1
+
+// AppendSnapshot encodes a store snapshot into a compact binary payload,
+// appending to dst. Layout: version byte; snapshot epoch; the per-peer
+// entries (frontier, recno, decision high-water, engine state with sorted
+// decision sets, relations, and producers); then the residue as one nested
+// publish payload (AppendPublishedTxns).
+func AppendSnapshot(dst []byte, snap *Snapshot) []byte {
+	dst = append(dst, snapshotVersion)
+	dst = binary.AppendUvarint(dst, uint64(snap.Epoch))
+	str := func(s string) {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	ids := func(xs []core.TxnID) {
+		dst = binary.AppendUvarint(dst, uint64(len(xs)))
+		for _, id := range xs {
+			str(string(id.Origin))
+			dst = binary.AppendUvarint(dst, id.Seq)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(snap.Peers)))
+	for i := range snap.Peers {
+		ps := &snap.Peers[i]
+		dst = binary.AppendUvarint(dst, uint64(ps.LastEpoch))
+		dst = binary.AppendUvarint(dst, uint64(ps.Recno))
+		dst = binary.AppendUvarint(dst, uint64(ps.DecisionSeq))
+		eng := &ps.Engine
+		str(string(eng.Peer))
+		dst = binary.AppendUvarint(dst, eng.NextSeq)
+		ids(eng.Applied)
+		ids(eng.Rejected)
+		dst = binary.AppendUvarint(dst, uint64(len(eng.Relations)))
+		for _, rs := range eng.Relations {
+			str(rs.Name)
+			dst = binary.AppendUvarint(dst, uint64(len(rs.Tuples)))
+			for _, t := range rs.Tuples {
+				str(t.Encode())
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(eng.Producers)))
+		for _, p := range eng.Producers {
+			str(p.Rel)
+			str(p.Tuple.Encode())
+			str(string(p.Txn.Origin))
+			dst = binary.AppendUvarint(dst, p.Txn.Seq)
+		}
+	}
+	residue := AppendPublishedTxns(nil, snap.Residue)
+	dst = binary.AppendUvarint(dst, uint64(len(residue)))
+	return append(dst, residue...)
+}
+
+// DecodeSnapshot decodes a payload produced by AppendSnapshot.
+func DecodeSnapshot(payload []byte) (*Snapshot, error) {
+	r := &payloadReader{b: payload}
+	if v := r.byte(); r.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("store: snapshot version %d, want %d (no migration path across snapshot codec versions)", v, snapshotVersion)
+	}
+	capped := func(n uint64) int {
+		if n > uint64(len(r.b)) {
+			return len(r.b)
+		}
+		return int(n)
+	}
+	ids := func() []core.TxnID {
+		n := r.uvarint()
+		if r.err != nil || n == 0 {
+			return nil
+		}
+		out := make([]core.TxnID, 0, capped(n))
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			id := core.TxnID{Origin: core.PeerID(r.str())}
+			id.Seq = r.uvarint()
+			out = append(out, id)
+		}
+		return out
+	}
+	tuple := func() core.Tuple {
+		t, err := core.DecodeTuple(r.str())
+		if err != nil && r.err == nil {
+			r.err = err
+		}
+		return t
+	}
+	snap := &Snapshot{Epoch: core.Epoch(r.uvarint())}
+	np := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	snap.Peers = make([]PeerSnapshot, 0, capped(np))
+	for i := uint64(0); i < np && r.err == nil; i++ {
+		ps := PeerSnapshot{
+			LastEpoch:   core.Epoch(r.uvarint()),
+			Recno:       int(r.uvarint()),
+			DecisionSeq: int64(r.uvarint()),
+		}
+		eng := &ps.Engine
+		eng.Peer = core.PeerID(r.str())
+		eng.NextSeq = r.uvarint()
+		eng.Applied = ids()
+		eng.Rejected = ids()
+		nr := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if nr > 0 {
+			eng.Relations = make([]core.RelationSnapshot, 0, capped(nr))
+		}
+		for j := uint64(0); j < nr && r.err == nil; j++ {
+			rs := core.RelationSnapshot{Name: r.str()}
+			nt := r.uvarint()
+			if r.err != nil {
+				break
+			}
+			if nt > 0 {
+				rs.Tuples = make([]core.Tuple, 0, capped(nt))
+			}
+			for k := uint64(0); k < nt && r.err == nil; k++ {
+				rs.Tuples = append(rs.Tuples, tuple())
+			}
+			eng.Relations = append(eng.Relations, rs)
+		}
+		npr := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if npr > 0 {
+			eng.Producers = make([]core.ProducerSnapshot, 0, capped(npr))
+		}
+		for j := uint64(0); j < npr && r.err == nil; j++ {
+			p := core.ProducerSnapshot{Rel: r.str(), Tuple: tuple()}
+			p.Txn.Origin = core.PeerID(r.str())
+			p.Txn.Seq = r.uvarint()
+			eng.Producers = append(eng.Producers, p)
+		}
+		snap.Peers = append(snap.Peers, ps)
+	}
+	blob := r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after snapshot payload", len(r.b))
+	}
+	residue, err := DecodePublishedTxns([]byte(blob))
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot residue: %w", err)
+	}
+	snap.Residue = residue
+	return snap, nil
+}

@@ -1,0 +1,32 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeSnapshot feeds arbitrary bytes to the snapshot decoder — same
+// contract as FuzzDecodePublishedTxns: never panic, and anything accepted
+// must be canonical (re-encoding the decoded snapshot and decoding again
+// reproduces it exactly).
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{snapshotVersion})
+	f.Add([]byte{0, 0}) // wrong version
+	f.Add(AppendSnapshot(nil, &Snapshot{}))
+	f.Add(AppendSnapshot(nil, testSnapshot()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		re := AppendSnapshot(nil, snap)
+		again, err := DecodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v\ninput: %x", err, data)
+		}
+		if !reflect.DeepEqual(snap, again) {
+			t.Fatalf("decode not canonical:\nfirst:  %#v\nsecond: %#v\ninput: %x", snap, again, data)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"orchestra/internal/core"
+)
+
+// testSnapshot builds a representative store snapshot: two peers with
+// populated engine states (decision sets, instance tuples, producers) and a
+// residue carrying a multi-update transaction with antecedents.
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		Epoch: 7,
+		Peers: []PeerSnapshot{
+			{
+				LastEpoch:   5,
+				Recno:       3,
+				DecisionSeq: 9,
+				Engine: core.EngineSnapshot{
+					Peer:     "pa",
+					NextSeq:  4,
+					Applied:  []core.TxnID{{Origin: "pa", Seq: 0}, {Origin: "pb", Seq: 2}},
+					Rejected: []core.TxnID{{Origin: "pz", Seq: 1}},
+					Relations: []core.RelationSnapshot{
+						{Name: "F", Tuples: []core.Tuple{
+							core.Strs("mouse", "prot2", "immune"),
+							core.Strs("rat", "prot1", "cell-metab"),
+						}},
+					},
+					Producers: []core.ProducerSnapshot{
+						{Rel: "F", Tuple: core.Strs("rat", "prot1", "cell-metab"), Txn: core.TxnID{Origin: "pa", Seq: 0}},
+					},
+				},
+			},
+			{
+				LastEpoch:   7,
+				Recno:       1,
+				DecisionSeq: 2,
+				Engine:      core.EngineSnapshot{Peer: "pq", NextSeq: 0},
+			},
+		},
+		Residue: fuzzSeedBatch(),
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	snap := testSnapshot()
+	payload := AppendSnapshot(nil, snap)
+	got, err := DecodeSnapshot(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != snap.Epoch || len(got.Peers) != len(snap.Peers) {
+		t.Fatalf("decoded header: epoch=%d peers=%d", got.Epoch, len(got.Peers))
+	}
+	for i := range snap.Peers {
+		want, have := &snap.Peers[i], &got.Peers[i]
+		if have.LastEpoch != want.LastEpoch || have.Recno != want.Recno || have.DecisionSeq != want.DecisionSeq {
+			t.Errorf("peer %d header mismatch: %+v", i, have)
+		}
+		if have.Engine.Peer != want.Engine.Peer || have.Engine.NextSeq != want.Engine.NextSeq {
+			t.Errorf("peer %d engine header mismatch", i)
+		}
+		if !reflect.DeepEqual(have.Engine.Applied, want.Engine.Applied) ||
+			!reflect.DeepEqual(have.Engine.Rejected, want.Engine.Rejected) {
+			t.Errorf("peer %d decision sets mismatch", i)
+		}
+		if len(have.Engine.Relations) != len(want.Engine.Relations) {
+			t.Fatalf("peer %d relations: %d vs %d", i, len(have.Engine.Relations), len(want.Engine.Relations))
+		}
+		for j := range want.Engine.Relations {
+			if have.Engine.Relations[j].Name != want.Engine.Relations[j].Name {
+				t.Errorf("relation name mismatch")
+			}
+			for k := range want.Engine.Relations[j].Tuples {
+				if !have.Engine.Relations[j].Tuples[k].Equal(want.Engine.Relations[j].Tuples[k]) {
+					t.Errorf("tuple mismatch at %d/%d", j, k)
+				}
+			}
+		}
+		for j := range want.Engine.Producers {
+			if have.Engine.Producers[j].Txn != want.Engine.Producers[j].Txn ||
+				!have.Engine.Producers[j].Tuple.Equal(want.Engine.Producers[j].Tuple) {
+				t.Errorf("producer mismatch at %d", j)
+			}
+		}
+	}
+	if len(got.Residue) != len(snap.Residue) {
+		t.Fatalf("residue: %d vs %d", len(got.Residue), len(snap.Residue))
+	}
+	for i := range snap.Residue {
+		if got.Residue[i].Txn.ID != snap.Residue[i].Txn.ID ||
+			len(got.Residue[i].Antecedents) != len(snap.Residue[i].Antecedents) {
+			t.Errorf("residue %d mismatch", i)
+		}
+		for j, a := range snap.Residue[i].Antecedents {
+			if got.Residue[i].Antecedents[j] != a {
+				t.Errorf("residue %d antecedent %d mismatch", i, j)
+			}
+		}
+	}
+	if p := got.Peer("pq"); p == nil || p.Recno != 1 {
+		t.Errorf("Peer lookup: %+v", p)
+	}
+	if got.Peer("nobody") != nil {
+		t.Error("Peer lookup invented an entry")
+	}
+}
+
+func TestSnapshotCodecErrors(t *testing.T) {
+	payload := AppendSnapshot(nil, testSnapshot())
+	if _, err := DecodeSnapshot(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := DecodeSnapshot([]byte{snapshotVersion + 1}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	for _, cut := range []int{1, 3, len(payload) / 2, len(payload) - 1} {
+		if _, err := DecodeSnapshot(payload[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeSnapshot(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

@@ -129,6 +129,157 @@ func RunConformance(t *testing.T, factory Factory) {
 	t.Run("PriorityConflict", func(t *testing.T) { testPriorityConflict(t, factory) })
 	t.Run("BatchedDecisions", func(t *testing.T) { testBatchedDecisions(t, factory) })
 	t.Run("ReplayRebuild", func(t *testing.T) { testReplayRebuild(t, factory) })
+	t.Run("SnapshotRebuild", func(t *testing.T) { testSnapshotRebuild(t, factory) })
+}
+
+// sameRebuiltState asserts two peers hold bit-identical rebuilt state over
+// the given universe of transactions: same instance, same accept/reject
+// verdict for every transaction, no phantom soft state.
+func sameRebuiltState(t *testing.T, what string, a, b *store.Peer, universe []core.TxnID) {
+	t.Helper()
+	if !a.Instance().Equal(b.Instance()) {
+		t.Errorf("%s: instances differ: %v vs %v", what, a.Instance().Tuples("F"), b.Instance().Tuples("F"))
+	}
+	for _, id := range universe {
+		if a.Engine().Applied(id) != b.Engine().Applied(id) {
+			t.Errorf("%s: applied(%s) differs", what, id)
+		}
+		if a.Engine().Rejected(id) != b.Engine().Rejected(id) {
+			t.Errorf("%s: rejected(%s) differs", what, id)
+		}
+	}
+	if da, db := a.Engine().DeferredIDs(), b.Engine().DeferredIDs(); len(da) != len(db) {
+		t.Errorf("%s: deferred %v vs %v", what, da, db)
+	}
+}
+
+// testSnapshotRebuild is the snapshot leg of the recovery conformance: on
+// stores that support snapshots (store.CanSnapshot — the DHT store skips by
+// design), a peer rebuilt through the snapshot + tail path must be
+// bit-identical to one rebuilt by full replay — instance, accepts, rejects
+// — and keep reconciling; and after compaction, when full replay no longer
+// exists, every registered peer must still rebuild to exactly that state.
+func testSnapshotRebuild(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	if !store.CanSnapshot(ctx, clientFor("pq")) {
+		t.Skipf("%T cannot snapshot", clientFor("pq"))
+	}
+	snapc := clientFor("pq").(store.Snapshotter)
+
+	trustQ := TrustOrigins(map[core.PeerID]int{"pa": 2, "pb": 1})
+	pa, _ := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
+	pb, _ := store.NewPeer(ctx, "pb", s, TrustAll(1), clientFor("pb"))
+	pq, err := store.NewPeer(ctx, "pq", s, trustQ, clientFor("pq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var universe []core.TxnID
+	edit := func(p *store.Peer, us ...core.Update) *core.Transaction {
+		x := mustEdit(t, p, us...)
+		universe = append(universe, x.ID)
+		return x
+	}
+
+	// Pre-snapshot history with accepts and rejects: pa's chain wins over
+	// pb's conflicting value at pq.
+	xa0 := edit(pa, core.Insert("F", core.Strs("rat", "p1", "v0"), "pa"))
+	xa1 := edit(pa, core.Modify("F", core.Strs("rat", "p1", "v0"), core.Strs("rat", "p1", "v1"), "pa"))
+	mustCycle(t, pa)
+	xb0 := edit(pb, core.Insert("F", core.Strs("rat", "p1", "other"), "pb"))
+	mustCycle(t, pb)
+	res := mustCycle(t, pq)
+	wantIDSet(t, "pq pre-snapshot accepted", res.Accepted, xa0.ID, xa1.ID)
+	wantIDSet(t, "pq pre-snapshot rejected", res.Rejected, xb0.ID)
+
+	snapEpoch, err := snapc.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if snapEpoch <= 0 {
+		t.Fatalf("snapshot covered epoch %d", snapEpoch)
+	}
+
+	// Post-snapshot tail, with another accept/reject pair so the tail
+	// replay is exercised for both decision kinds.
+	xa2 := edit(pa, core.Insert("F", core.Strs("mouse", "p2", "hi"), "pa"))
+	mustCycle(t, pa)
+	xb1 := edit(pb, core.Insert("F", core.Strs("mouse", "p2", "lo"), "pb"))
+	mustCycle(t, pb)
+	res = mustCycle(t, pq)
+	wantIDSet(t, "pq tail accepted", res.Accepted, xa2.ID)
+	wantIDSet(t, "pq tail rejected", res.Rejected, xb1.ID)
+
+	// The two rebuild paths must agree bit-for-bit (and with the live peer).
+	full, err := store.FullReplayRebuild(ctx, "pq", s, trustQ, clientFor("pq"))
+	if err != nil {
+		t.Fatalf("full-replay rebuild: %v", err)
+	}
+	snapQ, err := store.RebuildPeer(ctx, "pq", s, trustQ, clientFor("pq"))
+	if err != nil {
+		t.Fatalf("snapshot rebuild: %v", err)
+	}
+	sameRebuiltState(t, "snapshot vs full replay", snapQ, full, universe)
+	sameRebuiltState(t, "snapshot vs live", snapQ, pq, universe)
+
+	// The snapshot-rebuilt peer keeps reconciling exactly like the lost one
+	// would: one fresh publish arrives exactly once, nothing is redelivered.
+	xa3 := edit(pa, core.Insert("F", core.Strs("dog", "p3", "w"), "pa"))
+	mustCycle(t, pa)
+	mustCycle(t, pb)
+	res, err = snapQ.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDSet(t, "rebuilt pq accepted", res.Accepted, xa3.ID)
+	if len(res.Rejected)+len(res.Deferred) != 0 {
+		t.Errorf("rebuilt pq redelivered decided txns: %+v", res)
+	}
+
+	// Compact behind a fresh snapshot covering everyone's frontier; the
+	// compacted store must still rebuild every registered peer to the state
+	// a pre-compaction rebuild produced, and the rebuilt consumer keeps
+	// reconciling.
+	trustFor := func(id core.PeerID) core.Trust {
+		if id == "pq" {
+			return trustQ
+		}
+		return TrustAll(1)
+	}
+	pre := make(map[core.PeerID]*store.Peer)
+	for _, id := range []core.PeerID{"pa", "pb", "pq"} {
+		p, err := store.RebuildPeer(ctx, id, s, trustFor(id), clientFor(id))
+		if err != nil {
+			t.Fatalf("pre-compaction rebuild %s: %v", id, err)
+		}
+		pre[id] = p
+	}
+	if _, err := snapc.Snapshot(ctx); err != nil {
+		t.Fatalf("second snapshot: %v", err)
+	}
+	if err := snapc.CompactBefore(ctx, snapEpoch); err != nil {
+		t.Fatalf("compact through %d: %v", snapEpoch, err)
+	}
+	for _, id := range []core.PeerID{"pa", "pb", "pq"} {
+		p, err := store.RebuildPeer(ctx, id, s, trustFor(id), clientFor(id))
+		if err != nil {
+			t.Fatalf("post-compaction rebuild %s: %v", id, err)
+		}
+		sameRebuiltState(t, "post-compaction rebuild "+string(id), p, pre[id], universe)
+	}
+	rq, err := store.RebuildPeer(ctx, "pq", s, trustQ, clientFor("pq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xa4 := edit(pa, core.Insert("F", core.Strs("cat", "p4", "z"), "pa"))
+	mustCycle(t, pa)
+	res, err = rq.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDSet(t, "compacted-store rebuilt pq accepted", res.Accepted, xa4.ID)
 }
 
 // testReplayRebuild round-trips publish → reconcile → recover: after a
