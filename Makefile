@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json fuzz-smoke linkcheck clean
+.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json chaos-smoke fuzz-smoke linkcheck clean
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,15 @@ bench-smoke:
 # reconciliation perf baseline future PRs compare against.
 bench-json:
 	$(GO) run ./cmd/orchestra-bench -json BENCH_core.json
+
+# chaos-smoke runs the fault-injection convergence matrix (loss, dup,
+# jitter, partition, store crash + snapshot rebuild — see docs/FAULTS.md)
+# and the fabric/retry unit layer under the race detector. make verify
+# covers these too; this target runs them by name so a chaos regression is
+# unmissable in CI.
+chaos-smoke:
+	$(GO) test -race -count=1 -run '^TestChaosMatrix' .
+	$(GO) test -race -count=1 -run '^TestFault|^TestOneWayPartition|^TestCrashRestart|^TestLinkFaults|^TestRetry' ./internal/simnet ./internal/rpc
 
 # fuzz-smoke gives every native fuzz target a short budget on top of its
 # checked-in seed corpus (testdata/fuzz): enough to catch decoder panics

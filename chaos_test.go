@@ -1,0 +1,386 @@
+package orchestra
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"orchestra/internal/rpc"
+	"orchestra/internal/simnet"
+	"orchestra/internal/store"
+	"orchestra/internal/store/central"
+	"orchestra/internal/store/remote"
+	"orchestra/internal/store/storetest"
+)
+
+// The chaos matrix: a confederation of peers talking to a central store
+// through the fault-injecting simnet fabric and the retrying remote client,
+// one cell per fault regime — message loss, duplicate delivery, latency
+// jitter, one-way partition with heal, and a store crash with
+// snapshot-based rebuild mid-round. Every cell must converge bit-identical
+// (instances, accepts, rejects, defers per peer) to a fault-free
+// differential baseline running the same workload.
+//
+// Two workloads: the contended one has rotating writer sets fighting over
+// shared keys under strict-priority trust, and runs only under fault
+// regimes where retries guarantee every round completes (loss, dup,
+// jitter) — round grouping then matches the baseline exactly. The
+// conflict-free one gives each peer its own keyspace, making the final
+// state independent of which round a delayed publish lands in; partition
+// and crash cells use it, because there entire rounds are deliberately
+// lost and caught up later.
+
+const chaosStoreAddr = "chaos-store"
+
+var chaosPeerIDs = []PeerID{"pa", "pb", "pc", "pd"}
+
+// chaosTrust is the strict-priority trust everyone applies to everyone:
+// total order, no ties, so contended decisions are deterministic.
+func chaosTrust() Trust {
+	return storetest.TrustOrigins(map[PeerID]int{"pa": 4, "pb": 3, "pc": 2, "pd": 1})
+}
+
+type chaosHarness struct {
+	t      *testing.T
+	schema *Schema
+	net    *simnet.Network
+	node   *simnet.Node // the store's fabric endpoint
+	cs     *central.Store
+	dir    string
+	sys    *System
+
+	universe []TxnID // every transaction the workload created
+}
+
+// chaosRetryPolicy keeps retries aggressive and fast: the simnet fabric
+// fails immediately (no real timeouts), so attempts are cheap and a deep
+// attempt budget rides out 10% loss without ever losing a round.
+func chaosRetryPolicy() rpc.RetryPolicy {
+	return rpc.RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   100 * time.Microsecond,
+		MaxDelay:    2 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// newChaosHarness builds the fabric, the store behind a remote server
+// mounted on a simnet node, and a system whose peers each own a retrying
+// remote client on their own fabric node. durable stores live in a temp
+// dir with automatic snapshots, so the crash cell can rebuild from
+// snapshot + WAL tail.
+func newChaosHarness(t *testing.T, seed int64, durable bool) *chaosHarness {
+	t.Helper()
+	h := &chaosHarness{
+		t:      t,
+		schema: MustSchema(NewRelation("F", 2, "organism", "protein", "function")),
+		net:    simnet.NewVirtual(time.Microsecond),
+	}
+	h.net.Seed(seed)
+	if durable {
+		h.dir = t.TempDir()
+	}
+	h.cs = h.openStore()
+	h.node = h.net.Node(chaosStoreAddr, remote.NewServer(h.cs, h.schema).Handler())
+
+	sys, err := NewSystem(h.schema, WithPeerStores(func(id PeerID) (store.Store, error) {
+		n := h.net.Node("peer-"+string(id), nil)
+		return remote.NewClientOn(n, chaosStoreAddr, remote.WithRetryPolicy(chaosRetryPolicy())), nil
+	}), WithReconcileFanOut(len(chaosPeerIDs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sys = sys
+	for _, id := range chaosPeerIDs {
+		if _, err := sys.AddPeer(id, chaosTrust()); err != nil {
+			t.Fatalf("add %s: %v", id, err)
+		}
+	}
+	t.Cleanup(func() { h.cs.Close() })
+	return h
+}
+
+func (h *chaosHarness) openStore() *central.Store {
+	cs, err := central.Open(h.schema, h.dir,
+		central.WithSnapshotEvery(3), central.WithCompactKeep(2))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return cs
+}
+
+// crashStore kills the store's fabric node and closes the backend;
+// restartStore rebuilds the store from its directory (snapshot + tail),
+// mounts a fresh server on the same node, and rejoins the fabric.
+func (h *chaosHarness) crashStore() {
+	h.net.Crash(chaosStoreAddr)
+	if err := h.cs.Close(); err != nil {
+		h.t.Fatalf("close crashed store: %v", err)
+	}
+}
+
+func (h *chaosHarness) restartStore() {
+	h.cs = h.openStore()
+	h.node.Handle(remote.NewServer(h.cs, h.schema).Handler())
+	h.net.Restart(chaosStoreAddr)
+}
+
+// edit applies one local update at the peer and records the transaction in
+// the universe.
+func (h *chaosHarness) edit(id PeerID, u Update) {
+	h.t.Helper()
+	p, _ := h.sys.Peer(id)
+	x, err := p.Edit(u)
+	if err != nil {
+		h.t.Fatalf("edit at %s: %v", id, err)
+	}
+	h.universe = append(h.universe, x.ID)
+}
+
+// contendedEdits: a rotating half of the peers each write their own value
+// for the round's shared key; consumers accept the highest-priority writer
+// and reject the rest.
+func (h *chaosHarness) contendedEdits(round int) {
+	for i, id := range chaosPeerIDs {
+		if i%2 != round%2 {
+			continue
+		}
+		h.edit(id, Insert("F",
+			Strs("shared", fmt.Sprintf("k%d", round), "val-"+string(id)), id))
+	}
+}
+
+// conflictFreeEdits: every peer writes the round's key in its own keyspace;
+// the converged state is the union regardless of round grouping.
+func (h *chaosHarness) conflictFreeEdits(round int) {
+	for _, id := range chaosPeerIDs {
+		h.edit(id, Insert("F",
+			Strs("zone-"+string(id), fmt.Sprintf("k%d", round), fmt.Sprintf("v%d", round)), id))
+	}
+}
+
+// peerState is one peer's complete observable outcome.
+type peerState struct {
+	Tuples   []string
+	Applied  []string
+	Rejected []string
+	Deferred []string
+}
+
+// fingerprint captures every peer's state over the universe, in a
+// deterministic, comparable form.
+func (h *chaosHarness) fingerprint() map[PeerID]peerState {
+	out := make(map[PeerID]peerState, len(chaosPeerIDs))
+	for _, id := range chaosPeerIDs {
+		p, _ := h.sys.Peer(id)
+		var st peerState
+		for _, tu := range p.Instance().Tuples("F") {
+			st.Tuples = append(st.Tuples, tu.Encode())
+		}
+		sort.Strings(st.Tuples)
+		for _, xid := range h.universe {
+			if p.Engine().Applied(xid) {
+				st.Applied = append(st.Applied, xid.String())
+			}
+			if p.Engine().Rejected(xid) {
+				st.Rejected = append(st.Rejected, xid.String())
+			}
+		}
+		for _, xid := range p.Engine().DeferredIDs() {
+			st.Deferred = append(st.Deferred, xid.String())
+		}
+		sort.Strings(st.Deferred)
+		out[id] = st
+	}
+	return out
+}
+
+// quiesce runs fault-free catch-up rounds (no new edits): one round lets
+// every straggler publish leftovers and reconcile to the frontier, the
+// second proves a fixpoint was reached.
+func (h *chaosHarness) quiesce(rounds int) {
+	h.t.Helper()
+	h.net.SetFaults(simnet.Faults{})
+	for _, id := range chaosPeerIDs {
+		h.net.HealOneWay("peer-"+string(id), chaosStoreAddr)
+		h.net.HealOneWay(chaosStoreAddr, "peer-"+string(id))
+	}
+	for i := 0; i < rounds; i++ {
+		if _, err := h.sys.ReconcileAll(context.Background()); err != nil {
+			h.t.Fatalf("quiesce round %d: %v", i, err)
+		}
+	}
+}
+
+// chaosBaseline runs the workload on a fault-free harness and returns its
+// fingerprint.
+func chaosBaseline(t *testing.T, rounds int, contended bool) map[PeerID]peerState {
+	t.Helper()
+	h := newChaosHarness(t, 0, false)
+	for r := 0; r < rounds; r++ {
+		if contended {
+			h.contendedEdits(r)
+		} else {
+			h.conflictFreeEdits(r)
+		}
+		if _, err := h.sys.ReconcileAll(context.Background()); err != nil {
+			t.Fatalf("baseline round %d: %v", r, err)
+		}
+	}
+	h.quiesce(2)
+	return h.fingerprint()
+}
+
+// diffFingerprints asserts bit-identical convergence against the baseline.
+func diffFingerprints(t *testing.T, got, want map[PeerID]peerState) {
+	t.Helper()
+	for _, id := range chaosPeerIDs {
+		if !reflect.DeepEqual(got[id], want[id]) {
+			t.Errorf("%s diverged from fault-free baseline:\n got %+v\nwant %+v", id, got[id], want[id])
+		}
+	}
+}
+
+const chaosRounds = 5
+
+// TestChaosMatrixCompletedRounds: loss, duplication, and jitter cells over
+// the contended workload. Retries absorb every fault, so each round
+// completes exactly like the baseline's — including the conflict decisions.
+func TestChaosMatrixCompletedRounds(t *testing.T) {
+	baseline := chaosBaseline(t, chaosRounds, true)
+	cells := []struct {
+		name   string
+		faults simnet.Faults
+	}{
+		{"loss1", simnet.Faults{Loss: 0.01}},
+		{"loss10", simnet.Faults{Loss: 0.10}},
+		{"dup", simnet.Faults{Dup: 0.25}},
+		{"jitter", simnet.Faults{Jitter: 500 * time.Microsecond}},
+		{"lossdupjitter", simnet.Faults{Loss: 0.05, Dup: 0.10, Jitter: 200 * time.Microsecond}},
+	}
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) {
+			h := newChaosHarness(t, 42, false)
+			h.net.SetFaults(cell.faults)
+			for r := 0; r < chaosRounds; r++ {
+				h.contendedEdits(r)
+				if _, err := h.sys.ReconcileAll(context.Background()); err != nil {
+					t.Fatalf("round %d did not complete under %+v: %v", r, cell.faults, err)
+				}
+			}
+			h.quiesce(2)
+			diffFingerprints(t, h.fingerprint(), baseline)
+
+			fs := h.net.FaultStats()
+			if fs.Lost()+fs.Duplicates()+int64(fs.Jitter()) == 0 {
+				t.Error("cell injected no faults — the run proved nothing")
+			}
+			if cell.faults.Dup > 0 || cell.faults.Loss > 0 {
+				if h.cs.Metrics().Snapshot().DedupHits == 0 {
+					t.Error("no idempotency dedup hits despite duplicate deliveries")
+				}
+			}
+		})
+	}
+}
+
+// TestChaosMatrixPartition: a one-way partition cuts one peer off from the
+// store for two rounds. The round degrades gracefully — the cut-off peer
+// reports a *PeerError while the others complete — and after healing the
+// peer catches up to the fault-free baseline.
+func TestChaosMatrixPartition(t *testing.T) {
+	baseline := chaosBaseline(t, chaosRounds, false)
+	h := newChaosHarness(t, 7, false)
+	const victim = PeerID("pc")
+	for r := 0; r < chaosRounds; r++ {
+		if r == 1 {
+			h.net.PartitionOneWay("peer-"+string(victim), chaosStoreAddr)
+		}
+		if r == 3 {
+			h.net.HealOneWay("peer-"+string(victim), chaosStoreAddr)
+		}
+		h.conflictFreeEdits(r)
+		_, err := h.sys.ReconcileAll(context.Background())
+		if r == 1 || r == 2 {
+			var pe *PeerError
+			if !errors.As(err, &pe) {
+				t.Fatalf("round %d: want *PeerError for the partitioned peer, got %v", r, err)
+			}
+			if pe.Peer != victim {
+				t.Errorf("round %d: PeerError for %s, want %s", r, pe.Peer, victim)
+			}
+			if !store.IsTransient(pe.Err) {
+				t.Errorf("round %d: partition error should classify transient: %v", r, pe.Err)
+			}
+		} else if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	h.quiesce(2)
+	diffFingerprints(t, h.fingerprint(), baseline)
+	if h.net.FaultStats().PartitionDrops() == 0 {
+		t.Error("partition never dropped a call")
+	}
+}
+
+// TestChaosMatrixStoreCrash: the store node crashes mid-round (after edits,
+// before the round runs), the round degrades to per-peer errors, then the
+// store is rebuilt from its directory — snapshot plus WAL tail, idempotency
+// table included — and the confederation converges to the fault-free
+// baseline.
+func TestChaosMatrixStoreCrash(t *testing.T) {
+	baseline := chaosBaseline(t, chaosRounds, false)
+	h := newChaosHarness(t, 13, true)
+	for r := 0; r < chaosRounds; r++ {
+		h.conflictFreeEdits(r)
+		if r == 2 {
+			h.crashStore()
+			_, err := h.sys.ReconcileAll(context.Background())
+			if err == nil {
+				t.Fatal("round against a crashed store succeeded")
+			}
+			var pe *PeerError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *PeerError from the crashed round, got %v", err)
+			}
+			h.restartStore()
+			// The same round retries after the restart and must complete:
+			// the peers' pending edits were never consumed.
+		}
+		if _, err := h.sys.ReconcileAll(context.Background()); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	h.quiesce(2)
+	diffFingerprints(t, h.fingerprint(), baseline)
+	if h.net.FaultStats().CrashDrops() == 0 {
+		t.Error("crash never dropped a call")
+	}
+}
+
+// TestChaosMatrixLossAcrossRestart: message loss while the store also
+// crashes and rebuilds — retried deliveries spanning the restart must
+// dedupe against the durably reloaded idempotency table rather than
+// double-apply.
+func TestChaosMatrixLossAcrossRestart(t *testing.T) {
+	baseline := chaosBaseline(t, chaosRounds, false)
+	h := newChaosHarness(t, 99, true)
+	h.net.SetFaults(simnet.Faults{Loss: 0.05})
+	for r := 0; r < chaosRounds; r++ {
+		h.conflictFreeEdits(r)
+		if r == 3 {
+			h.crashStore()
+			_, _ = h.sys.ReconcileAll(context.Background()) // degraded round
+			h.restartStore()
+		}
+		if _, err := h.sys.ReconcileAll(context.Background()); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	h.quiesce(2)
+	diffFingerprints(t, h.fingerprint(), baseline)
+}

@@ -8,6 +8,7 @@
 //	orchestra-bench -fig all            # every figure, full trials
 //	orchestra-bench -fig 10 -quick      # one figure, reduced trials
 //	orchestra-bench -cell -peers 25 -store distributed -ri 20
+//	orchestra-bench -chaos -loss 0.05 -dup 0.1   # fault-injected round cost
 //	orchestra-bench -json BENCH_core.json   # core perf suite, machine readable
 package main
 
@@ -24,9 +25,14 @@ import (
 	"orchestra"
 	"orchestra/internal/core"
 	"orchestra/internal/exp"
+	"orchestra/internal/metrics"
 	"orchestra/internal/reldb"
+	"orchestra/internal/rpc"
+	"orchestra/internal/simnet"
 	"orchestra/internal/store"
 	"orchestra/internal/store/central"
+	"orchestra/internal/store/remote"
+	"orchestra/internal/trust"
 	"orchestra/internal/workload"
 )
 
@@ -41,6 +47,10 @@ func main() {
 	rounds := flag.Int("rounds", 5, "[cell] publish/reconcile rounds per peer")
 	trials := flag.Int("trials", 5, "[cell] trials")
 	storeKind := flag.String("store", "central", "[cell] central|distributed")
+	chaos := flag.Bool("chaos", false, "run a fault-injected reconciliation cell over the simulated fabric instead of a figure")
+	loss := flag.Float64("loss", 0, "[chaos] per-message loss probability, 0..1")
+	dup := flag.Float64("dup", 0, "[chaos] per-message duplication probability, 0..1")
+	jitter := flag.Duration("jitter", 0, "[chaos] max extra per-message latency")
 	jsonOut := flag.String("json", "", "run the core reconciliation perf suite and write machine-readable results to this file (e.g. BENCH_core.json)")
 	flag.Parse()
 
@@ -49,6 +59,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *chaos {
+		e, err := runChaosCell(simnet.Faults{Loss: *loss, Dup: *dup, Jitter: *jitter}, *peers, *rounds, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("chaos cell: peers=%d rounds=%d loss=%.2f dup=%.2f jitter=%s\n",
+			*peers, *rounds, *loss, *dup, *jitter)
+		fmt.Printf("  ns/round:          %.0f\n", e.NsPerRound)
+		fmt.Printf("  attempts/call:     %.3f\n", e.AttemptsPerCall)
+		fmt.Printf("  retries:           %d\n", e.Retries)
+		fmt.Printf("  store dedup hits:  %d\n", e.DedupHits)
 		return
 	}
 
@@ -199,6 +224,23 @@ type snapshotRebuildEntry struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 }
 
+// chaosOverheadEntry is one cell of the fault-injection sweep: full
+// ReconcileAll rounds through retrying remote clients over the simulated
+// fabric at a given message-loss rate. The fault-free cell is the
+// baseline; the lossy cells price the retry/idempotency machinery —
+// attempts per call is the direct measure of the retry traffic, dedup
+// hits the duplicate deliveries the store absorbed.
+type chaosOverheadEntry struct {
+	Name            string  `json:"name"`
+	LossRate        float64 `json:"loss_rate"`
+	Peers           int     `json:"peers"`
+	Rounds          int     `json:"rounds"`
+	NsPerRound      float64 `json:"ns_per_round"`
+	AttemptsPerCall float64 `json:"attempts_per_call"`
+	Retries         int64   `json:"retries"`
+	DedupHits       int64   `json:"dedup_hits"`
+}
+
 // coreBenchReport is the BENCH_core.json schema; future PRs compare their
 // runs against the committed serial baseline to track the perf trajectory.
 // See docs/BENCHMARKING.md.
@@ -213,6 +255,7 @@ type coreBenchReport struct {
 	EpochAllocator    []epochAllocBenchEntry  `json:"epoch_allocator"`
 	PublishOverlap    []publishOverlapEntry   `json:"publish_overlap"`
 	SnapshotRebuild   []snapshotRebuildEntry  `json:"snapshot_rebuild"`
+	ChaosOverhead     []chaosOverheadEntry    `json:"chaos_overhead"`
 }
 
 // runCoreSuite measures Engine.Reconcile on the shared contended workload
@@ -278,6 +321,9 @@ func runCoreSuite(path string) error {
 		return err
 	}
 	if err := runSnapshotRebuildSuite(&report); err != nil {
+		return err
+	}
+	if err := runChaosOverheadSuite(&report); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -776,6 +822,97 @@ func runSnapshotRebuildSuite(report *coreBenchReport) error {
 			fmt.Printf("%-45s %12.0f ns/rebuild %10d allocs/op\n", e.Name, e.NsPerRebuild, e.AllocsPerOp)
 		}
 		s.Close()
+	}
+	return nil
+}
+
+// runChaosCell runs one fault-injected reconciliation cell: a confederation
+// of peers over the simulated fabric, each talking to an in-memory central
+// store through a retrying remote client, with the given faults on every
+// link. Rounds of conflict-free edits keep retry exhaustion impossible in
+// expectation at the swept rates, so the measured cost is the retry and
+// dedup machinery, not failed rounds.
+func runChaosCell(faults simnet.Faults, peers, rounds int, seed int64) (chaosOverheadEntry, error) {
+	ctx := context.Background()
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	net := simnet.NewVirtual(time.Microsecond)
+	net.Seed(seed)
+	cs := central.MustOpenMemory(schema)
+	defer cs.Close()
+	net.Node("store", remote.NewServer(cs, schema).Handler())
+	var rc metrics.RetryCounters
+	sys, err := orchestra.NewSystem(schema, orchestra.WithPeerStores(func(id core.PeerID) (store.Store, error) {
+		n := net.Node("peer-"+string(id), nil)
+		return remote.NewClientOn(n, "store", remote.WithRetryPolicy(rpc.RetryPolicy{
+			MaxAttempts: 10,
+			BaseDelay:   100 * time.Microsecond,
+			MaxDelay:    2 * time.Millisecond,
+			Seed:        seed,
+			Counters:    &rc,
+		})), nil
+	}), orchestra.WithReconcileFanOut(peers))
+	if err != nil {
+		return chaosOverheadEntry{}, err
+	}
+	// Remote clients carry trust textually; parse the policy once.
+	pol, err := trust.Parse("priority 1 when true")
+	if err != nil {
+		return chaosOverheadEntry{}, err
+	}
+	ps := make([]*orchestra.Peer, peers)
+	for i := range ps {
+		ps[i], err = sys.AddPeer(core.PeerID(fmt.Sprintf("p%d", i)), pol)
+		if err != nil {
+			return chaosOverheadEntry{}, err
+		}
+	}
+	net.SetFaults(faults)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i, p := range ps {
+			if _, err := p.Edit(core.Insert("F",
+				core.Strs(fmt.Sprintf("org%d", i), fmt.Sprintf("prot-%d", r), "fn"), p.ID())); err != nil {
+				return chaosOverheadEntry{}, err
+			}
+		}
+		if _, err := sys.ReconcileAll(ctx); err != nil {
+			return chaosOverheadEntry{}, fmt.Errorf("round %d at loss=%.2f: %w", r, faults.Loss, err)
+		}
+	}
+	elapsed := time.Since(start)
+	snap := rc.Snapshot()
+	var attemptsPerCall float64
+	if snap.Calls > 0 {
+		attemptsPerCall = float64(snap.Attempts) / float64(snap.Calls)
+	}
+	return chaosOverheadEntry{
+		Name:            fmt.Sprintf("ChaosOverhead/loss=%g", faults.Loss),
+		LossRate:        faults.Loss,
+		Peers:           peers,
+		Rounds:          rounds,
+		NsPerRound:      float64(elapsed.Nanoseconds()) / float64(rounds),
+		AttemptsPerCall: attemptsPerCall,
+		Retries:         snap.Retries,
+		DedupHits:       cs.Metrics().Snapshot().DedupHits,
+	}, nil
+}
+
+// runChaosOverheadSuite sweeps message loss over the fault-injected cell:
+// 0% is the fault-free baseline, 1% and 5% price the retry machinery under
+// realistic and heavy loss.
+func runChaosOverheadSuite(report *coreBenchReport) error {
+	const (
+		peers  = 4
+		rounds = 20
+	)
+	for _, loss := range []float64{0, 0.01, 0.05} {
+		e, err := runChaosCell(simnet.Faults{Loss: loss}, peers, rounds, 1)
+		if err != nil {
+			return err
+		}
+		report.ChaosOverhead = append(report.ChaosOverhead, e)
+		fmt.Printf("%-40s %12.0f ns/round %8.3f attempts/call %8d dedup hits\n",
+			e.Name, e.NsPerRound, e.AttemptsPerCall, e.DedupHits)
 	}
 	return nil
 }

@@ -22,7 +22,7 @@ func newKVApp(addr string) *kvApp { return &kvApp{addr: addr, data: make(map[str
 
 type kvArgs struct{ K, V string }
 
-func (a *kvApp) ServeRPC(req rpc.Request) ([]byte, error) {
+func (a *kvApp) ServeRPC(_ context.Context, req rpc.Request) ([]byte, error) {
 	var args kvArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err

@@ -112,12 +112,12 @@ func (n *Node) nextHop(key ID) *Entry {
 }
 
 // handleRoute is the overlay forwarding handler.
-func (n *Node) handleRoute(req rpc.Request) ([]byte, error) {
+func (n *Node) handleRoute(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var env envelope
 	if err := rpc.Decode(req.Body, &env); err != nil {
 		return nil, err
 	}
-	return n.route(context.Background(), env)
+	return n.route(ctx, env)
 }
 
 // route delivers or forwards the envelope.
@@ -128,7 +128,7 @@ func (n *Node) route(ctx context.Context, env envelope) ([]byte, error) {
 	next := n.nextHop(env.Key)
 	if next == nil {
 		n.delivered.Add(1)
-		return n.app.ServeRPC(rpc.Request{From: env.Origin, Method: env.Method, Body: env.Body})
+		return n.app.ServeRPC(ctx, rpc.Request{From: env.Origin, Method: env.Method, Body: env.Body})
 	}
 	n.hopsForwarded.Add(1)
 	env.Hops++

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// RetryCounters aggregates the resilient client layer's behaviour: how many
+// logical calls were issued, how many transport attempts they took, how
+// much backoff was slept, and how calls ultimately failed. All methods are
+// safe for concurrent use and nil-safe, so an uninstrumented policy can
+// carry a nil *RetryCounters.
+type RetryCounters struct {
+	calls        atomic.Int64
+	attempts     atomic.Int64
+	retries      atomic.Int64
+	backoffNanos atomic.Int64
+	exhausted    atomic.Int64
+	permanent    atomic.Int64
+}
+
+// ObserveCall counts one logical call entering the retry loop.
+func (c *RetryCounters) ObserveCall() {
+	if c == nil {
+		return
+	}
+	c.calls.Add(1)
+}
+
+// ObserveAttempt counts one transport attempt.
+func (c *RetryCounters) ObserveAttempt() {
+	if c == nil {
+		return
+	}
+	c.attempts.Add(1)
+}
+
+// ObserveRetry counts one retry and the backoff slept before it.
+func (c *RetryCounters) ObserveRetry(backoff time.Duration) {
+	if c == nil {
+		return
+	}
+	c.retries.Add(1)
+	c.backoffNanos.Add(int64(backoff))
+}
+
+// ObserveExhausted counts one call that failed after using up its attempt
+// budget on transient errors.
+func (c *RetryCounters) ObserveExhausted() {
+	if c == nil {
+		return
+	}
+	c.exhausted.Add(1)
+}
+
+// ObservePermanent counts one call that failed on a non-retryable error.
+func (c *RetryCounters) ObservePermanent() {
+	if c == nil {
+		return
+	}
+	c.permanent.Add(1)
+}
+
+// RetrySnapshot is a point-in-time copy of RetryCounters.
+type RetrySnapshot struct {
+	Calls     int64         // logical calls issued
+	Attempts  int64         // transport attempts (>= Calls)
+	Retries   int64         // attempts beyond each call's first
+	Backoff   time.Duration // total backoff slept
+	Exhausted int64         // calls failed after the attempt budget
+	Permanent int64         // calls failed on a non-retryable error
+}
+
+// Snapshot returns a copy of the counters (each field read atomically).
+// A nil receiver yields the zero snapshot.
+func (c *RetryCounters) Snapshot() RetrySnapshot {
+	if c == nil {
+		return RetrySnapshot{}
+	}
+	return RetrySnapshot{
+		Calls:     c.calls.Load(),
+		Attempts:  c.attempts.Load(),
+		Retries:   c.retries.Load(),
+		Backoff:   time.Duration(c.backoffNanos.Load()),
+		Exhausted: c.exhausted.Load(),
+		Permanent: c.permanent.Load(),
+	}
+}
+
+// String renders the snapshot as a compact one-line summary.
+func (s RetrySnapshot) String() string {
+	return fmt.Sprintf("calls=%d attempts=%d retries=%d backoff=%s exhausted=%d permanent=%d",
+		s.Calls, s.Attempts, s.Retries, s.Backoff, s.Exhausted, s.Permanent)
+}

@@ -38,6 +38,8 @@ type StoreCounters struct {
 	compactions     atomic.Int64
 	compactedEpochs atomic.Int64
 
+	dedupHits atomic.Int64
+
 	// shards carries per-epoch-shard publish counters; sized once by
 	// InitShards before the store goes concurrent, then only the atomics
 	// move.
@@ -123,6 +125,16 @@ func (c *StoreCounters) ObserveDecisionRoundTrip(peers, decisions int) {
 	atomicMax(&c.batchPeak, int64(peers))
 }
 
+// ObserveDedupHit counts one idempotency-keyed call answered from the
+// dedup record of an earlier delivery instead of re-executing — each hit is
+// a duplicate that would have double-applied without the key.
+func (c *StoreCounters) ObserveDedupHit() {
+	if c == nil {
+		return
+	}
+	c.dedupHits.Add(1)
+}
+
 // ObserveSnapshot counts one retained engine-state snapshot written.
 func (c *StoreCounters) ObserveSnapshot() {
 	if c == nil {
@@ -156,6 +168,8 @@ type StoreSnapshot struct {
 	Compactions     int64 // compaction passes that dropped rows
 	CompactedEpochs int64 // epochs dropped from the publish tables
 
+	DedupHits int64 // duplicate keyed deliveries answered from dedup state
+
 	ShardPublishes  []int64 // publish commits per table shard (nil when unsharded)
 	ShardContention []int64 // same-shard publish overlaps per table shard
 }
@@ -177,6 +191,7 @@ func (c *StoreCounters) Snapshot() StoreSnapshot {
 		Snapshots:          c.snapshots.Load(),
 		Compactions:        c.compactions.Load(),
 		CompactedEpochs:    c.compactedEpochs.Load(),
+		DedupHits:          c.dedupHits.Load(),
 	}
 	if len(c.shards) > 0 {
 		snap.ShardPublishes = make([]int64, len(c.shards))

@@ -1,0 +1,139 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"orchestra/internal/metrics"
+)
+
+// RetryPolicy configures WithRetry: per-attempt deadlines, a transient
+// error classifier, and capped exponential backoff with jitter.
+//
+// Retrying is only safe when the wrapped call is idempotent or
+// idempotency-keyed: a transient failure (a timeout, a lost reply) does not
+// say whether the remote side ran the handler. The store clients attach
+// idempotency keys to their non-idempotent operations before wrapping their
+// transport with WithRetry, so a retried delivery dedupes server-side.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total attempts per call, including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 5ms); each
+	// further retry multiplies it by Multiplier (default 2), capped at
+	// MaxDelay (default 1s).
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter randomizes each backoff down by up to this fraction (default
+	// 0.2), de-synchronizing clients that fail together.
+	Jitter float64
+	// CallTimeout bounds each attempt with its own deadline (0 = only the
+	// caller's context bounds the attempt). The caller's context still
+	// bounds the whole call including backoff sleeps.
+	CallTimeout time.Duration
+	// Classify reports whether an error is transient and worth retrying.
+	// nil retries nothing (every error is permanent); store clients use
+	// store.IsTransient.
+	Classify func(error) bool
+	// Counters, when set, receives attempt/retry/backoff observations.
+	Counters *metrics.RetryCounters
+	// Seed fixes the jitter randomness (0 seeds from the policy's identity
+	// deterministically); tests use it to pin backoff schedules.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// retrier wraps a Caller with RetryPolicy.
+type retrier struct {
+	next Caller
+	p    RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WithRetry wraps the caller so each Call retries transient failures (per
+// p.Classify) with capped exponential backoff. The request body is reused
+// verbatim across attempts, so an idempotency key encoded in it stays
+// constant — exactly what server-side dedup needs.
+func WithRetry(c Caller, p RetryPolicy) Caller {
+	return &retrier{next: c, p: p.withDefaults(), rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+func (r *retrier) Call(ctx context.Context, to, method string, body []byte) ([]byte, error) {
+	r.p.Counters.ObserveCall()
+	delay := r.p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		r.p.Counters.ObserveAttempt()
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if r.p.CallTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.p.CallTimeout)
+		}
+		resp, err := r.next.Call(actx, to, method, body)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's own context is done; the error is final however
+			// it classifies.
+			return nil, err
+		}
+		if r.p.Classify == nil || !r.p.Classify(err) {
+			r.p.Counters.ObservePermanent()
+			return nil, err
+		}
+		if attempt >= r.p.MaxAttempts {
+			r.p.Counters.ObserveExhausted()
+			return nil, fmt.Errorf("rpc: %s %s failed after %d attempts: %w", to, method, attempt, err)
+		}
+		d := r.jittered(delay)
+		r.p.Counters.ObserveRetry(d)
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("rpc: %s %s: %w (last attempt: %w)", to, method, ctx.Err(), err)
+		}
+		delay = time.Duration(float64(delay) * r.p.Multiplier)
+		if delay > r.p.MaxDelay {
+			delay = r.p.MaxDelay
+		}
+	}
+}
+
+// jittered shaves up to p.Jitter of the delay off, using the policy's
+// seeded generator.
+func (r *retrier) jittered(d time.Duration) time.Duration {
+	if r.p.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return d - time.Duration(f*r.p.Jitter*float64(d))
+}

@@ -1,0 +1,216 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"orchestra/internal/metrics"
+)
+
+var errFlaky = errors.New("flaky: lost message")
+
+// flakyCaller fails the first n calls with errFlaky, then succeeds. It
+// records the bodies it saw so tests can pin body reuse across attempts.
+type flakyCaller struct {
+	mu     sync.Mutex
+	failN  int
+	calls  int
+	bodies [][]byte
+	perm   error // returned instead of errFlaky when set
+}
+
+func (f *flakyCaller) Call(_ context.Context, to, method string, body []byte) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	f.bodies = append(f.bodies, body)
+	if f.calls <= f.failN {
+		if f.perm != nil {
+			return nil, f.perm
+		}
+		return nil, errFlaky
+	}
+	return []byte("ok"), nil
+}
+
+func transientOnly(err error) bool { return errors.Is(err, errFlaky) }
+
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+		Classify:    transientOnly,
+	}
+}
+
+func TestRetryEventualSuccess(t *testing.T) {
+	f := &flakyCaller{failN: 2}
+	var rc metrics.RetryCounters
+	p := fastPolicy()
+	p.Counters = &rc
+	c := WithRetry(f, p)
+	resp, err := c.Call(context.Background(), "srv", "m", []byte("payload"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("call: %v %q", err, resp)
+	}
+	if f.calls != 3 {
+		t.Errorf("attempts = %d, want 3", f.calls)
+	}
+	// The request body must be reused verbatim so idempotency keys encoded
+	// in it stay constant across attempts.
+	for i, b := range f.bodies {
+		if string(b) != "payload" {
+			t.Errorf("attempt %d body = %q", i, b)
+		}
+	}
+	snap := rc.Snapshot()
+	if snap.Calls != 1 || snap.Attempts != 3 || snap.Retries != 2 {
+		t.Errorf("counters = %+v", snap)
+	}
+	if snap.Exhausted != 0 || snap.Permanent != 0 {
+		t.Errorf("unexpected terminal counters: %+v", snap)
+	}
+}
+
+func TestRetryPermanentErrorNotRetried(t *testing.T) {
+	perm := errors.New("store: unknown peer")
+	f := &flakyCaller{failN: 99, perm: perm}
+	var rc metrics.RetryCounters
+	p := fastPolicy()
+	p.Counters = &rc
+	c := WithRetry(f, p)
+	_, err := c.Call(context.Background(), "srv", "m", nil)
+	if !errors.Is(err, perm) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.calls != 1 {
+		t.Errorf("permanent error retried: %d attempts", f.calls)
+	}
+	if snap := rc.Snapshot(); snap.Permanent != 1 || snap.Retries != 0 {
+		t.Errorf("counters = %+v", snap)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	f := &flakyCaller{failN: 99}
+	var rc metrics.RetryCounters
+	p := fastPolicy()
+	p.Counters = &rc
+	c := WithRetry(f, p)
+	_, err := c.Call(context.Background(), "srv", "m", nil)
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 4 attempts") {
+		t.Errorf("exhaustion error lacks attempt count: %v", err)
+	}
+	if f.calls != 4 {
+		t.Errorf("attempts = %d, want MaxAttempts=4", f.calls)
+	}
+	if snap := rc.Snapshot(); snap.Exhausted != 1 {
+		t.Errorf("counters = %+v", snap)
+	}
+}
+
+func TestRetryNilClassifyNeverRetries(t *testing.T) {
+	f := &flakyCaller{failN: 99}
+	p := fastPolicy()
+	p.Classify = nil
+	c := WithRetry(f, p)
+	if _, err := c.Call(context.Background(), "srv", "m", nil); !errors.Is(err, errFlaky) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.calls != 1 {
+		t.Errorf("nil Classify retried: %d attempts", f.calls)
+	}
+}
+
+func TestRetryHonorsCallerContext(t *testing.T) {
+	f := &flakyCaller{failN: 99}
+	p := fastPolicy()
+	p.BaseDelay = time.Hour // the backoff sleep must not block cancellation
+	c := WithRetry(f, p)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(ctx, "srv", "m", nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not interrupt the backoff sleep")
+	}
+	if f.calls != 1 {
+		t.Errorf("attempts after cancel = %d", f.calls)
+	}
+}
+
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	// With Jitter 0 the schedule is exact: 1ms, 2ms, 4ms, then capped 5ms.
+	var rc metrics.RetryCounters
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0,
+		Classify:    transientOnly,
+		Counters:    &rc,
+	}
+	f := &flakyCaller{failN: 99}
+	c := WithRetry(f, p)
+	if _, err := c.Call(context.Background(), "srv", "m", nil); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	want := 1 + 2 + 4 + 5 // ms of backoff across the 4 retries
+	if got := rc.Snapshot().Backoff; got != time.Duration(want)*time.Millisecond {
+		t.Errorf("total backoff = %v, want %dms", got, want)
+	}
+}
+
+func TestRetryJitterOnlyShavesDown(t *testing.T) {
+	r := WithRetry(nil, RetryPolicy{Jitter: 0.5, Seed: 1}).(*retrier)
+	base := 100 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		d := r.jittered(base)
+		if d > base || d < base/2 {
+			t.Fatalf("jittered(%v) = %v outside [50ms, 100ms]", base, d)
+		}
+	}
+}
+
+func TestRetryPerAttemptTimeout(t *testing.T) {
+	// A caller that honors its context deadline but would otherwise hang:
+	// per-attempt CallTimeout must bound each try, and with Classify
+	// accepting the deadline error the call retries until exhaustion.
+	slow := CallerFunc(func(ctx context.Context, to, method string, body []byte) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	p := RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Microsecond,
+		CallTimeout: 5 * time.Millisecond,
+		Classify:    func(err error) bool { return errors.Is(err, context.DeadlineExceeded) },
+	}
+	c := WithRetry(slow, p)
+	start := time.Now()
+	_, err := c.Call(context.Background(), "srv", "m", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("per-attempt timeout did not bound the call: %v", elapsed)
+	}
+}

@@ -21,22 +21,35 @@ type Request struct {
 	Body []byte
 }
 
-// Handler processes requests at an endpoint.
+// Handler processes requests at an endpoint. The context carries the
+// caller's deadline and cancellation across the transport: the simulated
+// fabric passes the caller's context through directly, and the TCP
+// transport reconstructs the deadline from the wire (wireRequest.Deadline).
 type Handler interface {
-	ServeRPC(req Request) ([]byte, error)
+	ServeRPC(ctx context.Context, req Request) ([]byte, error)
 }
 
 // HandlerFunc adapts a function to Handler.
-type HandlerFunc func(req Request) ([]byte, error)
+type HandlerFunc func(ctx context.Context, req Request) ([]byte, error)
 
 // ServeRPC implements Handler.
-func (f HandlerFunc) ServeRPC(req Request) ([]byte, error) { return f(req) }
+func (f HandlerFunc) ServeRPC(ctx context.Context, req Request) ([]byte, error) {
+	return f(ctx, req)
+}
 
 // Caller issues requests to remote endpoints.
 type Caller interface {
 	// Call sends a request to the endpoint at address `to` and waits for
 	// its response.
 	Call(ctx context.Context, to, method string, body []byte) ([]byte, error)
+}
+
+// CallerFunc adapts a function to Caller.
+type CallerFunc func(ctx context.Context, to, method string, body []byte) ([]byte, error)
+
+// Call implements Caller.
+func (f CallerFunc) Call(ctx context.Context, to, method string, body []byte) ([]byte, error) {
+	return f(ctx, to, method, body)
 }
 
 // Mux dispatches requests by method name.
@@ -57,12 +70,12 @@ func (m *Mux) Handle(method string, h HandlerFunc) {
 }
 
 // ServeRPC implements Handler.
-func (m *Mux) ServeRPC(req Request) ([]byte, error) {
+func (m *Mux) ServeRPC(ctx context.Context, req Request) ([]byte, error) {
 	h, ok := m.handlers[req.Method]
 	if !ok {
 		return nil, fmt.Errorf("rpc: unknown method %q", req.Method)
 	}
-	return h(req)
+	return h(ctx, req)
 }
 
 // Encode gob-encodes a value for a request or response body.

@@ -20,6 +20,10 @@ type wireRequest struct {
 	From   string
 	Method string
 	Body   []byte
+	// Deadline is the caller's context deadline in Unix nanoseconds (0 =
+	// none); the server reconstructs a request context from it so handlers
+	// see the same deadline the client enforces on the connection.
+	Deadline int64
 }
 
 type wireResponse struct {
@@ -97,7 +101,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		var resp wireResponse
-		body, herr := s.handler.ServeRPC(Request{From: req.From, Method: req.Method, Body: req.Body})
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if req.Deadline != 0 {
+			ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
+		}
+		body, herr := s.handler.ServeRPC(ctx, Request{From: req.From, Method: req.Method, Body: req.Body})
+		cancel()
 		if herr != nil {
 			resp.Err = herr.Error()
 		} else {
@@ -165,7 +175,11 @@ func (cl *Client) Call(ctx context.Context, to, method string, body []byte) ([]b
 	if err != nil {
 		return nil, err
 	}
-	resp, err := cc.roundTrip(ctx, wireRequest{From: cl.From, Method: method, Body: body})
+	req := wireRequest{From: cl.From, Method: method, Body: body}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Deadline = dl.UnixNano()
+	}
+	resp, err := cc.roundTrip(ctx, req)
 	if err != nil {
 		cl.drop(to, cc)
 		return nil, err

@@ -10,7 +10,7 @@ import (
 
 func startEcho(t *testing.T) (addr string, srv *Server) {
 	t.Helper()
-	srv = NewServer(HandlerFunc(func(req Request) ([]byte, error) {
+	srv = NewServer(HandlerFunc(func(_ context.Context, req Request) ([]byte, error) {
 		return append([]byte(req.From+"/"+req.Method+":"), req.Body...), nil
 	}))
 	addr, err := srv.Listen("127.0.0.1:0")
@@ -46,7 +46,7 @@ func TestTCPConnectionReuse(t *testing.T) {
 }
 
 func TestTCPHandlerError(t *testing.T) {
-	srv := NewServer(HandlerFunc(func(Request) ([]byte, error) {
+	srv := NewServer(HandlerFunc(func(context.Context, Request) ([]byte, error) {
 		return nil, context.DeadlineExceeded
 	}))
 	addr, err := srv.Listen("127.0.0.1:0")
@@ -122,7 +122,7 @@ func TestTCPReconnectAfterDrop(t *testing.T) {
 	}
 	// Restart the server on the same address.
 	srv.Close()
-	srv2 := NewServer(HandlerFunc(func(req Request) ([]byte, error) { return []byte("v2"), nil }))
+	srv2 := NewServer(HandlerFunc(func(_ context.Context, req Request) ([]byte, error) { return []byte("v2"), nil }))
 	if _, err := srv2.Listen(addr); err != nil {
 		t.Skipf("could not rebind %s: %v", addr, err)
 	}

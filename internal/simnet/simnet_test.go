@@ -11,7 +11,7 @@ import (
 	"orchestra/internal/rpc"
 )
 
-func echoHandler(req rpc.Request) ([]byte, error) {
+func echoHandler(_ context.Context, req rpc.Request) ([]byte, error) {
 	return append([]byte(req.Method+":"), req.Body...), nil
 }
 
@@ -123,7 +123,7 @@ func TestRemove(t *testing.T) {
 func TestHandlerErrorPropagates(t *testing.T) {
 	net := NewVirtual(0)
 	a := net.Node("a", rpc.HandlerFunc(echoHandler))
-	net.Node("b", rpc.HandlerFunc(func(rpc.Request) ([]byte, error) {
+	net.Node("b", rpc.HandlerFunc(func(context.Context, rpc.Request) ([]byte, error) {
 		return nil, fmt.Errorf("handler failure")
 	}))
 	_, err := a.Call(context.Background(), "b", "m", nil)
@@ -147,7 +147,7 @@ func TestHandleReplacement(t *testing.T) {
 	net := NewVirtual(0)
 	a := net.Node("a", rpc.HandlerFunc(echoHandler))
 	b := net.Node("b", rpc.HandlerFunc(echoHandler))
-	b.Handle(rpc.HandlerFunc(func(req rpc.Request) ([]byte, error) {
+	b.Handle(rpc.HandlerFunc(func(_ context.Context, req rpc.Request) ([]byte, error) {
 		return []byte("replaced:" + req.From), nil
 	}))
 	resp, err := a.Call(context.Background(), "b", "m", nil)
@@ -160,7 +160,7 @@ func TestConcurrentCalls(t *testing.T) {
 	net := NewVirtual(0)
 	var mu sync.Mutex
 	seen := map[string]int{}
-	net.Node("server", rpc.HandlerFunc(func(req rpc.Request) ([]byte, error) {
+	net.Node("server", rpc.HandlerFunc(func(_ context.Context, req rpc.Request) ([]byte, error) {
 		mu.Lock()
 		seen[req.From]++
 		mu.Unlock()
@@ -196,8 +196,8 @@ func TestConcurrentCalls(t *testing.T) {
 
 func TestMuxDispatch(t *testing.T) {
 	mux := rpc.NewMux()
-	mux.Handle("x", func(rpc.Request) ([]byte, error) { return []byte("X"), nil })
-	mux.Handle("y", func(rpc.Request) ([]byte, error) { return []byte("Y"), nil })
+	mux.Handle("x", func(context.Context, rpc.Request) ([]byte, error) { return []byte("X"), nil })
+	mux.Handle("y", func(context.Context, rpc.Request) ([]byte, error) { return []byte("Y"), nil })
 	net := NewVirtual(0)
 	a := net.Node("a", mux)
 	net.Node("b", mux)
@@ -213,14 +213,14 @@ func TestMuxDispatch(t *testing.T) {
 			t.Error("duplicate Handle should panic")
 		}
 	}()
-	mux.Handle("x", func(rpc.Request) ([]byte, error) { return nil, nil })
+	mux.Handle("x", func(context.Context, rpc.Request) ([]byte, error) { return nil, nil })
 }
 
 func TestInvokeEncodeDecode(t *testing.T) {
 	type args struct{ A, B int }
 	type reply struct{ Sum int }
 	mux := rpc.NewMux()
-	mux.Handle("add", func(req rpc.Request) ([]byte, error) {
+	mux.Handle("add", func(_ context.Context, req rpc.Request) ([]byte, error) {
 		var a args
 		if err := rpc.Decode(req.Body, &a); err != nil {
 			return nil, err
@@ -238,7 +238,7 @@ func TestInvokeEncodeDecode(t *testing.T) {
 		t.Errorf("sum = %d", out.Sum)
 	}
 	// nil args and nil reply paths.
-	mux.Handle("noop", func(rpc.Request) ([]byte, error) { return nil, nil })
+	mux.Handle("noop", func(context.Context, rpc.Request) ([]byte, error) { return nil, nil })
 	if err := rpc.Invoke(context.Background(), caller, "s", "noop", nil, nil); err != nil {
 		t.Fatal(err)
 	}

@@ -71,8 +71,10 @@
 // frontier advance, whose critical section takes no other store lock. The
 // reldb engine's per-table locks are always innermost; every multi-table
 // commit touches tables in the order epochs_k → txns_k → decisions_k →
-// peers → meta → snapshots, shard indexes ascending within each group
-// (the lock-order rule documented in docs/STORAGE.md).
+// peers → meta → snapshots → idempotency, shard indexes ascending within
+// each group (the lock-order rule documented in docs/STORAGE.md); the
+// idempotency table is always last, so dedup records can ride any keyed
+// operation's commit.
 // RecordDecisionsBatch locks its peers in sorted order and writes its
 // decisions_k shards in ascending k order; CompactBefore deletes across
 // whole shard groups ascending and stamps meta last.
@@ -90,6 +92,7 @@ import (
 	"orchestra/internal/metrics"
 	"orchestra/internal/reldb"
 	"orchestra/internal/store"
+	"orchestra/internal/trust"
 )
 
 // OrderStride spaces the global order values of consecutive epochs; both
@@ -284,6 +287,12 @@ type Store struct {
 	// (WithSnapshotEvery, WithCompactKeep; compactKeep < 0 = off).
 	snapEvery   int64
 	compactKeep int64
+
+	// idemMu guards the idempotency-key map (see idempotency.go): in-flight
+	// and completed keyed operations. Held only for map access, never
+	// across an operation.
+	idemMu sync.Mutex
+	idem   map[store.IdempotencyKey]*idemEntry
 }
 
 type txnShard struct {
@@ -371,6 +380,7 @@ func Open(schema *core.Schema, dir string, opts ...Option) (*Store, error) {
 		epochBlock:  cfg.epochBlock,
 		snapEvery:   cfg.snapEvery,
 		compactKeep: cfg.compactKeep,
+		idem:        make(map[store.IdempotencyKey]*idemEntry),
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[core.TxnID]*entry)
@@ -637,11 +647,46 @@ func (s *Store) initTables(cfg config) error {
 		// store.AppendSnapshot). Each Snapshot() commit atomically replaces
 		// it; a torn commit rolls back whole, so the previous snapshot (and
 		// the publish log) are never voided by a crash mid-snapshot.
-		return create(reldb.TableDef{
+		if err := create(reldb.TableDef{
 			Name: "snapshots",
 			Cols: []reldb.ColDef{
 				{Name: "epoch", Type: reldb.ColInt},
 				{Name: "payload", Type: reldb.ColBytes},
+			},
+			Key: []int{0},
+		}); err != nil {
+			return err
+		}
+		// One row per idempotency-keyed operation that committed: the key,
+		// the operation, and its memoized result (see idempotency.go). Rows
+		// are written inside the keyed operation's own commit, so a crash
+		// can never separate an operation from its dedup record. Created
+		// conditionally: directories from before this table gain it on
+		// reopen with no layout break.
+		if err := create(reldb.TableDef{
+			Name: "idempotency",
+			Cols: []reldb.ColDef{
+				{Name: "key", Type: reldb.ColString},
+				{Name: "op", Type: reldb.ColString},
+				{Name: "r1", Type: reldb.ColInt},
+				{Name: "r2", Type: reldb.ColInt},
+				{Name: "r3", Type: reldb.ColInt},
+			},
+			Key: []int{0},
+		}); err != nil {
+			return err
+		}
+		// One row per peer whose trust policy is textual (*trust.Policy):
+		// the policy source, so recovery restores it and the store serves
+		// reconciliations after a restart without waiting for peers to
+		// re-register. In-process predicate policies cannot be persisted;
+		// those peers must re-register after recovery (beginReconciliation
+		// refuses them with a clear error until they do).
+		return create(reldb.TableDef{
+			Name: "trust",
+			Cols: []reldb.ColDef{
+				{Name: "peer", Type: reldb.ColString},
+				{Name: "policy", Type: reldb.ColString},
 			},
 			Key: []int{0},
 		})
@@ -729,6 +774,27 @@ func (s *Store) loadCaches() error {
 		}); err != nil {
 			return err
 		}
+		// Restore persisted textual trust policies. Peers registered with
+		// in-process predicate policies have no row here and stay
+		// trust-less until they re-register.
+		if err := tx.Scan("trust", func(r reldb.Row) bool {
+			pm := s.peers[core.PeerID(r[0].S())]
+			if pm == nil {
+				return true
+			}
+			p, err := trust.Parse(r[1].S())
+			if err != nil {
+				scanErr = fmt.Errorf("central: peer %s persisted trust policy: %w", r[0].S(), err)
+				return false
+			}
+			pm.trust = p
+			return true
+		}); err != nil {
+			return err
+		}
+		if scanErr != nil {
+			return scanErr
+		}
 		for k := 0; k < s.tableShards; k++ {
 			if err := tx.Scan(s.decisionsTab[k], func(r reldb.Row) bool {
 				pm := s.peers[core.PeerID(r[0].S())]
@@ -751,7 +817,7 @@ func (s *Store) loadCaches() error {
 		} else if ok {
 			s.snapState.compacted = core.Epoch(r[1].I())
 		}
-		return nil
+		return s.loadIdem(tx)
 	})
 	if err != nil {
 		return err
@@ -808,23 +874,38 @@ func (s *Store) loadSnapshotState() error {
 
 // RegisterPeer implements store.Store. Re-registering an existing peer
 // (e.g. after recovery) replaces its trust policy and keeps its history.
-func (s *Store) RegisterPeer(_ context.Context, peer core.PeerID, trust core.Trust) error {
+// Textual policies (*trust.Policy) are persisted alongside the peer row so
+// a recovered store serves reconciliations without re-registration;
+// in-process predicate policies cannot travel into the directory, so any
+// previously persisted text is dropped rather than left to resurrect an
+// outdated policy on the next recovery.
+func (s *Store) RegisterPeer(_ context.Context, peer core.PeerID, t core.Trust) error {
 	s.peersMu.Lock()
 	defer s.peersMu.Unlock()
-	if pm, ok := s.peers[peer]; ok {
-		pm.mu.Lock()
-		pm.trust = trust
-		pm.mu.Unlock()
-		return nil
-	}
+	_, known := s.peers[peer]
 	err := s.db.Update(func(tx *reldb.Tx) error {
-		return tx.Insert("peers", reldb.Row{reldb.Str(string(peer)), reldb.Int(0), reldb.Int(0)})
+		if !known {
+			if err := tx.Insert("peers", reldb.Row{reldb.Str(string(peer)), reldb.Int(0), reldb.Int(0)}); err != nil {
+				return err
+			}
+		}
+		if p, ok := t.(*trust.Policy); ok {
+			return tx.Upsert("trust", reldb.Row{reldb.Str(string(peer)), reldb.Str(p.String())})
+		}
+		_, err := tx.Delete("trust", reldb.Str(string(peer)))
+		return err
 	})
 	if err != nil {
 		return err
 	}
+	if pm, ok := s.peers[peer]; ok {
+		pm.mu.Lock()
+		pm.trust = t
+		pm.mu.Unlock()
+		return nil
+	}
 	s.peers[peer] = &peerMeta{
-		trust:      trust,
+		trust:      t,
 		decided:    make(map[core.TxnID]core.Decision),
 		decidedSeq: make(map[core.TxnID]int64),
 	}
@@ -880,13 +961,14 @@ func (s *Store) allocEpoch(peer core.PeerID) (core.Epoch, error) {
 // PublishWrite appends the batch's transactions under the open epoch,
 // assigning global orders, and records them as accepted by the publisher.
 func (s *Store) PublishWrite(peer core.PeerID, epoch core.Epoch, txns []store.PublishedTxn) error {
-	return s.publishWrite(peer, epoch, txns, false)
+	return s.publishWrite(peer, epoch, txns, false, "")
 }
 
 // publishWrite is the shared write path; finish additionally marks the
 // epoch complete in the same database commit (the fast path used by
-// Publish, saving one commit per publish).
-func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.PublishedTxn, finish bool) error {
+// Publish, saving one commit per publish). A non-empty key records the
+// publish's dedup row in the same commit.
+func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.PublishedTxn, finish bool, key store.IdempotencyKey) error {
 	em := s.epoch(epoch)
 	if em == nil || em.peer != peer {
 		return fmt.Errorf("central: epoch %d not open for %s", epoch, peer)
@@ -959,6 +1041,9 @@ func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 				return err
 			}
 		}
+		if key != "" {
+			return tx.Insert("idempotency", idemRow(key, opPublish, int64(epoch), 0, 0))
+		}
 		return nil
 	})
 	s.counters.LeaveShard(k)
@@ -1001,13 +1086,38 @@ func (s *Store) PublishFinish(peer core.PeerID, epoch core.Epoch) error {
 // Publish implements store.Store: allocate an epoch, then write and finish
 // in a single database commit. When automatic maintenance is configured
 // (WithSnapshotEvery/WithCompactKeep), the publish that crosses the
-// snapshot cadence runs it before returning.
+// snapshot cadence runs it before returning. A context carrying an
+// idempotency key (store.WithIdempotencyKey) makes the publish safe to
+// redeliver: duplicates of a committed publish return the original epoch
+// without publishing again.
 func (s *Store) Publish(ctx context.Context, peer core.PeerID, txns []store.PublishedTxn) (core.Epoch, error) {
 	s.counters.ObservePublish()
 	if _, err := s.peer(peer); err != nil {
 		return 0, err
 	}
+	key, keyed := store.IdempotencyKeyFrom(ctx)
+	if !keyed {
+		return s.publish(ctx, peer, txns, "")
+	}
+	en, dup, err := s.beginIdem(key, opPublish)
+	if err != nil {
+		return 0, err
+	}
+	if dup {
+		return en.e, nil
+	}
+	epoch, err := s.publish(ctx, peer, txns, key)
+	en.e = epoch
+	s.finishIdem(key, en, err)
+	return epoch, err
+}
+
+// publish is the Publish body; a non-empty key rides the publish commit as
+// a dedup record.
+func (s *Store) publish(ctx context.Context, peer core.PeerID, txns []store.PublishedTxn, key store.IdempotencyKey) (core.Epoch, error) {
 	if len(txns) == 0 {
+		// Naturally idempotent: nothing commits, so a keyed empty publish
+		// memoizes in memory only.
 		s.epochMu.RLock()
 		defer s.epochMu.RUnlock()
 		return s.maxE, nil
@@ -1016,7 +1126,7 @@ func (s *Store) Publish(ctx context.Context, peer core.PeerID, txns []store.Publ
 	if err != nil {
 		return 0, err
 	}
-	if err := s.publishWrite(peer, epoch, txns, true); err != nil {
+	if err := s.publishWrite(peer, epoch, txns, true, key); err != nil {
 		return 0, err
 	}
 	s.maybeMaintain(ctx)
@@ -1054,14 +1164,45 @@ func (s *Store) advanceFrontier() {
 // BeginReconciliation implements store.Store. Only the reconciling peer's
 // own lock is held throughout, so any number of peers reconcile
 // concurrently; the epoch window is read under per-epoch locks and the
-// transaction index under its stripes.
-func (s *Store) BeginReconciliation(_ context.Context, peer core.PeerID) (*store.Reconciliation, error) {
+// transaction index under its stripes. A context carrying an idempotency
+// key makes the call safe to redeliver: a duplicate of a committed begin
+// returns the original recno and window (with its candidates recomputed)
+// instead of advancing the frontier again — without the key, a retried
+// begin would permanently lose the first window's candidates.
+func (s *Store) BeginReconciliation(ctx context.Context, peer core.PeerID) (*store.Reconciliation, error) {
+	key, keyed := store.IdempotencyKeyFrom(ctx)
+	if !keyed {
+		return s.beginReconciliation(peer, "")
+	}
+	en, dup, err := s.beginIdem(key, opBegin)
+	if err != nil {
+		return nil, err
+	}
+	if dup {
+		return s.replayReconciliation(peer, en)
+	}
+	rec, err := s.beginReconciliation(peer, key)
+	if err == nil {
+		en.recno, en.from, en.to = rec.Recno, rec.FromEpoch, rec.ToEpoch
+	}
+	s.finishIdem(key, en, err)
+	return rec, err
+}
+
+func (s *Store) beginReconciliation(peer core.PeerID, key store.IdempotencyKey) (*store.Reconciliation, error) {
 	pm, err := s.peer(peer)
 	if err != nil {
 		return nil, err
 	}
 	lockContended(&pm.mu, s.counters.ObservePeerContention)
 	defer pm.mu.Unlock()
+	// A recovered store may know the peer but not its trust policy (only
+	// textual policies persist). Refuse cleanly rather than computing
+	// candidate priorities against nothing: the error is permanent until
+	// the peer re-registers, and no reconciliation window is consumed.
+	if pm.trust == nil {
+		return nil, fmt.Errorf("central: peer %s has no trust policy (re-register after recovery)", peer)
+	}
 
 	stable := s.stableEpoch()
 	from := pm.lastEpoch
@@ -1070,11 +1211,18 @@ func (s *Store) BeginReconciliation(_ context.Context, peer core.PeerID) (*store
 	}
 	recno := pm.recno + 1
 	// Record the reconciliation point immediately and commit, as §5.2.1
-	// prescribes, so the epochs table is released for publishers.
+	// prescribes, so the epochs table is released for publishers. The dedup
+	// record rides the same commit.
 	err = s.db.Update(func(tx *reldb.Tx) error {
-		return tx.Upsert("peers", reldb.Row{
+		if err := tx.Upsert("peers", reldb.Row{
 			reldb.Str(string(peer)), reldb.Int(int64(stable)), reldb.Int(int64(recno)),
-		})
+		}); err != nil {
+			return err
+		}
+		if key != "" {
+			return tx.Insert("idempotency", idemRow(key, opBegin, int64(recno), int64(from), int64(stable)))
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -1082,11 +1230,21 @@ func (s *Store) BeginReconciliation(_ context.Context, peer core.PeerID) (*store
 	pm.lastEpoch = stable
 	pm.recno = recno
 
-	rec := &store.Reconciliation{Recno: recno, FromEpoch: from, ToEpoch: stable}
-	// Walk the window in epoch order; within an epoch the publish order is
-	// the global order, so candidates come out order-sorted exactly as the
-	// single-lock implementation produced them.
-	for e := from + 1; e <= stable; e++ {
+	return &store.Reconciliation{
+		Recno:      recno,
+		FromEpoch:  from,
+		ToEpoch:    stable,
+		Candidates: s.candidatesLocked(pm, peer, from, stable),
+	}, nil
+}
+
+// candidatesLocked walks the window (from, to] and collects the peer's
+// candidates. The caller holds the peer's lock. Walking in epoch order —
+// within an epoch the publish order is the global order — produces
+// candidates order-sorted exactly as the single-lock implementation did.
+func (s *Store) candidatesLocked(pm *peerMeta, peer core.PeerID, from, to core.Epoch) []*core.Candidate {
+	var out []*core.Candidate
+	for e := from + 1; e <= to; e++ {
 		em := s.epoch(e)
 		if em == nil {
 			continue
@@ -1107,14 +1265,14 @@ func (s *Store) BeginReconciliation(_ context.Context, peer core.PeerID) (*store
 			if prio <= 0 {
 				continue
 			}
-			rec.Candidates = append(rec.Candidates, &core.Candidate{
+			out = append(out, &core.Candidate{
 				Txn:      x,
 				Priority: prio,
 				Ext:      s.extension(id, pm),
 			})
 		}
 	}
-	return rec, nil
+	return out
 }
 
 // extension computes the transaction extension of root for the peer: the
@@ -1156,8 +1314,27 @@ func (s *Store) RecordDecisions(ctx context.Context, peer core.PeerID, recno int
 // RecordDecisionsBatch implements store.Store: every batch's decisions are
 // committed in one database transaction — one round trip for a whole
 // fan-out wave. Peers are locked in sorted order so concurrent batches
-// cannot deadlock.
-func (s *Store) RecordDecisionsBatch(_ context.Context, batches []store.DecisionBatch) error {
+// cannot deadlock. A context carrying an idempotency key makes the call
+// safe to redeliver: duplicates of a committed batch succeed without
+// writing a second set of decision rows.
+func (s *Store) RecordDecisionsBatch(ctx context.Context, batches []store.DecisionBatch) error {
+	key, keyed := store.IdempotencyKeyFrom(ctx)
+	if !keyed {
+		return s.recordDecisionsBatch(batches, "")
+	}
+	en, dup, err := s.beginIdem(key, opDecide)
+	if err != nil {
+		return err
+	}
+	if dup {
+		return nil
+	}
+	err = s.recordDecisionsBatch(batches, key)
+	s.finishIdem(key, en, err)
+	return err
+}
+
+func (s *Store) recordDecisionsBatch(batches []store.DecisionBatch, key store.IdempotencyKey) error {
 	if len(batches) == 0 {
 		return nil
 	}
@@ -1241,6 +1418,9 @@ func (s *Store) RecordDecisionsBatch(_ context.Context, batches []store.Decision
 						return err
 					}
 				}
+			}
+			if key != "" {
+				return tx.Insert("idempotency", idemRow(key, opDecide, 0, 0, 0))
 			}
 			return nil
 		})

@@ -1,0 +1,140 @@
+package central
+
+import (
+	"context"
+	"fmt"
+
+	"orchestra/internal/core"
+	"orchestra/internal/reldb"
+	"orchestra/internal/store"
+)
+
+// This file implements idempotency-key dedup for the non-idempotent store
+// operations (Publish, RecordDecisionsBatch, BeginReconciliation, Snapshot,
+// CompactBefore). A keyed call executes once; its result is recorded in the
+// idempotency table *inside the operation's own commit* — riding the
+// existing commit machinery, so a crash can never separate an operation
+// from its dedup record — and every later delivery of the same key replays
+// the recorded result instead of re-executing. The in-memory entry map
+// additionally serializes concurrent duplicates: the first delivery owns
+// execution, later ones block until it finishes. A failed owner releases
+// the key, so a retry after a genuine failure re-executes.
+//
+// BeginReconciliation needs dedup even though the issue's list names only
+// the write ops: a reconciliation window is delivered once — the store
+// advances the peer's frontier past it — so a retried begin whose first
+// delivery committed would silently lose the window's candidates forever.
+// The dedup record memoizes (recno, from, to); candidates are recomputed
+// from the window on replay, which is sound because the reconciling peer is
+// the only writer of its decided set and it is blocked in this very call.
+
+// Operation names recorded with each key (guarding cross-op key reuse).
+const (
+	opPublish  = "publish"
+	opDecide   = "decide"
+	opBegin    = "begin"
+	opSnapshot = "snapshot"
+	opCompact  = "compact"
+)
+
+// idemEntry is one key's state: in-flight (done open) or completed (done
+// closed, result fields valid).
+type idemEntry struct {
+	op   string
+	done chan struct{}
+	err  error
+	// Results by op: publish/snapshot/compact memoize an epoch; begin
+	// memoizes its window; decide has no result beyond success.
+	e     core.Epoch
+	recno int
+	from  core.Epoch
+	to    core.Epoch
+}
+
+// beginIdem resolves a key: a completed duplicate returns its entry with
+// dup=true; otherwise the key is registered in-flight and the caller owns
+// executing the operation (and must finishIdem). Concurrent duplicates
+// block here until the owner finishes.
+func (s *Store) beginIdem(key store.IdempotencyKey, op string) (*idemEntry, bool, error) {
+	for {
+		s.idemMu.Lock()
+		en := s.idem[key]
+		if en == nil {
+			en = &idemEntry{op: op, done: make(chan struct{})}
+			s.idem[key] = en
+			s.idemMu.Unlock()
+			return en, false, nil
+		}
+		s.idemMu.Unlock()
+		if en.op != op {
+			return nil, false, fmt.Errorf("central: idempotency key %q reused across operations (%s, then %s)", key, en.op, op)
+		}
+		<-en.done
+		if en.err == nil {
+			s.counters.ObserveDedupHit()
+			return en, true, nil
+		}
+		// The owner failed and released the key; loop to take ownership and
+		// re-execute.
+	}
+}
+
+// finishIdem publishes the owner's outcome. Failures release the key so the
+// next delivery re-executes; successes leave the completed entry for
+// duplicates to replay.
+func (s *Store) finishIdem(key store.IdempotencyKey, en *idemEntry, err error) {
+	s.idemMu.Lock()
+	en.err = err
+	if err != nil {
+		delete(s.idem, key)
+	}
+	close(en.done)
+	s.idemMu.Unlock()
+}
+
+// idemRow encodes a dedup record for insertion inside an operation's
+// commit. The idempotency table is last in the table lock order.
+func idemRow(key store.IdempotencyKey, op string, r1, r2, r3 int64) reldb.Row {
+	return reldb.Row{reldb.Str(string(key)), reldb.Str(op), reldb.Int(r1), reldb.Int(r2), reldb.Int(r3)}
+}
+
+// loadIdem rebuilds the completed-entry map from the idempotency table
+// (within loadCaches' recovery view).
+func (s *Store) loadIdem(tx *reldb.Tx) error {
+	return tx.Scan("idempotency", func(r reldb.Row) bool {
+		en := &idemEntry{op: r[1].S(), done: make(chan struct{})}
+		switch en.op {
+		case opPublish, opSnapshot, opCompact:
+			en.e = core.Epoch(r[2].I())
+		case opBegin:
+			en.recno = int(r[2].I())
+			en.from = core.Epoch(r[3].I())
+			en.to = core.Epoch(r[4].I())
+		}
+		close(en.done)
+		s.idem[store.IdempotencyKey(r[0].S())] = en
+		return true
+	})
+}
+
+// CanDedupe implements store.IdempotencyProber: keyed calls are deduped.
+func (s *Store) CanDedupe(context.Context) bool { return true }
+
+// replayReconciliation rebuilds the answer of a deduped begin: the memoized
+// recno and window, with the candidates recomputed by the same walk the
+// first delivery ran. Sound because only the peer itself mutates its
+// decided set, and the peer is blocked in this call.
+func (s *Store) replayReconciliation(peer core.PeerID, en *idemEntry) (*store.Reconciliation, error) {
+	pm, err := s.peer(peer)
+	if err != nil {
+		return nil, err
+	}
+	lockContended(&pm.mu, s.counters.ObservePeerContention)
+	defer pm.mu.Unlock()
+	return &store.Reconciliation{
+		Recno:      en.recno,
+		FromEpoch:  en.from,
+		ToEpoch:    en.to,
+		Candidates: s.candidatesLocked(pm, peer, en.from, en.to),
+	}, nil
+}

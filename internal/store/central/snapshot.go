@@ -125,12 +125,30 @@ func (s *Store) entriesThrough(e core.Epoch) []*entry {
 // snapshot payload so compaction can never strand a payload a future
 // extension or late decision still needs.
 func (s *Store) Snapshot(ctx context.Context) (core.Epoch, error) {
+	key, keyed := store.IdempotencyKeyFrom(ctx)
+	if !keyed {
+		s.snapMu.Lock()
+		defer s.snapMu.Unlock()
+		return s.snapshotLocked(ctx, "")
+	}
+	en, dup, err := s.beginIdem(key, opSnapshot)
+	if err != nil {
+		return 0, err
+	}
+	if dup {
+		return en.e, nil
+	}
 	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
-	return s.snapshotLocked(ctx)
+	epoch, err := s.snapshotLocked(ctx, key)
+	s.snapMu.Unlock()
+	en.e = epoch
+	s.finishIdem(key, en, err)
+	return epoch, err
 }
 
-func (s *Store) snapshotLocked(ctx context.Context) (core.Epoch, error) {
+// snapshotLocked takes the snapshot under snapMu; a non-empty key rides the
+// snapshot-replace commit as a dedup record.
+func (s *Store) snapshotLocked(ctx context.Context, key store.IdempotencyKey) (core.Epoch, error) {
 	copies, stable := s.copyPeers()
 	if stable == 0 {
 		return 0, nil
@@ -241,7 +259,13 @@ func (s *Store) snapshotLocked(ctx context.Context) (core.Epoch, error) {
 				return err
 			}
 		}
-		return tx.Insert("snapshots", reldb.Row{reldb.Int(int64(stable)), reldb.Bytes(payload)})
+		if err := tx.Insert("snapshots", reldb.Row{reldb.Int(int64(stable)), reldb.Bytes(payload)}); err != nil {
+			return err
+		}
+		if key != "" {
+			return tx.Insert("idempotency", idemRow(key, opSnapshot, int64(stable), 0, 0))
+		}
+		return nil
 	})
 	if err != nil {
 		return 0, err
@@ -391,12 +415,30 @@ func (s *Store) CompactedBefore() core.Epoch {
 // snapshot-based rebuild replays, and the payloads they need live in the
 // snapshot's residue.
 func (s *Store) CompactBefore(ctx context.Context, e core.Epoch) error {
+	key, keyed := store.IdempotencyKeyFrom(ctx)
+	if !keyed {
+		s.snapMu.Lock()
+		defer s.snapMu.Unlock()
+		return s.compactBeforeLocked(e, "")
+	}
+	en, dup, err := s.beginIdem(key, opCompact)
+	if err != nil {
+		return err
+	}
+	if dup {
+		return nil
+	}
 	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
-	return s.compactBeforeLocked(ctx, e)
+	err = s.compactBeforeLocked(e, key)
+	s.snapMu.Unlock()
+	en.e = e
+	s.finishIdem(key, en, err)
+	return err
 }
 
-func (s *Store) compactBeforeLocked(_ context.Context, e core.Epoch) error {
+// compactBeforeLocked compacts under snapMu; a non-empty key rides the
+// compaction commit as a dedup record.
+func (s *Store) compactBeforeLocked(e core.Epoch, key store.IdempotencyKey) error {
 	s.snapState.mu.RLock()
 	snapE := s.snapState.epoch
 	compacted := s.snapState.compacted
@@ -583,7 +625,9 @@ func (s *Store) maybeMaintain(ctx context.Context) {
 	if int64(s.stableEpoch()-last) < s.snapEvery {
 		return
 	}
-	if _, err := s.snapshotLocked(ctx); err != nil {
+	// Maintenance runs unkeyed: a snapshot or compaction triggered inside a
+	// keyed publish must not consume the publish's idempotency key.
+	if _, err := s.snapshotLocked(ctx, ""); err != nil {
 		return
 	}
 	if s.compactKeep < 0 {
@@ -594,6 +638,6 @@ func (s *Store) maybeMaintain(ctx context.Context) {
 	compacted := s.snapState.compacted
 	s.snapState.mu.RUnlock()
 	if e > compacted {
-		_ = s.compactBeforeLocked(ctx, e)
+		_ = s.compactBeforeLocked(e, "")
 	}
 }

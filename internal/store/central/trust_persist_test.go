@@ -1,0 +1,130 @@
+package central
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/trust"
+)
+
+func trustPersistSchema(t *testing.T) *core.Schema {
+	t.Helper()
+	s, err := core.NewSchema(core.NewRelation("R", 1, "k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTrustSurvivesReopen: a textual policy registered before a restart
+// must be live after recovery — reconciliation proceeds without
+// re-registration, with candidate priorities intact.
+func TestTrustSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	schema := trustPersistSchema(t)
+	ctx := context.Background()
+
+	st, err := Open(schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := trust.Parse("priority 7 when origin = 'pb'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterPeer(ctx, "pa", pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec, err := st2.BeginReconciliation(ctx, "pa")
+	if err != nil {
+		t.Fatalf("reconciliation after reopen without re-registering: %v", err)
+	}
+	if rec == nil {
+		t.Fatal("nil reconciliation")
+	}
+}
+
+// TestPredicateTrustRefusedAfterReopen: in-process predicate policies
+// cannot persist; after recovery the peer is refused with a clear error —
+// not a crash — until it re-registers, and re-registering heals it.
+func TestPredicateTrustRefusedAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	schema := trustPersistSchema(t)
+	ctx := context.Background()
+
+	st, err := Open(schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterPeer(ctx, "pa", core.TrustAll(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.BeginReconciliation(ctx, "pa"); err == nil {
+		t.Fatal("reconciliation with unrecoverable trust should be refused")
+	} else if !strings.Contains(err.Error(), "re-register") {
+		t.Errorf("error should direct the operator to re-register: %v", err)
+	}
+	if err := st2.RegisterPeer(ctx, "pa", core.TrustAll(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.BeginReconciliation(ctx, "pa"); err != nil {
+		t.Fatalf("reconciliation after re-registering: %v", err)
+	}
+}
+
+// TestTextualReplacesThenPredicateDropsRow: re-registering with a
+// predicate policy must drop the persisted text, so a later recovery does
+// not resurrect the outdated textual policy.
+func TestTextualReplacesThenPredicateDropsRow(t *testing.T) {
+	dir := t.TempDir()
+	schema := trustPersistSchema(t)
+	ctx := context.Background()
+
+	st, err := Open(schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := trust.Parse("priority 3 when true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterPeer(ctx, "pa", pol); err != nil {
+		t.Fatal(err)
+	}
+	// Replace with a predicate policy: the durable text must go away.
+	if err := st.RegisterPeer(ctx, "pa", core.TrustAll(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.BeginReconciliation(ctx, "pa"); err == nil {
+		t.Fatal("stale textual policy resurrected after predicate re-registration")
+	}
+}

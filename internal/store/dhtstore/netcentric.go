@@ -42,7 +42,7 @@ type txnExtensionReply struct {
 // transaction. It gathers the closure breadth-first: for every antecedent
 // it queries that antecedent's controller with a plain txn.get, recursing
 // through the antecedents it reports.
-func (ns *nodeState) txnExtension(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) txnExtension(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args txnExtensionArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -66,7 +66,6 @@ func (ns *nodeState) txnExtension(req rpc.Request) ([]byte, error) {
 	pending := append([]core.TxnID(nil), tr.pub.Antecedents...)
 	ns.mu.Unlock()
 
-	ctx := context.Background()
 	seen := map[core.TxnID]bool{args.ID: true}
 	for len(pending) > 0 {
 		aid := pending[len(pending)-1]

@@ -116,7 +116,7 @@ func (ns *nodeState) mux() rpc.Handler {
 // informs the new epoch's controller that the peer is publishing, and
 // replies with the epoch (Fig. 6 messages 2-4). Were this node to fail, the
 // counter could be reconstructed by polling for the largest epoch present.
-func (ns *nodeState) allocNext(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) allocNext(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args allocNextArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -129,20 +129,20 @@ func (ns *nodeState) allocNext(req rpc.Request) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := ns.node.RouteString(context.Background(), epochKey(e), mEpochBegin, body); err != nil {
+	if _, err := ns.node.RouteString(ctx, epochKey(e), mEpochBegin, body); err != nil {
 		return nil, fmt.Errorf("dhtstore: inform epoch controller: %w", err)
 	}
 	return rpc.Encode(&allocNextReply{Epoch: e})
 }
 
-func (ns *nodeState) allocCurrent(rpc.Request) ([]byte, error) {
+func (ns *nodeState) allocCurrent(context.Context, rpc.Request) ([]byte, error) {
 	ns.mu.Lock()
 	e := ns.counter
 	ns.mu.Unlock()
 	return rpc.Encode(&allocCurrentReply{Epoch: e})
 }
 
-func (ns *nodeState) epochBegin(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) epochBegin(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args epochBeginArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -156,7 +156,7 @@ func (ns *nodeState) epochBegin(req rpc.Request) ([]byte, error) {
 	return rpc.Encode(&struct{}{})
 }
 
-func (ns *nodeState) epochSetTxns(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) epochSetTxns(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args epochSetTxnsArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -175,7 +175,7 @@ func (ns *nodeState) epochSetTxns(req rpc.Request) ([]byte, error) {
 	return rpc.Encode(&struct{}{})
 }
 
-func (ns *nodeState) epochGet(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) epochGet(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args epochGetArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -189,7 +189,7 @@ func (ns *nodeState) epochGet(req rpc.Request) ([]byte, error) {
 	return rpc.Encode(&epochGetReply{Known: true, Peer: er.peer, IDs: er.ids, Complete: er.complete})
 }
 
-func (ns *nodeState) txnPut(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) txnPut(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args txnPutArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -210,7 +210,7 @@ func (ns *nodeState) txnPut(req rpc.Request) ([]byte, error) {
 	return rpc.Encode(&struct{}{})
 }
 
-func (ns *nodeState) txnGet(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) txnGet(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args txnGetArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -233,7 +233,7 @@ func (ns *nodeState) txnGet(req rpc.Request) ([]byte, error) {
 	})
 }
 
-func (ns *nodeState) txnDecide(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) txnDecide(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args txnDecideArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -249,7 +249,7 @@ func (ns *nodeState) txnDecide(req rpc.Request) ([]byte, error) {
 }
 
 // txnDecideBatch applies a whole wave's decisions for one transaction.
-func (ns *nodeState) txnDecideBatch(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) txnDecideBatch(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args txnDecideBatchArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -266,7 +266,7 @@ func (ns *nodeState) txnDecideBatch(req rpc.Request) ([]byte, error) {
 	return rpc.Encode(&struct{}{})
 }
 
-func (ns *nodeState) peerRecon(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) peerRecon(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args peerReconArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -288,7 +288,7 @@ func (ns *nodeState) peerRecon(req rpc.Request) ([]byte, error) {
 	return rpc.Encode(&peerReconReply{Recno: cr.recno, FromEpoch: from})
 }
 
-func (ns *nodeState) peerMeta(req rpc.Request) ([]byte, error) {
+func (ns *nodeState) peerMeta(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args peerMetaArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err

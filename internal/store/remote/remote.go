@@ -3,11 +3,21 @@
 // orchestra-store server hosting the central store and one orchestra-peer
 // process per participant. Trust policies travel as text in the predicate
 // language of internal/trust.
+//
+// The client can retry transient failures (WithRetryPolicy): each
+// non-idempotent operation then carries a client-generated idempotency key
+// inside its request body, so a retried delivery dedupes server-side
+// instead of double-applying. The key travels in the encoded args — the
+// retry layer reuses the body verbatim across attempts, which is exactly
+// what keeps the key constant.
 package remote
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"sync/atomic"
 
 	"orchestra/internal/core"
 	"orchestra/internal/rpc"
@@ -26,6 +36,7 @@ const (
 	mReplay       = "store.replay"
 	mCanReplay    = "store.canreplay"
 	mCanSnapshot  = "store.cansnapshot"
+	mCanDedupe    = "store.candedupe"
 	mTakeSnapshot = "store.snapshot.take"
 	mSnapshot     = "store.snapshot"
 	mReplayFrom   = "store.replayfrom"
@@ -44,6 +55,8 @@ type publishArgs struct {
 	// wire as gob, whose per-encoder type descriptors made every publish
 	// re-ship the schema of the whole Transaction/Update tree.
 	Payload []byte
+	// Key, when non-empty, dedupes retried deliveries server-side.
+	Key store.IdempotencyKey
 }
 
 type publishReply struct {
@@ -52,6 +65,7 @@ type publishReply struct {
 
 type beginArgs struct {
 	Peer core.PeerID
+	Key  store.IdempotencyKey
 }
 
 type wireCandidate struct {
@@ -72,10 +86,12 @@ type decideArgs struct {
 	Recno    int
 	Accepted []core.TxnID
 	Rejected []core.TxnID
+	Key      store.IdempotencyKey
 }
 
 type decideBatchArgs struct {
 	Batches []store.DecisionBatch
+	Key     store.IdempotencyKey
 }
 
 type recnoArgs struct {
@@ -101,6 +117,10 @@ type replayReply struct {
 	Decisions map[core.TxnID]core.RestoredDecision
 }
 
+type takeSnapshotArgs struct {
+	Key store.IdempotencyKey
+}
+
 type takeSnapshotReply struct {
 	Epoch core.Epoch
 }
@@ -119,12 +139,23 @@ type replayFromArgs struct {
 
 type compactArgs struct {
 	Epoch core.Epoch
+	Key   store.IdempotencyKey
+}
+
+// withKey attaches a wire-carried idempotency key to the handler's context,
+// where the backend's dedup machinery picks it up.
+func withKey(ctx context.Context, key store.IdempotencyKey) context.Context {
+	if key == "" {
+		return ctx
+	}
+	return store.WithIdempotencyKey(ctx, key)
 }
 
 // Server adapts a store.Store to the RPC transport.
 type Server struct {
 	backend store.Store
 	schema  *core.Schema
+	mux     *rpc.Mux
 	srv     *rpc.Server
 }
 
@@ -142,13 +173,20 @@ func NewServer(backend store.Store, schema *core.Schema) *Server {
 	mux.Handle(mReplay, s.replay)
 	mux.Handle(mCanReplay, s.canReplay)
 	mux.Handle(mCanSnapshot, s.canSnapshot)
+	mux.Handle(mCanDedupe, s.canDedupe)
 	mux.Handle(mTakeSnapshot, s.takeSnapshot)
 	mux.Handle(mSnapshot, s.latestSnapshot)
 	mux.Handle(mReplayFrom, s.replayFrom)
 	mux.Handle(mCompact, s.compact)
+	s.mux = mux
 	s.srv = rpc.NewServer(mux)
 	return s
 }
+
+// Handler exposes the server's dispatch table as an rpc.Handler, so the
+// same store server can be mounted on any transport — a simnet node in
+// chaos tests, TCP in production — without going through Listen.
+func (s *Server) Handler() rpc.Handler { return s.mux }
 
 // Listen binds addr and serves in the background, returning the bound
 // address.
@@ -157,7 +195,7 @@ func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr)
 // Close stops the server.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) register(req rpc.Request) ([]byte, error) {
+func (s *Server) register(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args registerArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -167,13 +205,13 @@ func (s *Server) register(req rpc.Request) ([]byte, error) {
 		return nil, fmt.Errorf("remote: peer %s policy: %w", args.Peer, err)
 	}
 	policy.WithSchema(s.schema)
-	if err := s.backend.RegisterPeer(context.Background(), args.Peer, policy); err != nil {
+	if err := s.backend.RegisterPeer(ctx, args.Peer, policy); err != nil {
 		return nil, err
 	}
 	return rpc.Encode(&struct{}{})
 }
 
-func (s *Server) publish(req rpc.Request) ([]byte, error) {
+func (s *Server) publish(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args publishArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -182,19 +220,19 @@ func (s *Server) publish(req rpc.Request) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remote: publish payload from %s: %w", args.Peer, err)
 	}
-	epoch, err := s.backend.Publish(context.Background(), args.Peer, txns)
+	epoch, err := s.backend.Publish(withKey(ctx, args.Key), args.Peer, txns)
 	if err != nil {
 		return nil, err
 	}
 	return rpc.Encode(&publishReply{Epoch: epoch})
 }
 
-func (s *Server) begin(req rpc.Request) ([]byte, error) {
+func (s *Server) begin(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args beginArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
 	}
-	rec, err := s.backend.BeginReconciliation(context.Background(), args.Peer)
+	rec, err := s.backend.BeginReconciliation(withKey(ctx, args.Key), args.Peer)
 	if err != nil {
 		return nil, err
 	}
@@ -207,45 +245,45 @@ func (s *Server) begin(req rpc.Request) ([]byte, error) {
 	return rpc.Encode(&reply)
 }
 
-func (s *Server) decide(req rpc.Request) ([]byte, error) {
+func (s *Server) decide(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args decideArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
 	}
-	if err := s.backend.RecordDecisions(context.Background(), args.Peer, args.Recno, args.Accepted, args.Rejected); err != nil {
+	if err := s.backend.RecordDecisions(withKey(ctx, args.Key), args.Peer, args.Recno, args.Accepted, args.Rejected); err != nil {
 		return nil, err
 	}
 	return rpc.Encode(&struct{}{})
 }
 
-func (s *Server) decideBatch(req rpc.Request) ([]byte, error) {
+func (s *Server) decideBatch(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args decideBatchArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
 	}
-	if err := s.backend.RecordDecisionsBatch(context.Background(), args.Batches); err != nil {
+	if err := s.backend.RecordDecisionsBatch(withKey(ctx, args.Key), args.Batches); err != nil {
 		return nil, err
 	}
 	return rpc.Encode(&struct{}{})
 }
 
-func (s *Server) recno(req rpc.Request) ([]byte, error) {
+func (s *Server) recno(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args recnoArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
 	}
-	n, err := s.backend.CurrentRecno(context.Background(), args.Peer)
+	n, err := s.backend.CurrentRecno(ctx, args.Peer)
 	if err != nil {
 		return nil, err
 	}
 	return rpc.Encode(&recnoReply{Recno: n})
 }
 
-func (s *Server) canReplay(rpc.Request) ([]byte, error) {
-	return rpc.Encode(&canReplayReply{OK: store.CanReplay(context.Background(), s.backend)})
+func (s *Server) canReplay(ctx context.Context, _ rpc.Request) ([]byte, error) {
+	return rpc.Encode(&canReplayReply{OK: store.CanReplay(ctx, s.backend)})
 }
 
-func (s *Server) replay(req rpc.Request) ([]byte, error) {
+func (s *Server) replay(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args replayArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -254,7 +292,7 @@ func (s *Server) replay(req rpc.Request) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("remote: backend %T cannot replay peer state", s.backend)
 	}
-	log, decisions, err := rp.ReplayFor(context.Background(), args.Peer)
+	log, decisions, err := rp.ReplayFor(ctx, args.Peer)
 	if err != nil {
 		return nil, err
 	}
@@ -264,28 +302,36 @@ func (s *Server) replay(req rpc.Request) ([]byte, error) {
 	})
 }
 
-func (s *Server) canSnapshot(rpc.Request) ([]byte, error) {
-	return rpc.Encode(&canReplayReply{OK: store.CanSnapshot(context.Background(), s.backend)})
+func (s *Server) canSnapshot(ctx context.Context, _ rpc.Request) ([]byte, error) {
+	return rpc.Encode(&canReplayReply{OK: store.CanSnapshot(ctx, s.backend)})
 }
 
-func (s *Server) takeSnapshot(rpc.Request) ([]byte, error) {
+func (s *Server) canDedupe(ctx context.Context, _ rpc.Request) ([]byte, error) {
+	return rpc.Encode(&canReplayReply{OK: store.CanDedupe(ctx, s.backend)})
+}
+
+func (s *Server) takeSnapshot(ctx context.Context, req rpc.Request) ([]byte, error) {
+	var args takeSnapshotArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
 	sn, ok := s.backend.(store.Snapshotter)
 	if !ok {
 		return nil, fmt.Errorf("remote: backend %T cannot take snapshots", s.backend)
 	}
-	epoch, err := sn.Snapshot(context.Background())
+	epoch, err := sn.Snapshot(withKey(ctx, args.Key))
 	if err != nil {
 		return nil, err
 	}
 	return rpc.Encode(&takeSnapshotReply{Epoch: epoch})
 }
 
-func (s *Server) latestSnapshot(rpc.Request) ([]byte, error) {
+func (s *Server) latestSnapshot(ctx context.Context, _ rpc.Request) ([]byte, error) {
 	sr, ok := s.backend.(store.SnapshotReplayer)
 	if !ok {
 		return nil, fmt.Errorf("remote: backend %T retains no snapshots", s.backend)
 	}
-	snap, err := sr.LatestSnapshot(context.Background())
+	snap, err := sr.LatestSnapshot(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +342,7 @@ func (s *Server) latestSnapshot(rpc.Request) ([]byte, error) {
 	return rpc.Encode(&reply)
 }
 
-func (s *Server) replayFrom(req rpc.Request) ([]byte, error) {
+func (s *Server) replayFrom(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args replayFromArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -305,7 +351,7 @@ func (s *Server) replayFrom(req rpc.Request) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("remote: backend %T cannot replay a tail", s.backend)
 	}
-	log, decisions, err := sr.ReplayFrom(context.Background(), args.Peer, args.From, args.AfterSeq)
+	log, decisions, err := sr.ReplayFrom(ctx, args.Peer, args.From, args.AfterSeq)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +361,7 @@ func (s *Server) replayFrom(req rpc.Request) ([]byte, error) {
 	})
 }
 
-func (s *Server) compact(req rpc.Request) ([]byte, error) {
+func (s *Server) compact(ctx context.Context, req rpc.Request) ([]byte, error) {
 	var args compactArgs
 	if err := rpc.Decode(req.Body, &args); err != nil {
 		return nil, err
@@ -324,7 +370,7 @@ func (s *Server) compact(req rpc.Request) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("remote: backend %T cannot compact", s.backend)
 	}
-	if err := sn.CompactBefore(context.Background(), args.Epoch); err != nil {
+	if err := sn.CompactBefore(withKey(ctx, args.Key), args.Epoch); err != nil {
 		return nil, err
 	}
 	return rpc.Encode(&struct{}{})
@@ -336,21 +382,108 @@ func (s *Server) compact(req rpc.Request) ([]byte, error) {
 type Client struct {
 	caller rpc.Caller
 	addr   string
+
+	// retrying is set by WithRetryPolicy; only a retrying client generates
+	// idempotency keys (without retries this client never produces
+	// duplicate deliveries, so keys would only grow the server's dedup
+	// table for nothing).
+	retrying  bool
+	keyPrefix string
+	keyCtr    atomic.Int64
+	// dedupe caches the server capability probe: 0 unprobed, 1 dedupes,
+	// -1 does not.
+	dedupe atomic.Int32
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetryPolicy wraps the client's transport so every call retries
+// transient failures under the policy. A nil Classify defaults to
+// store.IsTransient. With retries on, the client attaches idempotency keys
+// to its non-idempotent operations (Publish, BeginReconciliation, the
+// decision writes, Snapshot, CompactBefore) whenever the server reports it
+// can dedupe, making the retries safe end to end.
+func WithRetryPolicy(p rpc.RetryPolicy) ClientOption {
+	return func(c *Client) {
+		if p.Classify == nil {
+			p.Classify = store.IsTransient
+		}
+		c.caller = rpc.WithRetry(c.caller, p)
+		c.retrying = true
+	}
 }
 
 // NewClient returns a client for the server at addr.
-func NewClient(from, addr string) *Client {
-	return &Client{caller: rpc.NewClient(from), addr: addr}
+func NewClient(from, addr string, opts ...ClientOption) *Client {
+	return NewClientOn(rpc.NewClient(from), addr, opts...)
 }
 
 // NewClientOn returns a client using an existing transport (e.g. a simnet
 // node in tests).
-func NewClientOn(caller rpc.Caller, addr string) *Client {
-	return &Client{caller: caller, addr: addr}
+func NewClientOn(caller rpc.Caller, addr string, opts ...ClientOption) *Client {
+	c := &Client{caller: caller, addr: addr, keyPrefix: randomKeyPrefix()}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
+// randomKeyPrefix draws a fresh random namespace for this client's
+// idempotency keys, so distinct clients (and client restarts) never collide.
+func randomKeyPrefix() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("remote: idempotency key entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// serverDedupes probes (once) whether the server's backend dedupes keyed
+// calls. Transient probe failures are not cached, so the next operation
+// re-probes.
+func (c *Client) serverDedupes(ctx context.Context) bool {
+	if v := c.dedupe.Load(); v != 0 {
+		return v > 0
+	}
+	var reply canReplayReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mCanDedupe, &struct{}{}, &reply); err != nil {
+		if !store.IsTransient(err) {
+			// A server without the capability RPC (or one that refuses it)
+			// will keep refusing; cache the no.
+			c.dedupe.Store(-1)
+		}
+		return false
+	}
+	if reply.OK {
+		c.dedupe.Store(1)
+	} else {
+		c.dedupe.Store(-1)
+	}
+	return reply.OK
+}
+
+// key picks the idempotency key an operation travels with: a key the caller
+// placed in ctx wins; otherwise a retrying client mints one per call (the
+// key sits in the encoded request body, which the retry layer reuses
+// verbatim, so all attempts of one call share it).
+func (c *Client) key(ctx context.Context, op string) store.IdempotencyKey {
+	if k, ok := store.IdempotencyKeyFrom(ctx); ok {
+		return k
+	}
+	if !c.retrying || !c.serverDedupes(ctx) {
+		return ""
+	}
+	return store.IdempotencyKey(fmt.Sprintf("%s/%s/%d", c.keyPrefix, op, c.keyCtr.Add(1)))
+}
+
+// CanDedupe implements store.IdempotencyProber by forwarding the question
+// to the server's backend.
+func (c *Client) CanDedupe(ctx context.Context) bool { return c.serverDedupes(ctx) }
+
 // RegisterPeer implements store.Store. The trust policy must be a
-// *trust.Policy.
+// *trust.Policy. Registration is naturally idempotent (an upsert), so it
+// travels unkeyed.
 func (c *Client) RegisterPeer(ctx context.Context, peer core.PeerID, t core.Trust) error {
 	policy, ok := t.(*trust.Policy)
 	if !ok {
@@ -364,17 +497,21 @@ func (c *Client) RegisterPeer(ctx context.Context, peer core.PeerID, t core.Trus
 // codec, not gob.
 func (c *Client) Publish(ctx context.Context, peer core.PeerID, txns []store.PublishedTxn) (core.Epoch, error) {
 	var reply publishReply
-	args := publishArgs{Peer: peer, Payload: store.AppendPublishedTxns(nil, txns)}
+	args := publishArgs{Peer: peer, Payload: store.AppendPublishedTxns(nil, txns), Key: c.key(ctx, "publish")}
 	if err := rpc.Invoke(ctx, c.caller, c.addr, mPublish, &args, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Epoch, nil
 }
 
-// BeginReconciliation implements store.Store.
+// BeginReconciliation implements store.Store. Keyed like the writes: the
+// store advances the peer's frontier past the window it hands out, so a
+// retried begin must replay the first delivery's window rather than be
+// given a new (empty) one.
 func (c *Client) BeginReconciliation(ctx context.Context, peer core.PeerID) (*store.Reconciliation, error) {
 	var reply beginReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mBegin, &beginArgs{Peer: peer}, &reply); err != nil {
+	args := beginArgs{Peer: peer, Key: c.key(ctx, "begin")}
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mBegin, &args, &reply); err != nil {
 		return nil, err
 	}
 	rec := &store.Reconciliation{Recno: reply.Recno, FromEpoch: reply.FromEpoch, ToEpoch: reply.ToEpoch}
@@ -388,14 +525,15 @@ func (c *Client) BeginReconciliation(ctx context.Context, peer core.PeerID) (*st
 
 // RecordDecisions implements store.Store.
 func (c *Client) RecordDecisions(ctx context.Context, peer core.PeerID, recno int, accepted, rejected []core.TxnID) error {
-	return rpc.Invoke(ctx, c.caller, c.addr, mDecide,
-		&decideArgs{Peer: peer, Recno: recno, Accepted: accepted, Rejected: rejected}, nil)
+	args := decideArgs{Peer: peer, Recno: recno, Accepted: accepted, Rejected: rejected, Key: c.key(ctx, "decide")}
+	return rpc.Invoke(ctx, c.caller, c.addr, mDecide, &args, nil)
 }
 
 // RecordDecisionsBatch implements store.Store: the whole wave's decisions
 // travel in one network round trip.
 func (c *Client) RecordDecisionsBatch(ctx context.Context, batches []store.DecisionBatch) error {
-	return rpc.Invoke(ctx, c.caller, c.addr, mDecideBatch, &decideBatchArgs{Batches: batches}, nil)
+	args := decideBatchArgs{Batches: batches, Key: c.key(ctx, "decide.batch")}
+	return rpc.Invoke(ctx, c.caller, c.addr, mDecideBatch, &args, nil)
 }
 
 // CurrentRecno implements store.Store.
@@ -450,7 +588,8 @@ func (c *Client) CanSnapshot(ctx context.Context) bool {
 // takes and retains the snapshot; only the covered epoch returns.
 func (c *Client) Snapshot(ctx context.Context) (core.Epoch, error) {
 	var reply takeSnapshotReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mTakeSnapshot, &struct{}{}, &reply); err != nil {
+	args := takeSnapshotArgs{Key: c.key(ctx, "snapshot")}
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mTakeSnapshot, &args, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Epoch, nil
@@ -459,7 +598,8 @@ func (c *Client) Snapshot(ctx context.Context) (core.Epoch, error) {
 // CompactBefore implements store.Snapshotter by proxy; the backend enforces
 // the compaction safety invariants and its refusals travel back as errors.
 func (c *Client) CompactBefore(ctx context.Context, e core.Epoch) error {
-	return rpc.Invoke(ctx, c.caller, c.addr, mCompact, &compactArgs{Epoch: e}, nil)
+	args := compactArgs{Epoch: e, Key: c.key(ctx, "compact")}
+	return rpc.Invoke(ctx, c.caller, c.addr, mCompact, &args, nil)
 }
 
 // LatestSnapshot implements store.SnapshotReplayer: the retained snapshot

@@ -130,6 +130,99 @@ func RunConformance(t *testing.T, factory Factory) {
 	t.Run("BatchedDecisions", func(t *testing.T) { testBatchedDecisions(t, factory) })
 	t.Run("ReplayRebuild", func(t *testing.T) { testReplayRebuild(t, factory) })
 	t.Run("SnapshotRebuild", func(t *testing.T) { testSnapshotRebuild(t, factory) })
+	t.Run("IdempotentRetry", func(t *testing.T) { testIdempotentRetry(t, factory) })
+}
+
+// testIdempotentRetry: on stores that dedupe keyed operations
+// (store.CanDedupe — the DHT store skips by design), delivering the same
+// keyed Publish, BeginReconciliation, or RecordDecisionsBatch twice — what
+// a retry after a lost reply does — must behave exactly like one delivery:
+// one epoch allocated, the same reconciliation window replayed, decisions
+// recorded once.
+func testIdempotentRetry(t *testing.T, factory Factory) {
+	s := Schema(t)
+	clientFor, cleanup := factory(t, s)
+	defer cleanup()
+	ctx := context.Background()
+	st := clientFor("pa")
+	if !store.CanDedupe(ctx, st) {
+		t.Skipf("%T cannot dedupe keyed operations", st)
+	}
+	pa, err := store.NewPeer(ctx, "pa", s, TrustAll(1), clientFor("pa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.NewPeer(ctx, "pb", s, TrustAll(1), clientFor("pb")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A retried publish: both deliveries of the keyed call return the same
+	// epoch, and the store holds the batch once.
+	x := mustEdit(t, pa, core.Insert("F", core.Strs("rat", "p1", "v"), "pa"))
+	batch := []store.PublishedTxn{{Txn: x, Antecedents: pa.Engine().LocalAntecedents(x.ID)}}
+	kctx := store.WithIdempotencyKey(ctx, "conformance/publish/1")
+	e1, err := st.Publish(kctx, "pa", batch)
+	if err != nil {
+		t.Fatalf("keyed publish: %v", err)
+	}
+	e2, err := st.Publish(kctx, "pa", batch)
+	if err != nil {
+		t.Fatalf("retried publish: %v", err)
+	}
+	if e1 != e2 {
+		t.Errorf("retried publish allocated a new epoch: %d then %d", e1, e2)
+	}
+
+	// A retried begin replays the first delivery's window and candidates
+	// instead of handing out a fresh (empty) one.
+	pbStore := clientFor("pb")
+	bctx := store.WithIdempotencyKey(ctx, "conformance/begin/1")
+	r1, err := pbStore.BeginReconciliation(bctx, "pb")
+	if err != nil {
+		t.Fatalf("keyed begin: %v", err)
+	}
+	r2, err := pbStore.BeginReconciliation(bctx, "pb")
+	if err != nil {
+		t.Fatalf("retried begin: %v", err)
+	}
+	if r1.Recno != r2.Recno || r1.FromEpoch != r2.FromEpoch || r1.ToEpoch != r2.ToEpoch {
+		t.Errorf("retried begin window differs: %+v vs %+v", r1, r2)
+	}
+	ids := func(r *store.Reconciliation) []core.TxnID {
+		out := make([]core.TxnID, 0, len(r.Candidates))
+		for _, c := range r.Candidates {
+			out = append(out, c.Txn.ID)
+		}
+		return out
+	}
+	wantIDSet(t, "keyed begin candidates", ids(r1), x.ID)
+	wantIDSet(t, "retried begin candidates", ids(r2), ids(r1)...)
+
+	// A retried decision batch records once; the decision sticks and the
+	// transaction is never redelivered.
+	dctx := store.WithIdempotencyKey(ctx, "conformance/decide/1")
+	batches := []store.DecisionBatch{{Peer: "pb", Recno: r1.Recno, Accepted: []core.TxnID{x.ID}}}
+	if err := pbStore.RecordDecisionsBatch(dctx, batches); err != nil {
+		t.Fatalf("keyed decide: %v", err)
+	}
+	if err := pbStore.RecordDecisionsBatch(dctx, batches); err != nil {
+		t.Fatalf("retried decide: %v", err)
+	}
+	if n, err := pbStore.CurrentRecno(ctx, "pb"); err != nil || n != r1.Recno {
+		t.Errorf("pb recno = %d, %v (want %d)", n, err, r1.Recno)
+	}
+	r3, err := pbStore.BeginReconciliation(ctx, "pb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3.Candidates) != 0 {
+		t.Errorf("decided txn redelivered: %+v", ids(r3))
+	}
+
+	// Reusing a key across operations is a protocol error, not a dedup hit.
+	if _, err := st.Publish(store.WithIdempotencyKey(ctx, "conformance/begin/1"), "pa", nil); err == nil {
+		t.Error("cross-operation key reuse succeeded")
+	}
 }
 
 // sameRebuiltState asserts two peers hold bit-identical rebuilt state over

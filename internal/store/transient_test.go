@@ -1,0 +1,83 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"orchestra/internal/simnet"
+)
+
+func TestIsTransientClassification(t *testing.T) {
+	transient := []error{
+		simnet.ErrUnreachable,
+		simnet.ErrTimeout,
+		fmt.Errorf("wrapped: %w", simnet.ErrUnreachable),
+		fmt.Errorf("request a -> b m: %w", simnet.ErrTimeout),
+		context.DeadlineExceeded,
+		os.ErrDeadlineExceeded,
+		syscall.ECONNREFUSED,
+		syscall.ECONNRESET,
+		syscall.ECONNABORTED,
+		syscall.EPIPE,
+		fmt.Errorf("dial: %w", syscall.ECONNREFUSED),
+		&net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED},
+		&net.OpError{Op: "read", Net: "tcp", Err: os.ErrDeadlineExceeded},
+	}
+	for _, err := range transient {
+		if !IsTransient(err) {
+			t.Errorf("IsTransient(%v) = false, want true", err)
+		}
+	}
+
+	permanent := []error{
+		nil,
+		errors.New("central: unknown peer px"),
+		fmt.Errorf("remote: peer pa policy: parse error"),
+		context.Canceled, // a deliberate abort must not be retried
+	}
+	for _, err := range permanent {
+		if IsTransient(err) {
+			t.Errorf("IsTransient(%v) = true, want false", err)
+		}
+	}
+}
+
+// timeoutNetError exercises the generic net.Error timeout branch.
+type timeoutNetError struct{}
+
+func (timeoutNetError) Error() string   { return "synthetic i/o timeout" }
+func (timeoutNetError) Timeout() bool   { return true }
+func (timeoutNetError) Temporary() bool { return false }
+
+func TestIsTransientNetError(t *testing.T) {
+	if !IsTransient(timeoutNetError{}) {
+		t.Error("net.Error with Timeout() = true should be transient")
+	}
+	if !IsTransient(fmt.Errorf("call: %w", timeoutNetError{})) {
+		t.Error("wrapped net.Error timeout should be transient")
+	}
+}
+
+// TestIsTransientRealDial pins the classifier to a real failed TCP dial:
+// connection refused on a port nothing listens on.
+func TestIsTransientRealDial(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // now nothing listens there
+	_, err = net.DialTimeout("tcp", addr, time.Second)
+	if err == nil {
+		t.Skip("dial unexpectedly succeeded; port reused")
+	}
+	if !IsTransient(err) {
+		t.Errorf("IsTransient(%v) = false for a refused dial", err)
+	}
+}

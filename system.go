@@ -30,6 +30,7 @@ type System struct {
 	fanout      int
 	interleaved bool
 	unbatched   bool
+	storeFor    func(core.PeerID) (store.Store, error)
 	pstats      metrics.Pipeline
 }
 
@@ -43,6 +44,7 @@ type systemConfig struct {
 	fanout      int
 	interleaved bool
 	unbatched   bool
+	storeFor    func(core.PeerID) (store.Store, error)
 }
 
 // WithStoreDir makes the central store durable in the given directory.
@@ -87,6 +89,15 @@ func WithUnbatchedDecisions() SystemOption {
 	return func(c *systemConfig) { c.unbatched = true }
 }
 
+// WithPeerStores routes every peer's store traffic through its own client
+// from the factory instead of a store the system owns — e.g. a remote
+// client over TCP or a fault-injecting simnet, each with its own retry
+// policy. The system then opens no store of its own (CentralStore returns
+// nil) and the factory's target outlives Close.
+func WithPeerStores(factory func(core.PeerID) (store.Store, error)) SystemOption {
+	return func(c *systemConfig) { c.storeFor = factory }
+}
+
 // NewSystem builds a system over the schema. By default it uses an
 // in-memory central store.
 func NewSystem(schema *Schema, opts ...SystemOption) (*System, error) {
@@ -100,6 +111,10 @@ func NewSystem(schema *Schema, opts ...SystemOption) (*System, error) {
 		fanout:      cfg.fanout,
 		interleaved: cfg.interleaved,
 		unbatched:   cfg.unbatched,
+		storeFor:    cfg.storeFor,
+	}
+	if cfg.storeFor != nil {
+		return sys, nil
 	}
 	if cfg.distributed {
 		lat := cfg.latency
@@ -128,13 +143,20 @@ func (s *System) AddPeer(id PeerID, t Trust) (*Peer, error) {
 		return nil, fmt.Errorf("orchestra: peer %s already exists", id)
 	}
 	var st store.Store
-	if s.cluster != nil {
+	switch {
+	case s.storeFor != nil:
+		cl, err := s.storeFor(id)
+		if err != nil {
+			return nil, err
+		}
+		st = cl
+	case s.cluster != nil:
 		cl, err := s.cluster.AddNode("node-" + string(id))
 		if err != nil {
 			return nil, err
 		}
 		st = cl
-	} else {
+	default:
 		st = s.cs
 	}
 	p, err := store.NewPeer(context.Background(), id, s.schema, t, st)
@@ -170,6 +192,22 @@ func (s *System) Instances() []*Instance {
 	return out
 }
 
+// PeerError reports one peer's failure within a ReconcileAll round. The
+// joined error ReconcileAll returns is made of these, so callers can pick
+// out which peers missed the round (errors.As / a type switch over
+// errors.Join's tree) and know the rest of the confederation proceeded.
+type PeerError struct {
+	Peer PeerID
+	Op   string // "publish", "reconcile", or "record"
+	Err  error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("orchestra: %s %s: %v", e.Op, e.Peer, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
 // ReconcileAll runs one publish/reconcile round for every peer and returns
 // each peer's result.
 //
@@ -191,9 +229,13 @@ func (s *System) Instances() []*Instance {
 // historical interleaved registration-order pass (publish+reconcile per
 // peer, earlier peers invisible to none) via WithInterleavedReconcile.
 //
-// On error the map still carries the results of the peers that succeeded,
-// and the returned error joins every per-peer failure (the interleaved pass
-// keeps its historical stop-at-first-error behavior).
+// The round degrades gracefully under store failures: a peer whose publish
+// or reconcile fails is reported in the returned error as a *PeerError and
+// sits the rest of the round out — its pending work is untouched, so it
+// simply catches up on a later round — while every other peer completes
+// normally. The map carries the results of the peers that succeeded; the
+// returned error joins every per-peer failure. (The interleaved pass keeps
+// its historical stop-at-first-error behavior.)
 func (s *System) ReconcileAll(ctx context.Context) (map[PeerID]*Result, error) {
 	fan := s.fanout
 	if fan <= 0 {
@@ -215,27 +257,28 @@ func (s *System) ReconcileAll(ctx context.Context) (map[PeerID]*Result, error) {
 	}
 
 	// Publish barrier: everyone's pending transactions reach the store
-	// before anyone reconciles.
-	pubErrs := make([]error, len(s.order))
+	// before anyone reconciles. A failed publisher does not sink the round:
+	// its error is recorded and it skips the reconcile pass (publishing and
+	// reconciling later), while the rest of the confederation proceeds.
+	recErrs := make([]error, len(s.order))
 	s.forEachPeer(fan, func(i int) {
 		if _, err := s.peers[s.order[i]].Publish(ctx); err != nil {
-			pubErrs[i] = fmt.Errorf("orchestra: publish %s: %w", s.order[i], err)
+			recErrs[i] = &PeerError{Peer: s.order[i], Op: "publish", Err: err}
 		}
 	})
-	if err := errors.Join(pubErrs...); err != nil {
-		return out, err
-	}
 
-	// Reconcile fan-out.
+	// Reconcile fan-out (skipping peers already failed in the barrier).
 	results := make([]*Result, len(s.order))
-	recErrs := make([]error, len(s.order))
 	if s.unbatched {
 		s.forEachPeer(fan, func(i int) {
+			if recErrs[i] != nil {
+				return
+			}
 			done := s.pstats.WorkerStart()
 			defer done()
 			res, err := s.peers[s.order[i]].Reconcile(ctx)
 			if err != nil {
-				recErrs[i] = fmt.Errorf("orchestra: reconcile %s: %w", s.order[i], err)
+				recErrs[i] = &PeerError{Peer: s.order[i], Op: "reconcile", Err: err}
 				return
 			}
 			s.pstats.Observe(res)
@@ -265,6 +308,9 @@ func (s *System) reconcileWaves(ctx context.Context, fan int, results []*Result,
 		}
 		var wg sync.WaitGroup
 		for i := lo; i < hi; i++ {
+			if recErrs[i] != nil {
+				continue // failed its publish; sits the round out
+			}
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -272,7 +318,7 @@ func (s *System) reconcileWaves(ctx context.Context, fan int, results []*Result,
 				defer done()
 				res, batch, err := s.peers[s.order[i]].ReconcileBuffered(ctx)
 				if err != nil {
-					recErrs[i] = fmt.Errorf("orchestra: reconcile %s: %w", s.order[i], err)
+					recErrs[i] = &PeerError{Peer: s.order[i], Op: "reconcile", Err: err}
 					return
 				}
 				results[i] = res
@@ -293,12 +339,12 @@ func (s *System) reconcileWaves(ctx context.Context, fan int, results []*Result,
 			decisions += len(batches[i].Accepted) + len(batches[i].Rejected)
 		}
 		if len(flush) > 0 {
-			if err := s.peers[s.order[lo]].Store().RecordDecisionsBatch(ctx, flush); err != nil {
+			if err := s.peers[flush[0].Peer].Store().RecordDecisionsBatch(ctx, flush); err != nil {
 				// Only the peers whose decisions were in the failed flush
 				// lose their results; empty-outcome peers completed fine.
 				for i := lo; i < hi; i++ {
 					if results[i] != nil && recErrs[i] == nil && !batches[i].Empty() {
-						recErrs[i] = fmt.Errorf("orchestra: record decisions %s: %w", s.order[i], err)
+						recErrs[i] = &PeerError{Peer: s.order[i], Op: "record", Err: err}
 						results[i] = nil
 					}
 				}
