@@ -2,6 +2,8 @@ package rpc
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -29,7 +31,8 @@ type RetryPolicy struct {
 	MaxDelay   time.Duration
 	Multiplier float64
 	// Jitter randomizes each backoff down by up to this fraction (default
-	// 0.2), de-synchronizing clients that fail together.
+	// 0.2), de-synchronizing clients that fail together. Negative disables
+	// jitter entirely, for tests that pin exact backoff schedules.
 	Jitter float64
 	// CallTimeout bounds each attempt with its own deadline (0 = only the
 	// caller's context bounds the attempt). The caller's context still
@@ -41,8 +44,10 @@ type RetryPolicy struct {
 	Classify func(error) bool
 	// Counters, when set, receives attempt/retry/backoff observations.
 	Counters *metrics.RetryCounters
-	// Seed fixes the jitter randomness (0 seeds from the policy's identity
-	// deterministically); tests use it to pin backoff schedules.
+	// Seed fixes the jitter randomness; tests use it to pin backoff
+	// schedules. 0 (the default) draws a fresh random seed per retrier, so
+	// clients that fail together jitter apart instead of backing off in
+	// lockstep.
 	Seed int64
 }
 
@@ -60,7 +65,7 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.Multiplier < 1 {
 		p.Multiplier = 2
 	}
-	if p.Jitter < 0 || p.Jitter > 1 {
+	if p.Jitter == 0 || p.Jitter > 1 {
 		p.Jitter = 0.2
 	}
 	return p
@@ -80,7 +85,24 @@ type retrier struct {
 // verbatim across attempts, so an idempotency key encoded in it stays
 // constant — exactly what server-side dedup needs.
 func WithRetry(c Caller, p RetryPolicy) Caller {
-	return &retrier{next: c, p: p.withDefaults(), rng: rand.New(rand.NewSource(p.Seed))}
+	p = p.withDefaults()
+	seed := p.Seed
+	if seed == 0 {
+		seed = randomSeed()
+	}
+	return &retrier{next: c, p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// randomSeed draws a per-retrier jitter seed, so retriers built with the
+// default policy never share a backoff schedule.
+func randomSeed() int64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not worth failing a retry policy over; the
+		// clock still de-synchronizes retriers created at different times.
+		return time.Now().UnixNano()
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
 }
 
 func (r *retrier) Call(ctx context.Context, to, method string, body []byte) ([]byte, error) {

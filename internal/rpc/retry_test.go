@@ -157,14 +157,15 @@ func TestRetryHonorsCallerContext(t *testing.T) {
 }
 
 func TestRetryBackoffGrowsAndCaps(t *testing.T) {
-	// With Jitter 0 the schedule is exact: 1ms, 2ms, 4ms, then capped 5ms.
+	// With jitter disabled the schedule is exact: 1ms, 2ms, 4ms, then
+	// capped 5ms.
 	var rc metrics.RetryCounters
 	p := RetryPolicy{
 		MaxAttempts: 5,
 		BaseDelay:   time.Millisecond,
 		MaxDelay:    5 * time.Millisecond,
 		Multiplier:  2,
-		Jitter:      0,
+		Jitter:      -1, // zero would mean "default 0.2"
 		Classify:    transientOnly,
 		Counters:    &rc,
 	}
@@ -212,5 +213,35 @@ func TestRetryPerAttemptTimeout(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Errorf("per-attempt timeout did not bound the call: %v", elapsed)
+	}
+}
+
+// TestDefaultSeedDesynchronizesRetriers: two retriers built with the
+// default (zero) Seed must not share a jitter sequence — clients that fail
+// together would otherwise back off in lockstep and collide again on every
+// retry wave.
+func TestDefaultSeedDesynchronizesRetriers(t *testing.T) {
+	a := WithRetry(nil, RetryPolicy{}).(*retrier)
+	b := WithRetry(nil, RetryPolicy{}).(*retrier)
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.jittered(time.Second) != b.jittered(time.Second) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two default-policy retriers produced identical jitter sequences")
+	}
+}
+
+// TestExplicitSeedPinsJitter: a nonzero Seed stays deterministic, so tests
+// that pin backoff schedules keep working.
+func TestExplicitSeedPinsJitter(t *testing.T) {
+	a := WithRetry(nil, RetryPolicy{Seed: 42}).(*retrier)
+	b := WithRetry(nil, RetryPolicy{Seed: 42}).(*retrier)
+	for i := 0; i < 16; i++ {
+		if da, db := a.jittered(time.Second), b.jittered(time.Second); da != db {
+			t.Fatalf("draw %d: identical seeds diverged (%v vs %v)", i, da, db)
+		}
 	}
 }

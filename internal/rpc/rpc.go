@@ -24,7 +24,9 @@ type Request struct {
 // Handler processes requests at an endpoint. The context carries the
 // caller's deadline and cancellation across the transport: the simulated
 // fabric passes the caller's context through directly, and the TCP
-// transport reconstructs the deadline from the wire (wireRequest.Deadline).
+// transport ships the remaining budget and reapplies it server-side
+// (wireRequest.TimeoutNanos), so client/server clock skew never shifts a
+// handler's deadline.
 type Handler interface {
 	ServeRPC(ctx context.Context, req Request) ([]byte, error)
 }

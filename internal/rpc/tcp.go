@@ -20,10 +20,14 @@ type wireRequest struct {
 	From   string
 	Method string
 	Body   []byte
-	// Deadline is the caller's context deadline in Unix nanoseconds (0 =
-	// none); the server reconstructs a request context from it so handlers
-	// see the same deadline the client enforces on the connection.
-	Deadline int64
+	// TimeoutNanos is the budget remaining on the caller's context deadline
+	// when the request was sent (0 = none); the server applies it as a
+	// relative timeout so handlers see (approximately) the deadline the
+	// client enforces on the connection. A duration travels instead of the
+	// absolute deadline because client and server clocks may disagree — an
+	// absolute wall-clock deadline would shift by the skew and a server
+	// clock running ahead would expire every handler context on arrival.
+	TimeoutNanos int64
 }
 
 type wireResponse struct {
@@ -103,8 +107,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		var resp wireResponse
 		ctx := context.Background()
 		cancel := context.CancelFunc(func() {})
-		if req.Deadline != 0 {
-			ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
+		if req.TimeoutNanos != 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNanos))
 		}
 		body, herr := s.handler.ServeRPC(ctx, Request{From: req.From, Method: req.Method, Body: req.Body})
 		cancel()
@@ -177,7 +181,9 @@ func (cl *Client) Call(ctx context.Context, to, method string, body []byte) ([]b
 	}
 	req := wireRequest{From: cl.From, Method: method, Body: body}
 	if dl, ok := ctx.Deadline(); ok {
-		req.Deadline = dl.UnixNano()
+		// An already-expired deadline still travels (as a minimal budget):
+		// the handler should see a done context rather than run unbounded.
+		req.TimeoutNanos = max(int64(time.Until(dl)), 1)
 	}
 	resp, err := cc.roundTrip(ctx, req)
 	if err != nil {

@@ -1,7 +1,10 @@
 package rpc
 
 import (
+	"bufio"
 	"context"
+	"errors"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -155,4 +158,90 @@ func TestEncodeDecodeErrors(t *testing.T) {
 		}
 	}()
 	MustEncode(make(chan int))
+}
+
+// TestTCPServerAppliesTimeoutAsRelativeBudget: the wire carries a remaining
+// *duration*, and the server must apply it relative to its own clock. The
+// request frame here is hand-rolled with no client clock involved at all —
+// a server that still reconstructed an absolute deadline from the field
+// would hand the handler a context expired half a century ago.
+func TestTCPServerAppliesTimeoutAsRelativeBudget(t *testing.T) {
+	const budget = 300 * time.Millisecond
+	remaining := make(chan time.Duration, 1)
+	srv := NewServer(HandlerFunc(func(ctx context.Context, _ Request) ([]byte, error) {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			remaining <- -1
+			return nil, nil
+		}
+		remaining <- time.Until(dl)
+		return nil, nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame, err := Encode(&wireRequest{From: "raw", Method: "m", TimeoutNanos: int64(budget)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(bufio.NewReader(conn)); err != nil {
+		t.Fatal(err)
+	}
+	rem := <-remaining
+	if rem <= 0 || rem > budget {
+		t.Errorf("handler saw %v of a %v budget; the timeout was not applied relative to the server clock", rem, budget)
+	}
+}
+
+// TestTCPClientSendsRemainingBudget: the client must put the *remaining*
+// time to its context deadline on the wire, not the absolute wall-clock
+// instant — with an hour-long deadline, an absolute UnixNano mistaken for a
+// duration would give the handler a deadline decades out.
+func TestTCPClientSendsRemainingBudget(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(ctx context.Context, _ Request) ([]byte, error) {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			return nil, errors.New("no deadline on handler context")
+		}
+		return []byte(time.Until(dl).String()), nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient("me")
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	resp, err := cl.Call(ctx, addr, "budget", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem, err := time.ParseDuration(string(resp))
+	if err != nil {
+		t.Fatalf("handler reply %q: %v", resp, err)
+	}
+	if rem <= 0 || rem > time.Hour {
+		t.Errorf("handler saw a %v budget from an hour-long client deadline", rem)
+	}
+	if rem < 55*time.Minute {
+		t.Errorf("handler budget %v lost too much of the client's hour in transit", rem)
+	}
 }

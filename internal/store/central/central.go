@@ -1275,6 +1275,53 @@ func (s *Store) candidatesLocked(pm *peerMeta, peer core.PeerID, from, to core.E
 	return out
 }
 
+// replayCandidatesLocked recomputes a memoized reconciliation window's
+// candidates for the dedup replay path. It applies the same filters as
+// candidatesLocked but collects the window's transactions from the index
+// instead of the epoch metas: a live begin always sees its window's epochs
+// (compaction cannot pass the peer's own pre-begin frontier), but a
+// duplicate can be delivered after those epochs were compacted to void —
+// the index, which retains every snapshot-residue entry, is what still
+// holds the window's undecided transactions then. Within uncompacted
+// windows the two walks agree exactly: the index holds precisely the
+// epochs' entries, and sorting by global order reproduces the epoch-order
+// walk. The caller holds the peer's lock.
+func (s *Store) replayCandidatesLocked(pm *peerMeta, peer core.PeerID, from, to core.Epoch) []*core.Candidate {
+	var window []*entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, en := range sh.m {
+			if en.epoch > from && en.epoch <= to {
+				window = append(window, en)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i].pub.Txn.Order < window[j].pub.Txn.Order })
+	var out []*core.Candidate
+	for _, en := range window {
+		id := en.pub.Txn.ID
+		if id.Origin == peer {
+			continue
+		}
+		if _, decided := pm.decided[id]; decided {
+			continue
+		}
+		x := en.pub.Txn
+		prio := core.TxnPriority(pm.trust, x)
+		if prio <= 0 {
+			continue
+		}
+		out = append(out, &core.Candidate{
+			Txn:      x,
+			Priority: prio,
+			Ext:      s.extension(id, pm),
+		})
+	}
+	return out
+}
+
 // extension computes the transaction extension of root for the peer: the
 // antecedent closure excluding transactions the peer has accepted, sorted
 // by global order. The caller holds the peer's lock.
@@ -1320,7 +1367,7 @@ func (s *Store) RecordDecisions(ctx context.Context, peer core.PeerID, recno int
 func (s *Store) RecordDecisionsBatch(ctx context.Context, batches []store.DecisionBatch) error {
 	key, keyed := store.IdempotencyKeyFrom(ctx)
 	if !keyed {
-		return s.recordDecisionsBatch(batches, "")
+		return s.recordDecisionsBatch(batches, "", 0)
 	}
 	en, dup, err := s.beginIdem(key, opDecide)
 	if err != nil {
@@ -1329,12 +1376,19 @@ func (s *Store) RecordDecisionsBatch(ctx context.Context, batches []store.Decisi
 	if dup {
 		return nil
 	}
-	err = s.recordDecisionsBatch(batches, key)
+	// The record's retention watermark: the current stable epoch is at or
+	// above every batch peer's reconciliation frontier, and the compaction
+	// horizon never passes a frontier — so the record survives at least
+	// until each of those peers advances its frontier again, which a peer
+	// still retrying this very call cannot do (see idempotency.go).
+	wm := s.stableEpoch()
+	err = s.recordDecisionsBatch(batches, key, wm)
+	en.e = wm
 	s.finishIdem(key, en, err)
 	return err
 }
 
-func (s *Store) recordDecisionsBatch(batches []store.DecisionBatch, key store.IdempotencyKey) error {
+func (s *Store) recordDecisionsBatch(batches []store.DecisionBatch, key store.IdempotencyKey, wm core.Epoch) error {
 	if len(batches) == 0 {
 		return nil
 	}
@@ -1420,7 +1474,7 @@ func (s *Store) recordDecisionsBatch(batches []store.DecisionBatch, key store.Id
 				}
 			}
 			if key != "" {
-				return tx.Insert("idempotency", idemRow(key, opDecide, 0, 0, 0))
+				return tx.Insert("idempotency", idemRow(key, opDecide, int64(wm), 0, 0))
 			}
 			return nil
 		})

@@ -27,6 +27,22 @@ import (
 // The dedup record memoizes (recno, from, to); candidates are recomputed
 // from the window on replay, which is sound because the reconciling peer is
 // the only writer of its decided set and it is blocked in this very call.
+//
+// # Retention
+//
+// Dedup records do not live forever: every record carries an epoch
+// watermark (the epoch its operation committed at, or the stable epoch it
+// observed), and CompactBefore prunes records — durable rows and in-memory
+// entries alike — whose watermark lies strictly below the compaction
+// horizon. That is past any retry: the horizon never passes a registered
+// peer's reconciliation frontier, and every record's watermark is at or
+// above its peer's frontier at commit time (a publish's epoch is above the
+// publisher's frontier; a begin's ToEpoch is the frontier it installed; a
+// decide's stable epoch is at or above it). A peer advances its frontier
+// only through a later store call, and a client issues its store calls
+// sequentially — so while a call's retries are still in flight, its
+// peer's frontier (and therefore the horizon) cannot have caught up to the
+// record's watermark.
 
 // Operation names recorded with each key (guarding cross-op key reuse).
 const (
@@ -49,6 +65,17 @@ type idemEntry struct {
 	recno int
 	from  core.Epoch
 	to    core.Epoch
+}
+
+// watermark is the entry's retention bound: the record may be pruned once
+// the compaction horizon passes it (see the package retention rationale
+// above). Publish/snapshot/compact memoize their epoch in e; decide stores
+// the stable epoch it observed there; begin uses its window's end.
+func (en *idemEntry) watermark() core.Epoch {
+	if en.op == opBegin {
+		return en.to
+	}
+	return en.e
 }
 
 // beginIdem resolves a key: a completed duplicate returns its entry with
@@ -104,7 +131,7 @@ func (s *Store) loadIdem(tx *reldb.Tx) error {
 	return tx.Scan("idempotency", func(r reldb.Row) bool {
 		en := &idemEntry{op: r[1].S(), done: make(chan struct{})}
 		switch en.op {
-		case opPublish, opSnapshot, opCompact:
+		case opPublish, opSnapshot, opCompact, opDecide:
 			en.e = core.Epoch(r[2].I())
 		case opBegin:
 			en.recno = int(r[2].I())
@@ -117,13 +144,58 @@ func (s *Store) loadIdem(tx *reldb.Tx) error {
 	})
 }
 
+// prunableIdem collects the completed dedup keys whose watermark lies
+// strictly below the compaction horizon e — records whose retries are
+// provably over (see the retention rationale above). In-flight entries are
+// skipped: they have no durable row yet, and their owner still needs them.
+func (s *Store) prunableIdem(e core.Epoch) []store.IdempotencyKey {
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	var keys []store.IdempotencyKey
+	for k, en := range s.idem {
+		select {
+		case <-en.done:
+		default:
+			continue // in-flight
+		}
+		if en.err == nil && en.watermark() < e {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// dropIdem removes pruned keys from the in-memory map once their durable
+// rows are committed away. Completed entries never mutate, so collecting
+// them first and dropping after the commit cannot race an owner.
+func (s *Store) dropIdem(keys []store.IdempotencyKey) {
+	s.idemMu.Lock()
+	for _, k := range keys {
+		delete(s.idem, k)
+	}
+	s.idemMu.Unlock()
+}
+
 // CanDedupe implements store.IdempotencyProber: keyed calls are deduped.
 func (s *Store) CanDedupe(context.Context) bool { return true }
 
 // replayReconciliation rebuilds the answer of a deduped begin: the memoized
-// recno and window, with the candidates recomputed by the same walk the
-// first delivery ran. Sound because only the peer itself mutates its
-// decided set, and the peer is blocked in this call.
+// recno and window, with the candidates recomputed against the transaction
+// index. Sound because only the peer itself mutates its decided set, and
+// the peer is blocked in this call.
+//
+// The recomputation scans the index by epoch range (replayCandidatesLocked)
+// instead of re-walking the epoch metas: compaction may void the window's
+// epochs between the first execution and a late duplicate delivery (the
+// begin-commit advanced the peer's frontier past the window, so compaction
+// considers the peer caught up), but it can never drop the window's
+// candidate payloads — a candidate is by definition undecided by this peer,
+// which keeps it in every snapshot's residue, and residue entries stay
+// indexed with their epochs. A candidate the peer decided since the first
+// delivery is excluded either way: by the decided-set filter while its
+// cache entry lives, or by its index entry being released once all peers
+// settled it — and the client's engine drops already-decided candidates
+// and already-applied extension transactions regardless.
 func (s *Store) replayReconciliation(peer core.PeerID, en *idemEntry) (*store.Reconciliation, error) {
 	pm, err := s.peer(peer)
 	if err != nil {
@@ -131,10 +203,16 @@ func (s *Store) replayReconciliation(peer core.PeerID, en *idemEntry) (*store.Re
 	}
 	lockContended(&pm.mu, s.counters.ObservePeerContention)
 	defer pm.mu.Unlock()
+	// Same guard as beginReconciliation: a recovered store may know the
+	// peer but not its in-process trust policy, and candidate priorities
+	// cannot be computed against nothing.
+	if pm.trust == nil {
+		return nil, fmt.Errorf("central: peer %s has no trust policy (re-register after recovery)", peer)
+	}
 	return &store.Reconciliation{
 		Recno:      en.recno,
 		FromEpoch:  en.from,
 		ToEpoch:    en.to,
-		Candidates: s.candidatesLocked(pm, peer, en.from, en.to),
+		Candidates: s.replayCandidatesLocked(pm, peer, en.from, en.to),
 	}, nil
 }

@@ -494,9 +494,15 @@ func (s *Store) compactBeforeLocked(e core.Epoch, key store.IdempotencyKey) erro
 		sh.mu.RUnlock()
 	}
 
+	// Dedup records whose retries are provably over ride out of existence
+	// with this same commit: the horizon passing a record's watermark is
+	// the retention bound (idempotency.go), so the tables cannot grow
+	// without bound under retrying clients.
+	pruneIdem := s.prunableIdem(e)
+
 	// One atomic commit, tables touched in the documented lock order:
 	// epochs_k, txns_k, decisions_k (shard indexes ascending within each
-	// group), then meta.
+	// group), then meta, then idempotency.
 	err := s.db.Update(func(tx *reldb.Tx) error {
 		for k := 0; k < s.tableShards; k++ {
 			for _, ep := range dropEpochs {
@@ -548,11 +554,23 @@ func (s *Store) compactBeforeLocked(e core.Epoch, key store.IdempotencyKey) erro
 				}
 			}
 		}
-		return tx.Upsert("meta", reldb.Row{reldb.Str("compacted_before"), reldb.Int(int64(e))})
+		if err := tx.Upsert("meta", reldb.Row{reldb.Str("compacted_before"), reldb.Int(int64(e))}); err != nil {
+			return err
+		}
+		for _, k := range pruneIdem {
+			if _, err := tx.Delete("idempotency", reldb.Str(string(k))); err != nil {
+				return err
+			}
+		}
+		if key != "" {
+			return tx.Insert("idempotency", idemRow(key, opCompact, int64(e), 0, 0))
+		}
+		return nil
 	})
 	if err != nil {
 		return err
 	}
+	s.dropIdem(pruneIdem)
 
 	// Release the in-memory state the rows backed. Compacted epochs become
 	// void metas — finished and empty, exactly what recovery reconstructs
