@@ -41,9 +41,10 @@ bench-json:
 	$(GO) run ./cmd/orchestra-bench -json BENCH_core.json
 
 # chaos-smoke runs the fault-injection convergence matrix (loss, dup,
-# jitter, partition, store crash + snapshot rebuild — see docs/FAULTS.md)
-# and the fabric/retry unit layer under the race detector. make verify
-# covers these too; this target runs them by name so a chaos regression is
+# jitter, partition, store crash + snapshot rebuild, and the streaming
+# cells that cut the watch stream mid-flight — see docs/FAULTS.md) and the
+# fabric/retry unit layer under the race detector. make verify covers
+# these too; this target runs them by name so a chaos regression is
 # unmissable in CI.
 chaos-smoke:
 	$(GO) test -race -count=1 -run '^TestChaosMatrix' .

@@ -13,7 +13,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"orchestra/internal/core"
 	"orchestra/internal/exp"
@@ -386,6 +388,77 @@ func BenchmarkStateRatio(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamLatency drives a sustained conflict-free publish load
+// through the streaming reconcile loop and measures time until every peer's
+// frontier covers the last publish. cmd/orchestra-bench -json runs the full
+// streaming-vs-round-based latency comparison (the stream_latency section of
+// BENCH_core.json); this entry point keeps the streaming path itself under
+// make bench-smoke.
+func BenchmarkStreamLatency(b *testing.B) {
+	schema := MustSchema(NewRelation("F", 2, "organism", "protein", "function"))
+	const peers = 4
+	const publishes = 32
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var (
+			mu       sync.Mutex
+			frontier = map[PeerID]Epoch{}
+		)
+		sys, err := NewSystem(schema, WithStreamObserver(func(r StreamResult) {
+			mu.Lock()
+			if r.To > frontier[r.Peer] {
+				frontier[r.Peer] = r.To
+			}
+			mu.Unlock()
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps := make([]*Peer, peers)
+		for p := range ps {
+			if ps[p], err = sys.AddPeer(PeerID(fmt.Sprintf("p%d", p)), core.TrustAll(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sctx, cancel := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		b.StartTimer()
+		go func() { done <- sys.RunStreaming(sctx) }()
+		var last Epoch
+		for k := 0; k < publishes; k++ {
+			p := ps[k%peers]
+			if _, err := p.Edit(Insert("F",
+				Strs("org-"+string(p.ID()), fmt.Sprintf("prot-%d", k), "fn"), p.ID())); err != nil {
+				b.Fatal(err)
+			}
+			if last, err = p.Publish(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for {
+			mu.Lock()
+			caught := len(frontier) == peers
+			for _, f := range frontier {
+				caught = caught && f >= last
+			}
+			mu.Unlock()
+			if caught {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		b.StopTimer()
+		cancel()
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		sys.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(publishes), "publishes/op")
 }
 
 func max(a, b int) int {

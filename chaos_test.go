@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -53,6 +54,11 @@ type chaosHarness struct {
 	dir    string
 	sys    *System
 
+	// Streaming cells: per-stream reconciliation frontiers reported by the
+	// stream observer, read by streamQuiesce to detect convergence.
+	obsMu    sync.Mutex
+	frontier map[PeerID]Epoch
+
 	universe []TxnID // every transaction the workload created
 }
 
@@ -81,6 +87,7 @@ func newChaosHarness(t *testing.T, seed int64, durable bool) *chaosHarness {
 		net:    simnet.NewVirtual(time.Microsecond),
 	}
 	h.net.Seed(seed)
+	h.frontier = make(map[PeerID]Epoch)
 	if durable {
 		h.dir = t.TempDir()
 	}
@@ -89,8 +96,20 @@ func newChaosHarness(t *testing.T, seed int64, durable bool) *chaosHarness {
 
 	sys, err := NewSystem(h.schema, WithPeerStores(func(id PeerID) (store.Store, error) {
 		n := h.net.Node("peer-"+string(id), nil)
-		return remote.NewClientOn(n, chaosStoreAddr, remote.WithRetryPolicy(chaosRetryPolicy())), nil
-	}), WithReconcileFanOut(len(chaosPeerIDs)))
+		return remote.NewClientOn(n, chaosStoreAddr,
+			remote.WithRetryPolicy(chaosRetryPolicy()),
+			remote.WithWatchPoll(time.Millisecond)), nil
+	}), WithReconcileFanOut(len(chaosPeerIDs)),
+		// Streaming cells only: a retry cadence matched to simnet speed, and
+		// an observer tracking each stream's frontier. Inert for round cells.
+		WithStreamRetry(200*time.Microsecond, 5*time.Millisecond),
+		WithStreamObserver(func(r StreamResult) {
+			h.obsMu.Lock()
+			if r.To > h.frontier[r.Peer] {
+				h.frontier[r.Peer] = r.To
+			}
+			h.obsMu.Unlock()
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,6 +232,78 @@ func (h *chaosHarness) quiesce(rounds int) {
 		if _, err := h.sys.ReconcileAll(context.Background()); err != nil {
 			h.t.Fatalf("quiesce round %d: %v", i, err)
 		}
+	}
+}
+
+// startStreaming launches System.RunStreaming against the harness and
+// returns a stop function that cancels the streams and joins the run.
+func (h *chaosHarness) startStreaming() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- h.sys.RunStreaming(ctx) }()
+	return func() {
+		cancel()
+		if err := <-done; err != nil {
+			h.t.Errorf("RunStreaming: %v", err)
+		}
+	}
+}
+
+// publishAll ships every peer's pending edits while the streams run,
+// tolerating transient faults: a failed publish leaves the batch pending
+// and a later call ships it. Returns the highest epoch allocated so far.
+func (h *chaosHarness) publishAll(max Epoch) Epoch {
+	h.t.Helper()
+	for _, id := range chaosPeerIDs {
+		p, _ := h.sys.Peer(id)
+		e, err := p.Publish(context.Background())
+		if err != nil {
+			if store.IsTransient(err) {
+				continue // the pending batch survives for a later call
+			}
+			h.t.Fatalf("publish at %s: %v", id, err)
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// streamQuiesce is the streaming analogue of quiesce: heal the fabric, ship
+// any publishes a fault left pending, and wait until every stream's
+// frontier covers the last allocated epoch — at which point each peer has
+// reconciled and flushed decisions for every published transaction.
+func (h *chaosHarness) streamQuiesce(target Epoch) {
+	h.t.Helper()
+	h.net.SetFaults(simnet.Faults{})
+	for _, id := range chaosPeerIDs {
+		h.net.HealOneWay("peer-"+string(id), chaosStoreAddr)
+		h.net.HealOneWay(chaosStoreAddr, "peer-"+string(id))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		target = h.publishAll(target)
+		caughtUp := true
+		for _, id := range chaosPeerIDs {
+			p, _ := h.sys.Peer(id)
+			h.obsMu.Lock()
+			front := h.frontier[id]
+			h.obsMu.Unlock()
+			if p.PendingCount() > 0 || front < target {
+				caughtUp = false
+				break
+			}
+		}
+		if caughtUp {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.obsMu.Lock()
+			defer h.obsMu.Unlock()
+			h.t.Fatalf("streams never converged: target epoch %d, frontiers %v", target, h.frontier)
+		}
+		time.Sleep(500 * time.Microsecond)
 	}
 }
 
@@ -383,4 +474,110 @@ func TestChaosMatrixLossAcrossRestart(t *testing.T) {
 	}
 	h.quiesce(2)
 	diffFingerprints(t, h.fingerprint(), baseline)
+}
+
+// The streaming cells run the same fault regimes against RunStreaming: the
+// peers consume stable epochs through the watch long-poll while the fabric
+// drops, cuts, or crashes under them, and every cell must still converge
+// bit-identical to the fault-free ROUND-BASED baseline. The workload is the
+// conflict-free one: a streaming run windows epochs differently than rounds
+// do, and (as with the polling fallback) only conflict-free final states
+// are window-insensitive.
+//
+// Cursor-resume is what these cells actually exercise: a lost or partitioned
+// long-poll closes the client-side subscription channel, and ReconcileStream
+// re-subscribes from the frontier of its last completed step — so a window
+// can neither be skipped (the next BeginReconciliation starts at the stored
+// frontier) nor double-applied (decisions are idempotency-keyed).
+
+// TestChaosMatrixStreamingLoss: message loss on the watch stream at 1% and
+// 10%. Polls that die mid-flight break the subscription; the stream resumes
+// from its cursor and the confederation converges.
+func TestChaosMatrixStreamingLoss(t *testing.T) {
+	baseline := chaosBaseline(t, chaosRounds, false)
+	for _, cell := range []struct {
+		name string
+		loss float64
+	}{
+		{"loss1", 0.01},
+		{"loss10", 0.10},
+	} {
+		t.Run(cell.name, func(t *testing.T) {
+			h := newChaosHarness(t, 42, false)
+			stop := h.startStreaming()
+			h.net.SetFaults(simnet.Faults{Loss: cell.loss})
+			var last Epoch
+			for r := 0; r < chaosRounds; r++ {
+				h.conflictFreeEdits(r)
+				last = h.publishAll(last)
+			}
+			// The rounds can finish in milliseconds — too few deliveries for
+			// a low loss rate to bite. The long-polls keep flowing, so hold
+			// the fault regime open until at least one of them is dropped.
+			for deadline := time.Now().Add(10 * time.Second); h.net.FaultStats().Lost() == 0 &&
+				time.Now().Before(deadline); {
+				time.Sleep(time.Millisecond)
+			}
+			h.streamQuiesce(last)
+			stop()
+			diffFingerprints(t, h.fingerprint(), baseline)
+			if h.net.FaultStats().Lost() == 0 {
+				t.Error("cell injected no faults — the run proved nothing")
+			}
+		})
+	}
+}
+
+// TestChaosMatrixStreamingPartition: a one-way partition cuts one peer's
+// watch stream (and publishes) mid-stream for two rounds. Its stream spins
+// on resume attempts until the heal, then catches up from its cursor.
+func TestChaosMatrixStreamingPartition(t *testing.T) {
+	baseline := chaosBaseline(t, chaosRounds, false)
+	h := newChaosHarness(t, 7, false)
+	const victim = PeerID("pc")
+	stop := h.startStreaming()
+	var last Epoch
+	for r := 0; r < chaosRounds; r++ {
+		if r == 1 {
+			h.net.PartitionOneWay("peer-"+string(victim), chaosStoreAddr)
+		}
+		if r == 3 {
+			h.net.HealOneWay("peer-"+string(victim), chaosStoreAddr)
+		}
+		h.conflictFreeEdits(r)
+		last = h.publishAll(last)
+	}
+	h.streamQuiesce(last)
+	stop()
+	diffFingerprints(t, h.fingerprint(), baseline)
+	if h.net.FaultStats().PartitionDrops() == 0 {
+		t.Error("partition never dropped a call")
+	}
+}
+
+// TestChaosMatrixStreamingStoreCrash: the store crashes and rebuilds from
+// snapshot + WAL tail while every peer has an attached subscription. The
+// dead store fails the long-polls (subscriptions close, resume attempts
+// back off), publishes made during the outage stay pending, and after the
+// restart the streams resume from their cursors against the rebuilt store.
+func TestChaosMatrixStreamingStoreCrash(t *testing.T) {
+	baseline := chaosBaseline(t, chaosRounds, false)
+	h := newChaosHarness(t, 13, true)
+	stop := h.startStreaming()
+	var last Epoch
+	for r := 0; r < chaosRounds; r++ {
+		h.conflictFreeEdits(r)
+		if r == 2 {
+			h.crashStore()
+			last = h.publishAll(last) // degraded: publishes fail transiently
+			h.restartStore()
+		}
+		last = h.publishAll(last)
+	}
+	h.streamQuiesce(last)
+	stop()
+	diffFingerprints(t, h.fingerprint(), baseline)
+	if h.net.FaultStats().CrashDrops() == 0 {
+		t.Error("crash never dropped a call")
+	}
 }

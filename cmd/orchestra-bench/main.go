@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -241,6 +243,21 @@ type chaosOverheadEntry struct {
 	DedupHits       int64   `json:"dedup_hits"`
 }
 
+// streamLatencyEntry is one cell of the streaming-latency suite:
+// publish-to-decision latency quantiles under a sustained conflict-free
+// publish load, with decisions driven either by the streaming reconcile
+// loop (System.RunStreaming consuming the store's watch subscription) or by
+// round-based ReconcileAll barriers every few publishes. An epoch counts as
+// decided when every peer's reconciliation frontier has passed it.
+type streamLatencyEntry struct {
+	Name      string  `json:"name"`
+	Mode      string  `json:"mode"` // streaming | round_based
+	Peers     int     `json:"peers"`
+	Publishes int     `json:"publishes"`
+	P50Ns     float64 `json:"p50_ns"`
+	P99Ns     float64 `json:"p99_ns"`
+}
+
 // coreBenchReport is the BENCH_core.json schema; future PRs compare their
 // runs against the committed serial baseline to track the perf trajectory.
 // See docs/BENCHMARKING.md.
@@ -256,6 +273,7 @@ type coreBenchReport struct {
 	PublishOverlap    []publishOverlapEntry   `json:"publish_overlap"`
 	SnapshotRebuild   []snapshotRebuildEntry  `json:"snapshot_rebuild"`
 	ChaosOverhead     []chaosOverheadEntry    `json:"chaos_overhead"`
+	StreamLatency     []streamLatencyEntry    `json:"stream_latency"`
 }
 
 // runCoreSuite measures Engine.Reconcile on the shared contended workload
@@ -324,6 +342,9 @@ func runCoreSuite(path string) error {
 		return err
 	}
 	if err := runChaosOverheadSuite(&report); err != nil {
+		return err
+	}
+	if err := runStreamLatencySuite(&report); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -915,6 +936,178 @@ func runChaosOverheadSuite(report *coreBenchReport) error {
 			e.Name, e.NsPerRound, e.AttemptsPerCall, e.DedupHits)
 	}
 	return nil
+}
+
+// runStreamLatencySuite measures publish-to-decision latency under a
+// sustained publish load, once with the streaming reconcile loop and once
+// with round-based barriers: the streaming cells should show decisions
+// landing at watch-notification latency instead of waiting for the next
+// ReconcileAll round.
+func runStreamLatencySuite(report *coreBenchReport) error {
+	const (
+		peers     = 4
+		publishes = 200
+		ri        = 4 // round_based: a ReconcileAll barrier every ri publishes
+		pace      = 500 * time.Microsecond
+	)
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	for _, mode := range []string{"streaming", "round_based"} {
+		lats, err := measureStreamLatency(mode, schema, peers, publishes, ri, pace)
+		if err != nil {
+			return err
+		}
+		e := streamLatencyEntry{
+			Name:      "StreamLatency/mode=" + mode,
+			Mode:      mode,
+			Peers:     peers,
+			Publishes: publishes,
+			P50Ns:     quantileNs(lats, 0.50),
+			P99Ns:     quantileNs(lats, 0.99),
+		}
+		report.StreamLatency = append(report.StreamLatency, e)
+		fmt.Printf("%-40s %12.0f p50 ns %12.0f p99 ns\n", e.Name, e.P50Ns, e.P99Ns)
+	}
+	return nil
+}
+
+// measureStreamLatency runs the sustained conflict-free publish load in one
+// mode and returns the per-epoch publish-to-decision latencies. Under
+// streaming the decision point is observed from the stream results (the
+// first moment every peer's frontier has passed the epoch); under rounds it
+// is the completion of the ReconcileAll barrier that covered the epoch.
+func measureStreamLatency(mode string, schema *core.Schema, peers, publishes, ri int, pace time.Duration) ([]time.Duration, error) {
+	ctx := context.Background()
+	var (
+		mu       sync.Mutex
+		frontier = map[core.PeerID]core.Epoch{}
+		pubAt    = map[core.Epoch]time.Time{}
+		decided  = map[core.Epoch]time.Time{}
+	)
+	// sweep marks every published epoch at or below the minimum frontier as
+	// decided now. Callers hold mu.
+	sweep := func(now time.Time) {
+		if len(frontier) < peers {
+			return
+		}
+		min := core.Epoch(0)
+		first := true
+		for _, f := range frontier {
+			if first || f < min {
+				min, first = f, false
+			}
+		}
+		for e := range pubAt {
+			if _, ok := decided[e]; !ok && e <= min {
+				decided[e] = now
+			}
+		}
+	}
+	sys, err := orchestra.NewSystem(schema,
+		orchestra.WithStreamObserver(func(r orchestra.StreamResult) {
+			mu.Lock()
+			if r.To > frontier[r.Peer] {
+				frontier[r.Peer] = r.To
+			} else if _, ok := frontier[r.Peer]; !ok {
+				frontier[r.Peer] = r.To
+			}
+			sweep(time.Now())
+			mu.Unlock()
+		}))
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	ps := make([]*orchestra.Peer, peers)
+	for i := range ps {
+		ps[i], err = sys.AddPeer(core.PeerID(fmt.Sprintf("p%d", i)), core.TrustAll(1))
+		if err != nil {
+			return nil, err
+		}
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan error, 1)
+	if mode == "streaming" {
+		go func() { done <- sys.RunStreaming(sctx) }()
+	}
+	// decideAll stamps every still-undecided epoch: the round-based decision
+	// point after a barrier.
+	decideAll := func() {
+		now := time.Now()
+		mu.Lock()
+		for e := range pubAt {
+			if _, ok := decided[e]; !ok {
+				decided[e] = now
+			}
+		}
+		mu.Unlock()
+	}
+	for i := 0; i < publishes; i++ {
+		p := ps[i%peers]
+		if _, err := p.Edit(core.Insert("F",
+			core.Strs("org-"+string(p.ID()), fmt.Sprintf("prot-%d", i), "fn"), p.ID())); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		e, err := p.Publish(ctx)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		pubAt[e] = t0
+		mu.Unlock()
+		if mode == "round_based" && i%ri == ri-1 {
+			if _, err := sys.ReconcileAll(ctx); err != nil {
+				return nil, err
+			}
+			decideAll()
+		}
+		time.Sleep(pace)
+	}
+	if mode == "round_based" {
+		if _, err := sys.ReconcileAll(ctx); err != nil {
+			return nil, err
+		}
+		decideAll()
+	} else {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			mu.Lock()
+			sweep(time.Now())
+			n := len(decided)
+			mu.Unlock()
+			if n == publishes {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("stream latency cell: only %d/%d epochs decided", n, publishes)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		cancel()
+		if err := <-done; err != nil {
+			return nil, err
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	lats := make([]time.Duration, 0, len(pubAt))
+	for e, t0 := range pubAt {
+		lats = append(lats, decided[e].Sub(t0))
+	}
+	return lats, nil
+}
+
+// quantileNs returns the nearest-rank q-quantile of the sample, in
+// nanoseconds.
+func quantileNs(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s)-1) + 0.5)
+	return float64(s[idx])
 }
 
 // runDecisionBatchSuite drives ReconcileAll rounds over a full System and

@@ -32,6 +32,32 @@ type Pipeline struct {
 	decisionFlushes  atomic.Int64 // batched decision round trips issued
 	decisionsFlushed atomic.Int64 // decisions carried by those round trips
 	flushPeak        atomic.Int64 // most peers flushed in one round trip
+
+	// Stream lag counters (the streaming reconcile path): how long a
+	// publish took to become stable as observed by its publisher, and how
+	// long a newly stable window took to reach recorded decisions.
+	pubStableCount    atomic.Int64
+	pubStableNanos    atomic.Int64
+	pubStableMax      atomic.Int64
+	stableDecideCount atomic.Int64
+	stableDecideNanos atomic.Int64
+	stableDecideMax   atomic.Int64
+}
+
+// ObserveStreamStable records one publish-to-stable latency: the time from
+// a peer's publish until the peer's stream observed the epoch stable.
+func (p *Pipeline) ObserveStreamStable(d time.Duration) {
+	p.pubStableCount.Add(1)
+	p.pubStableNanos.Add(int64(d))
+	atomicMax(&p.pubStableMax, int64(d))
+}
+
+// ObserveStreamDecide records one stable-to-decision latency: the time from
+// a watch event's arrival until the window's decisions were recorded.
+func (p *Pipeline) ObserveStreamDecide(d time.Duration) {
+	p.stableDecideCount.Add(1)
+	p.stableDecideNanos.Add(int64(d))
+	atomicMax(&p.stableDecideMax, int64(d))
 }
 
 // ObserveDecisionFlush records one batched decision round trip that carried
@@ -88,6 +114,13 @@ type PipelineSnapshot struct {
 	DecisionFlushes  int64 // batched decision round trips issued
 	DecisionsFlushed int64 // decisions carried by those round trips
 	FlushPeak        int64 // most peers flushed in one round trip
+
+	StreamPublishStable     int64         // publish-to-stable latencies observed
+	StreamPublishStableTime time.Duration // their sum
+	StreamPublishStableMax  time.Duration // and maximum
+	StreamStableDecide      int64         // stable-to-decision latencies observed
+	StreamStableDecideTime  time.Duration // their sum
+	StreamStableDecideMax   time.Duration // and maximum
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field is
@@ -109,14 +142,27 @@ func (p *Pipeline) Snapshot() PipelineSnapshot {
 		DecisionFlushes:  p.decisionFlushes.Load(),
 		DecisionsFlushed: p.decisionsFlushed.Load(),
 		FlushPeak:        p.flushPeak.Load(),
+
+		StreamPublishStable:     p.pubStableCount.Load(),
+		StreamPublishStableTime: time.Duration(p.pubStableNanos.Load()),
+		StreamPublishStableMax:  time.Duration(p.pubStableMax.Load()),
+		StreamStableDecide:      p.stableDecideCount.Load(),
+		StreamStableDecideTime:  time.Duration(p.stableDecideNanos.Load()),
+		StreamStableDecideMax:   time.Duration(p.stableDecideMax.Load()),
 	}
 }
 
 // String renders the snapshot as a compact one-line summary.
 func (s PipelineSnapshot) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"reconciles=%d candidates=%d pairs=%d conflicts=%d applied=%d check=%s findconf=%s group=%s apply=%s soft=%s busy=%d peak=%d flushes=%d flushed=%d flushpeak=%d",
 		s.Reconciles, s.Candidates, s.ConflictPairs, s.ConflictsFound, s.AppliedUpdates,
 		s.CheckTime, s.ConflictTime, s.GroupTime, s.ApplyTime, s.SoftStateTime,
 		s.WorkersBusy, s.WorkersBusyPeak, s.DecisionFlushes, s.DecisionsFlushed, s.FlushPeak)
+	if s.StreamPublishStable > 0 || s.StreamStableDecide > 0 {
+		out += fmt.Sprintf(" pub2stable=%d/%s(max %s) stable2decide=%d/%s(max %s)",
+			s.StreamPublishStable, s.StreamPublishStableTime, s.StreamPublishStableMax,
+			s.StreamStableDecide, s.StreamStableDecideTime, s.StreamStableDecideMax)
+	}
+	return out
 }

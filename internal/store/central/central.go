@@ -293,6 +293,17 @@ type Store struct {
 	// across an operation.
 	idemMu sync.Mutex
 	idem   map[store.IdempotencyKey]*idemEntry
+
+	// watchMu guards the subscription registry and the frontier-advance
+	// broadcast channel (see watch.go). It is a leaf lock: taken briefly for
+	// registry/channel access, never while acquiring any other store lock.
+	watchMu     sync.Mutex
+	watchSignal chan struct{}
+	watchers    map[*watchSub]struct{}
+	// watchDone is closed by Close so subscription goroutines whose
+	// consumers never cancel still terminate with the store.
+	watchDone   chan struct{}
+	watchClosed bool
 }
 
 type txnShard struct {
@@ -381,6 +392,9 @@ func Open(schema *core.Schema, dir string, opts ...Option) (*Store, error) {
 		snapEvery:   cfg.snapEvery,
 		compactKeep: cfg.compactKeep,
 		idem:        make(map[store.IdempotencyKey]*idemEntry),
+		watchSignal: make(chan struct{}),
+		watchers:    make(map[*watchSub]struct{}),
+		watchDone:   make(chan struct{}),
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[core.TxnID]*entry)
@@ -405,8 +419,15 @@ func MustOpenMemory(schema *core.Schema) *Store {
 	return s
 }
 
-// Close closes the backing database.
+// Close terminates open watch subscriptions and closes the backing
+// database.
 func (s *Store) Close() error {
+	s.watchMu.Lock()
+	if !s.watchClosed {
+		s.watchClosed = true
+		close(s.watchDone)
+	}
+	s.watchMu.Unlock()
 	return s.db.Close()
 }
 
@@ -1149,7 +1170,8 @@ func (s *Store) stableEpoch() core.Epoch {
 // same answer regardless of order.
 func (s *Store) advanceFrontier() {
 	s.epochMu.Lock()
-	st := core.Epoch(s.stableE.Load())
+	old := core.Epoch(s.stableE.Load())
+	st := old
 	for {
 		em, ok := s.epochs[st+1]
 		if !ok || !em.finished.Load() {
@@ -1159,6 +1181,9 @@ func (s *Store) advanceFrontier() {
 	}
 	s.stableE.Store(int64(st))
 	s.epochMu.Unlock()
+	if st > old {
+		s.notifyWatchers()
+	}
 }
 
 // BeginReconciliation implements store.Store. Only the reconciling peer's

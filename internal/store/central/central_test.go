@@ -18,6 +18,10 @@ func TestConformance(t *testing.T) {
 	storetest.RunConformance(t, factory)
 }
 
+func TestWatchConformance(t *testing.T) {
+	storetest.RunWatchConformance(t, factory)
+}
+
 // TestUnfinishedEpochBlocksStable: a reconciler must not see past an
 // unfinished epoch, even when later epochs are complete (§5.2.1).
 func TestUnfinishedEpochBlocksStable(t *testing.T) {

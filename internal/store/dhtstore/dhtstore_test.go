@@ -36,6 +36,13 @@ func TestConformance(t *testing.T) {
 	storetest.RunConformance(t, factory)
 }
 
+// TestWatchConformance documents that the DHT store degrades cleanly: it
+// has no watch capability, so every leg of the suite skips via the probe
+// (and the streaming reconcile loop falls back to polling against it).
+func TestWatchConformance(t *testing.T) {
+	storetest.RunWatchConformance(t, factory)
+}
+
 // TestMessageAccounting: the DHT store generates per-transaction request
 // traffic, and reconciliation traffic grows with the number of transactions
 // retrieved (the effect behind Figures 10 and 12).

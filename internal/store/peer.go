@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"orchestra/internal/core"
@@ -11,13 +12,35 @@ import (
 // publish/reconcile cycle, splitting elapsed time into store time (update
 // store interactions, including network) and local time (the reconciliation
 // algorithm itself) — the breakdown reported in Figures 10 and 12.
+//
+// The peer's mutating methods are serialized by an internal mutex so the
+// streaming reconcile loop (ReconcileStream, stream.go) can run concurrently
+// with Edit/Publish calls from the application. Direct engine and instance
+// access (Engine, Instance) is NOT synchronized — inspect them only while no
+// stream is running or after it has quiesced.
 type Peer struct {
+	// mu serializes the peer's engine and store interactions: local edits,
+	// publishes, and reconciliations (round-based or streaming).
+	mu      sync.Mutex
 	engine  *core.Engine
 	store   Store
 	pending []PublishedTxn
 
 	storeTime time.Duration
 	localTime time.Duration
+
+	// streaming is set while ReconcileStream runs; Publish then stamps each
+	// published epoch so the stream can report publish-to-stable lag.
+	streaming bool
+	pubStamps []pubStamp
+	// unflushed holds decision batches whose flush failed transiently; the
+	// stream retries them before beginning the next window.
+	unflushed []DecisionBatch
+}
+
+type pubStamp struct {
+	epoch core.Epoch
+	t     time.Time
 }
 
 // NewPeer registers the peer with the store and returns the wrapper.
@@ -42,16 +65,30 @@ func (p *Peer) Store() Store { return p.store }
 func (p *Peer) Instance() *core.Instance { return p.engine.Instance() }
 
 // StoreTime returns the cumulative time spent in update store calls.
-func (p *Peer) StoreTime() time.Duration { return p.storeTime }
+func (p *Peer) StoreTime() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.storeTime
+}
 
 // LocalTime returns the cumulative time spent in local reconciliation work.
-func (p *Peer) LocalTime() time.Duration { return p.localTime }
+func (p *Peer) LocalTime() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.localTime
+}
 
 // ResetTimers zeroes the time accounting.
-func (p *Peer) ResetTimers() { p.storeTime, p.localTime = 0, 0 }
+func (p *Peer) ResetTimers() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.storeTime, p.localTime = 0, 0
+}
 
 // Edit applies a local transaction and queues it for the next publish.
 func (p *Peer) Edit(updates ...core.Update) (*core.Transaction, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	start := time.Now()
 	x, err := p.engine.NewLocalTransaction(updates...)
 	p.localTime += time.Since(start)
@@ -66,10 +103,21 @@ func (p *Peer) Edit(updates ...core.Update) (*core.Transaction, error) {
 }
 
 // PendingCount returns the number of local transactions awaiting publish.
-func (p *Peer) PendingCount() int { return len(p.pending) }
+func (p *Peer) PendingCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
 
 // Publish ships the pending local transactions to the update store.
 func (p *Peer) Publish(ctx context.Context) (core.Epoch, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.publishLocked(ctx)
+}
+
+func (p *Peer) publishLocked(ctx context.Context) (core.Epoch, error) {
+	hadPending := len(p.pending) > 0
 	start := time.Now()
 	epoch, err := p.store.Publish(ctx, p.ID(), p.pending)
 	p.storeTime += time.Since(start)
@@ -77,13 +125,18 @@ func (p *Peer) Publish(ctx context.Context) (core.Epoch, error) {
 		return 0, err
 	}
 	p.pending = nil
+	if p.streaming && hadPending {
+		p.pubStamps = append(p.pubStamps, pubStamp{epoch: epoch, t: time.Now()})
+	}
 	return epoch, nil
 }
 
 // Reconcile fetches the newly relevant transactions from the store, runs
 // the reconciliation algorithm, and records the decisions.
 func (p *Peer) Reconcile(ctx context.Context) (*core.Result, error) {
-	res, batch, err := p.ReconcileBuffered(ctx)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	res, batch, _, err := p.reconcileBufferedLocked(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -103,18 +156,28 @@ func (p *Peer) Reconcile(ctx context.Context) (*core.Result, error) {
 // peer's store-time accounting covers BeginReconciliation only; the
 // pooled flush is charged to whoever issues it.
 func (p *Peer) ReconcileBuffered(ctx context.Context) (*core.Result, DecisionBatch, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	res, batch, _, err := p.reconcileBufferedLocked(ctx)
+	return res, batch, err
+}
+
+// reconcileBufferedLocked is the shared begin-and-reconcile body; it also
+// returns the window's end epoch (the peer's new reconciliation frontier),
+// which the streaming loop uses as its resume cursor.
+func (p *Peer) reconcileBufferedLocked(ctx context.Context) (*core.Result, DecisionBatch, core.Epoch, error) {
 	start := time.Now()
 	rec, err := p.store.BeginReconciliation(ctx, p.ID())
 	p.storeTime += time.Since(start)
 	if err != nil {
-		return nil, DecisionBatch{}, err
+		return nil, DecisionBatch{}, 0, err
 	}
 
 	start = time.Now()
 	res, err := p.engine.Reconcile(rec.Candidates)
 	p.localTime += time.Since(start)
 	if err != nil {
-		return nil, DecisionBatch{}, err
+		return nil, DecisionBatch{}, 0, err
 	}
 	batch := DecisionBatch{
 		Peer:     p.ID(),
@@ -122,7 +185,7 @@ func (p *Peer) ReconcileBuffered(ctx context.Context) (*core.Result, DecisionBat
 		Accepted: res.Accepted,
 		Rejected: res.Rejected,
 	}
-	return res, batch, nil
+	return res, batch, rec.ToEpoch, nil
 }
 
 // PublishAndReconcile performs the combined step of §3: publish pending
@@ -137,6 +200,8 @@ func (p *Peer) PublishAndReconcile(ctx context.Context) (*core.Result, error) {
 // Resolve applies a conflict resolution and reports the resulting
 // accept/reject decisions to the store.
 func (p *Peer) Resolve(ctx context.Context, c core.Conflict, winner int) (*core.Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	start := time.Now()
 	res, err := p.engine.Resolve(c, winner)
 	p.localTime += time.Since(start)

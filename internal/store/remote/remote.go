@@ -18,6 +18,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"orchestra/internal/core"
 	"orchestra/internal/rpc"
@@ -41,6 +42,8 @@ const (
 	mSnapshot     = "store.snapshot"
 	mReplayFrom   = "store.replayfrom"
 	mCompact      = "store.compact"
+	mWatch        = "store.watch"
+	mCanWatch     = "store.canwatch"
 )
 
 type registerArgs struct {
@@ -142,6 +145,33 @@ type compactArgs struct {
 	Key   store.IdempotencyKey
 }
 
+// watchArgs is one bounded long-poll of the watch stream: the transport
+// serializes calls per connection, so the subscription crosses the wire as
+// a sequence of short polls rather than one unbounded stream — each poll
+// waits server-side up to WaitNanos for the stable frontier to pass From.
+// The poll is read-only and resumable by cursor (a redelivery with the same
+// From returns the same window), so it composes with rpc.WithRetry without
+// idempotency keys.
+type watchArgs struct {
+	From core.Epoch
+	// WaitNanos bounds the server-side wait; the server clamps it to
+	// maxWatchWait.
+	WaitNanos int64
+}
+
+type watchReply struct {
+	// To is the stable frontier observed by the poll; To == From means the
+	// bound elapsed with no advance (an empty poll).
+	To core.Epoch
+	// Payload is the window (From, To]'s published transactions in the
+	// store codec's binary encoding (store.AppendPublishedTxns).
+	Payload []byte
+}
+
+// maxWatchWait caps the server-side wait of one watch poll, so a client
+// that requests an absurd bound cannot pin a server connection forever.
+const maxWatchWait = 30 * time.Second
+
 // withKey attaches a wire-carried idempotency key to the handler's context,
 // where the backend's dedup machinery picks it up.
 func withKey(ctx context.Context, key store.IdempotencyKey) context.Context {
@@ -178,6 +208,8 @@ func NewServer(backend store.Store, schema *core.Schema) *Server {
 	mux.Handle(mSnapshot, s.latestSnapshot)
 	mux.Handle(mReplayFrom, s.replayFrom)
 	mux.Handle(mCompact, s.compact)
+	mux.Handle(mWatch, s.watch)
+	mux.Handle(mCanWatch, s.canWatch)
 	s.mux = mux
 	s.srv = rpc.NewServer(mux)
 	return s
@@ -376,6 +408,43 @@ func (s *Server) compact(ctx context.Context, req rpc.Request) ([]byte, error) {
 	return rpc.Encode(&struct{}{})
 }
 
+func (s *Server) canWatch(ctx context.Context, _ rpc.Request) ([]byte, error) {
+	return rpc.Encode(&canReplayReply{OK: store.CanWatch(ctx, s.backend)})
+}
+
+// watch serves one bounded long-poll: it subscribes to the backend at the
+// client's cursor for at most the requested wait and relays the first
+// window that arrives (or an empty poll). The subscription registered for
+// the call's duration also pins the backend's compaction horizon at the
+// cursor while the poll is in flight.
+func (s *Server) watch(ctx context.Context, req rpc.Request) ([]byte, error) {
+	var args watchArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	w, ok := s.backend.(store.Watcher)
+	if !ok {
+		return nil, fmt.Errorf("remote: backend %T does not support watch subscriptions", s.backend)
+	}
+	wait := time.Duration(args.WaitNanos)
+	if wait <= 0 || wait > maxWatchWait {
+		wait = maxWatchWait
+	}
+	wctx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	ch, err := w.WatchFrom(wctx, args.From)
+	if err != nil {
+		return nil, err
+	}
+	ev, ok := <-ch
+	if !ok {
+		// The bound elapsed with no frontier advance (or the backend shut
+		// down): an empty poll, the client re-polls from the same cursor.
+		return rpc.Encode(&watchReply{To: args.From})
+	}
+	return rpc.Encode(&watchReply{To: ev.To, Payload: store.AppendPublishedTxns(nil, ev.Txns)})
+}
+
 // Client implements store.Store against a remote Server. Trust policies
 // must be textual (*trust.Policy): predicate code cannot travel over the
 // wire.
@@ -393,6 +462,11 @@ type Client struct {
 	// dedupe caches the server capability probe: 0 unprobed, 1 dedupes,
 	// -1 does not.
 	dedupe atomic.Int32
+	// watchable caches the watch capability probe the same way.
+	watchable atomic.Int32
+	// watchPoll bounds the server-side wait of each watch long-poll (see
+	// WithWatchPoll).
+	watchPoll time.Duration
 }
 
 // ClientOption configures a Client.
@@ -414,6 +488,30 @@ func WithRetryPolicy(p rpc.RetryPolicy) ClientOption {
 	}
 }
 
+// DefaultWatchPoll is the default server-side wait bound of one watch
+// long-poll. The bound only matters while the stream is idle — a frontier
+// advance completes the poll immediately — but it caps how long a poll can
+// occupy the client's serialized connection, so other store calls from the
+// same client are never delayed longer than this.
+const DefaultWatchPoll = 200 * time.Millisecond
+
+// watchWaitSlack pads the client-side deadline of a watch poll past the
+// server-side wait bound, leaving room for transport latency and a few
+// in-budget retry attempts.
+const watchWaitSlack = 250 * time.Millisecond
+
+// WithWatchPoll sets the server-side wait bound of each watch long-poll.
+// Shorter bounds make an idle subscription poll more often but reduce the
+// worst-case delay the poll imposes on other calls sharing the client's
+// connection.
+func WithWatchPoll(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.watchPoll = d
+		}
+	}
+}
+
 // NewClient returns a client for the server at addr.
 func NewClient(from, addr string, opts ...ClientOption) *Client {
 	return NewClientOn(rpc.NewClient(from), addr, opts...)
@@ -422,7 +520,7 @@ func NewClient(from, addr string, opts ...ClientOption) *Client {
 // NewClientOn returns a client using an existing transport (e.g. a simnet
 // node in tests).
 func NewClientOn(caller rpc.Caller, addr string, opts ...ClientOption) *Client {
-	c := &Client{caller: caller, addr: addr, keyPrefix: randomKeyPrefix()}
+	c := &Client{caller: caller, addr: addr, keyPrefix: randomKeyPrefix(), watchPoll: DefaultWatchPoll}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -619,6 +717,75 @@ func (c *Client) LatestSnapshot(ctx context.Context) (*store.Snapshot, error) {
 		return nil, fmt.Errorf("remote: snapshot payload: %w", err)
 	}
 	return snap, nil
+}
+
+// CanWatch implements store.WatchProber: whether subscriptions work
+// depends on the backend at the other end of the wire, so the question
+// travels as a capability RPC (cached; transient probe failures are not).
+func (c *Client) CanWatch(ctx context.Context) bool {
+	if v := c.watchable.Load(); v != 0 {
+		return v > 0
+	}
+	var reply canReplayReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, mCanWatch, &struct{}{}, &reply); err != nil {
+		if !store.IsTransient(err) {
+			// A server without the capability RPC will keep refusing.
+			c.watchable.Store(-1)
+		}
+		return false
+	}
+	if reply.OK {
+		c.watchable.Store(1)
+	} else {
+		c.watchable.Store(-1)
+	}
+	return reply.OK
+}
+
+// WatchFrom implements store.Watcher by proxy: a sequence of bounded
+// long-polls, each resuming at the cursor of the last delivered event. The
+// polls ride the client's (possibly retrying) transport — they are
+// read-only and idempotent by cursor, so redeliveries are harmless — and a
+// poll that fails past retries closes the channel; the consumer resumes by
+// subscribing again from its cursor.
+func (c *Client) WatchFrom(ctx context.Context, from core.Epoch) (<-chan store.WatchEvent, error) {
+	if !c.CanWatch(ctx) {
+		return nil, fmt.Errorf("remote: backend at %s does not support watch subscriptions", c.addr)
+	}
+	ch := make(chan store.WatchEvent)
+	go c.watchLoop(ctx, from, ch)
+	return ch, nil
+}
+
+func (c *Client) watchLoop(ctx context.Context, cursor core.Epoch, ch chan<- store.WatchEvent) {
+	defer close(ch)
+	for ctx.Err() == nil {
+		var reply watchReply
+		pollCtx, cancel := context.WithTimeout(ctx, c.watchPoll+watchWaitSlack)
+		err := rpc.Invoke(pollCtx, c.caller, c.addr, mWatch,
+			&watchArgs{From: cursor, WaitNanos: int64(c.watchPoll)}, &reply)
+		cancel()
+		if err != nil {
+			// Retries already absorbed transient faults inside the poll; an
+			// error surfacing here breaks the subscription. The cursor never
+			// advanced past an undelivered window, so resuming from it skips
+			// nothing.
+			return
+		}
+		if reply.To <= cursor {
+			continue // empty poll
+		}
+		txns, err := store.DecodePublishedTxns(reply.Payload)
+		if err != nil {
+			return
+		}
+		select {
+		case ch <- store.WatchEvent{From: cursor, To: reply.To, Txns: txns}:
+			cursor = reply.To
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // ReplayFrom implements store.SnapshotReplayer: the post-snapshot tail and

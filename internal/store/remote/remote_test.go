@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"orchestra/internal/core"
 	"orchestra/internal/rpc"
@@ -46,6 +47,19 @@ func TestConformance(t *testing.T) {
 	storetest.RunConformance(t, func(t *testing.T, schema *core.Schema) (func(core.PeerID) store.Store, func()) {
 		addr := startServer(t, schema)
 		return func(p core.PeerID) store.Store { return NewClient(string(p), addr) }, func() {}
+	})
+}
+
+// TestWatchConformance runs the watch-subscription suite over TCP: the
+// subscription crosses the wire as the bounded long-poll, so ordering,
+// contiguity, cursor resume, and the compaction boundary are all exercised
+// through the proxy. A short poll keeps the suite fast.
+func TestWatchConformance(t *testing.T) {
+	storetest.RunWatchConformance(t, func(t *testing.T, schema *core.Schema) (func(core.PeerID) store.Store, func()) {
+		addr := startServer(t, schema)
+		return func(p core.PeerID) store.Store {
+			return NewClient(string(p), addr, WithWatchPoll(10*time.Millisecond))
+		}, func() {}
 	})
 }
 

@@ -115,6 +115,16 @@ type (
 	// PublishedTxn is a transaction plus its antecedent set as shipped to
 	// the update store.
 	PublishedTxn = store.PublishedTxn
+	// Watcher is the optional store capability of subscribing to newly
+	// stable epochs (Store implementations may also be WatchProbers).
+	Watcher = store.Watcher
+	// WatchEvent is one window of newly stable epochs delivered to a watch
+	// subscription.
+	WatchEvent = store.WatchEvent
+	// StreamOptions tunes Peer.ReconcileStream / System.RunStreaming.
+	StreamOptions = store.StreamOptions
+	// StreamResult reports one completed streaming reconcile step.
+	StreamResult = store.StreamResult
 	// TrustPolicy is a compiled set of acceptance rules in the textual
 	// predicate language (see ParseTrustPolicy).
 	TrustPolicy = trust.Policy
@@ -213,4 +223,7 @@ var (
 	// StateRatio computes the paper's sharing-quality metric over
 	// instances: the average number of distinct per-key states.
 	StateRatio = metrics.StateRatio
+	// CanWatch reports whether a store supports watch subscriptions,
+	// consulting its capability probe when it has one.
+	CanWatch = store.CanWatch
 )

@@ -32,6 +32,11 @@ type System struct {
 	unbatched   bool
 	storeFor    func(core.PeerID) (store.Store, error)
 	pstats      metrics.Pipeline
+
+	streamPoll      time.Duration
+	streamRetryBase time.Duration
+	streamRetryMax  time.Duration
+	streamObs       func(store.StreamResult)
 }
 
 // SystemOption configures NewSystem.
@@ -45,6 +50,11 @@ type systemConfig struct {
 	interleaved bool
 	unbatched   bool
 	storeFor    func(core.PeerID) (store.Store, error)
+
+	streamPoll      time.Duration
+	streamRetryBase time.Duration
+	streamRetryMax  time.Duration
+	streamObs       func(store.StreamResult)
 }
 
 // WithStoreDir makes the central store durable in the given directory.
@@ -98,6 +108,27 @@ func WithPeerStores(factory func(core.PeerID) (store.Store, error)) SystemOption
 	return func(c *systemConfig) { c.storeFor = factory }
 }
 
+// WithStreamPoll sets the reconcile cadence RunStreaming uses against
+// stores without watch support (default 50ms). Watching stores ignore it:
+// they block on the subscription instead of polling.
+func WithStreamPoll(d time.Duration) SystemOption {
+	return func(c *systemConfig) { c.streamPoll = d }
+}
+
+// WithStreamRetry bounds the exponential backoff RunStreaming applies to
+// transiently failing streaming steps and broken subscriptions (defaults
+// 2ms base, 100ms cap).
+func WithStreamRetry(base, max time.Duration) SystemOption {
+	return func(c *systemConfig) { c.streamRetryBase, c.streamRetryMax = base, max }
+}
+
+// WithStreamObserver registers a callback RunStreaming invokes after every
+// streaming step whose decisions are recorded. It is called from the
+// per-peer stream goroutines — possibly concurrently for different peers.
+func WithStreamObserver(fn func(store.StreamResult)) SystemOption {
+	return func(c *systemConfig) { c.streamObs = fn }
+}
+
 // NewSystem builds a system over the schema. By default it uses an
 // in-memory central store.
 func NewSystem(schema *Schema, opts ...SystemOption) (*System, error) {
@@ -112,6 +143,11 @@ func NewSystem(schema *Schema, opts ...SystemOption) (*System, error) {
 		interleaved: cfg.interleaved,
 		unbatched:   cfg.unbatched,
 		storeFor:    cfg.storeFor,
+
+		streamPoll:      cfg.streamPoll,
+		streamRetryBase: cfg.streamRetryBase,
+		streamRetryMax:  cfg.streamRetryMax,
+		streamObs:       cfg.streamObs,
 	}
 	if cfg.storeFor != nil {
 		return sys, nil
@@ -358,6 +394,47 @@ func (s *System) reconcileWaves(ctx context.Context, fan int, results []*Result,
 			}
 		}
 	}
+}
+
+// RunStreaming runs the incremental reconcile loop for every peer until
+// ctx is done, replacing the round barrier of ReconcileAll: each peer
+// subscribes to newly stable epochs via its store's watch capability
+// (Store.WatchFrom, degrading to polling where the store cannot watch) and
+// reconciles each stable window as it arrives, overlapping publish,
+// reconcile, and decision flush across the confederation. Publishing is
+// the application's job — Edit and Publish stay usable concurrently while
+// the streams run.
+//
+// RunStreaming blocks until every peer's stream has stopped. Cancelling
+// ctx is the normal shutdown and yields a nil error; a peer whose stream
+// dies on a permanent (non-transient, non-cancellation) failure is
+// reported in the joined error as a *PeerError with Op "stream", and the
+// other peers keep streaming until ctx ends.
+//
+// Results are delivered through the observer (WithStreamObserver) and the
+// Pipeline counters, which gain publish-to-stable and stable-to-decision
+// lag alongside the usual per-stage stats.
+func (s *System) RunStreaming(ctx context.Context) error {
+	errs := make([]error, len(s.order))
+	var wg sync.WaitGroup
+	for i, id := range s.order {
+		wg.Add(1)
+		go func(i int, p *Peer) {
+			defer wg.Done()
+			err := p.ReconcileStream(ctx, store.StreamOptions{
+				Poll:      s.streamPoll,
+				RetryBase: s.streamRetryBase,
+				RetryMax:  s.streamRetryMax,
+				Metrics:   &s.pstats,
+				OnResult:  s.streamObs,
+			})
+			if err != nil && ctx.Err() == nil {
+				errs[i] = &PeerError{Peer: p.ID(), Op: "stream", Err: err}
+			}
+		}(i, s.peers[id])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // forEachPeer runs fn(i) for every peer index on at most fan goroutines.
