@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json chaos-smoke fuzz-smoke linkcheck clean
+.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json chaos-smoke multigroup-smoke fuzz-smoke linkcheck clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,17 @@ chaos-smoke:
 	$(GO) test -race -count=1 -run '^TestChaosMatrix' .
 	$(GO) test -race -count=1 -run '^TestFault|^TestOneWayPartition|^TestCrashRestart|^TestLinkFaults|^TestRetry' ./internal/simnet ./internal/rpc
 
+# multigroup-smoke runs the multi-group contract gates under the race
+# detector (see docs/MULTIGROUP.md): the cross-tenant differential (every
+# fleet-hosted group bit-identical to a standalone run, across fleet sizes
+# and drive modes), the tenant-isolation suite with the torn multi-tenant
+# WAL crash cell, and the placement/rebalance drain proofs. make verify
+# covers these too; running them by name makes a tenancy regression
+# unmissable in CI.
+multigroup-smoke:
+	$(GO) test -race -count=1 -run '^TestFleet' .
+	$(GO) test -race -count=1 -run '^TestTenant' ./internal/store/central
+
 # fuzz-smoke gives every native fuzz target a short budget on top of its
 # checked-in seed corpus (testdata/fuzz): enough to catch decoder panics
 # and corpus rot on every PR without CI paying for a real fuzzing campaign.
@@ -58,6 +69,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePublishedTxns$$' -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSnapshot$$' -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzNamespaceCodec$$' -fuzztime 10s ./internal/store
 
 # linkcheck verifies every relative markdown link in README.md and docs/
 # resolves to an existing file (offline; external URLs are not fetched).

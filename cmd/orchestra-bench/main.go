@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -258,6 +259,24 @@ type streamLatencyEntry struct {
 	P99Ns     float64 `json:"p99_ns"`
 }
 
+// multiGroupBenchEntry is one cell of the multi-group scale-out suite: G
+// tenant groups, each a small confederation, driven through one Fleet of
+// durable store nodes by the group Scheduler. Aggregate published-txn
+// throughput is the headline; commits-per-flush measures the shared WAL
+// batching commits across tenants (co-located groups' commits riding one
+// flush — the multi-tenant economy a per-group database cannot have).
+type multiGroupBenchEntry struct {
+	Name            string  `json:"name"`
+	Stores          int     `json:"stores"`
+	Groups          int     `json:"groups"`
+	PeersPerGroup   int     `json:"peers_per_group"`
+	Rounds          int     `json:"rounds"`
+	Txns            int64   `json:"txns"`
+	TxnsPerSec      float64 `json:"txns_per_sec"`
+	NsPerRound      float64 `json:"ns_per_round"`
+	CommitsPerFlush float64 `json:"commits_per_flush"`
+}
+
 // coreBenchReport is the BENCH_core.json schema; future PRs compare their
 // runs against the committed serial baseline to track the perf trajectory.
 // See docs/BENCHMARKING.md.
@@ -274,6 +293,7 @@ type coreBenchReport struct {
 	SnapshotRebuild   []snapshotRebuildEntry  `json:"snapshot_rebuild"`
 	ChaosOverhead     []chaosOverheadEntry    `json:"chaos_overhead"`
 	StreamLatency     []streamLatencyEntry    `json:"stream_latency"`
+	MultiGroup        []multiGroupBenchEntry  `json:"multi_group"`
 }
 
 // runCoreSuite measures Engine.Reconcile on the shared contended workload
@@ -345,6 +365,9 @@ func runCoreSuite(path string) error {
 		return err
 	}
 	if err := runStreamLatencySuite(&report); err != nil {
+		return err
+	}
+	if err := runMultiGroupSuite(&report); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -1157,4 +1180,118 @@ func runDecisionBatchSuite(report *coreBenchReport) error {
 		"DecisionBatching/ReconcileAll", snap.DecisionRoundTrips, snap.DecisionPeers,
 		snap.Decisions, snap.BatchPeak)
 	return nil
+}
+
+// runMultiGroupSuite measures the multi-group scale-out path end to end:
+// a durable Fleet of store nodes hosts G tenant groups (ring-placed,
+// co-located groups sharing one database and WAL per node), and the group
+// Scheduler drives barrier rounds with bounded concurrency. Each round
+// every peer of every group edits one fresh tuple, then the scheduler runs
+// every group's publish/reconcile. The headline is aggregate published
+// txns/sec across all tenants; commits-per-flush shows the shared WAL's
+// group commit batching co-located tenants' commits into single syncs.
+func runMultiGroupSuite(report *coreBenchReport) error {
+	cells := []struct {
+		stores, groups, peers, rounds int
+	}{
+		{1, 10, 2, 3},
+		{1, 10, 8, 3},
+		{2, 100, 2, 3},
+		{2, 1000, 2, 2},
+	}
+	for _, c := range cells {
+		e, err := runMultiGroupCell(c.stores, c.groups, c.peers, c.rounds)
+		if err != nil {
+			return err
+		}
+		report.MultiGroup = append(report.MultiGroup, *e)
+		fmt.Printf("%-40s %12.0f txns/s %10.2f commits/flush\n", e.Name, e.TxnsPerSec, e.CommitsPerFlush)
+	}
+	return nil
+}
+
+func runMultiGroupCell(stores, groups, peers, rounds int) (*multiGroupBenchEntry, error) {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "orchestra-multigroup-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	// Disk-backed nodes with a short gathering window: in-memory nodes have
+	// no WAL, and without a window a lightly loaded flusher would batch only
+	// opportunistically — the window makes co-located tenants' commits ride
+	// shared flushes deterministically.
+	f := orchestra.NewFleet(
+		orchestra.WithStoreDirs(func(name string) string { return filepath.Join(dir, name) }),
+		orchestra.WithGroupStoreOptions(central.WithGroupCommit(200*time.Microsecond)),
+	)
+	defer f.Close()
+	for i := 0; i < stores; i++ {
+		if err := f.AddStore(fmt.Sprintf("s%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	pol, err := trust.Parse("priority 1 when true")
+	if err != nil {
+		return nil, err
+	}
+	schema := core.MustSchema(core.NewRelation("F", 2, "organism", "protein", "function"))
+	for g := 0; g < groups; g++ {
+		spec := orchestra.GroupSpec{ID: fmt.Sprintf("g%d", g), Schema: schema}
+		for p := 0; p < peers; p++ {
+			spec.Peers = append(spec.Peers, orchestra.GroupPeer{
+				ID: core.PeerID(fmt.Sprintf("p%d", p)), Trust: pol,
+			})
+		}
+		if _, err := f.AddGroup(spec); err != nil {
+			return nil, err
+		}
+	}
+
+	sched := orchestra.NewScheduler(f.Groups(),
+		orchestra.WithGroupLimit(4*runtime.GOMAXPROCS(0)))
+	var txns int64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, g := range f.Groups() {
+			for pi, p := range g.System().Peers() {
+				u := core.Insert("F",
+					core.Strs(g.ID(), fmt.Sprintf("p%d-r%d", pi, r), "fn"), p.ID())
+				if _, err := p.Edit(u); err != nil {
+					return nil, err
+				}
+				txns++
+			}
+		}
+		if err := sched.RunRound(ctx); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	var grouped, flushes int64
+	for _, name := range f.Stores() {
+		if n, ok := f.Node(name); ok {
+			snap := n.Metrics().Snapshot()
+			grouped += snap.GroupedCommits
+			flushes += snap.GroupFlushes
+		}
+	}
+	cpf := 0.0
+	if flushes > 0 {
+		cpf = float64(grouped) / float64(flushes)
+	}
+	e := &multiGroupBenchEntry{
+		Name: fmt.Sprintf("MultiGroup/stores=%d/groups=%d/peers=%d",
+			stores, groups, peers),
+		Stores:          stores,
+		Groups:          groups,
+		PeersPerGroup:   peers,
+		Rounds:          rounds,
+		Txns:            txns,
+		TxnsPerSec:      float64(txns) / elapsed.Seconds(),
+		NsPerRound:      float64(elapsed.Nanoseconds()) / float64(rounds),
+		CommitsPerFlush: cpf,
+	}
+	return e, f.Close()
 }

@@ -1,0 +1,113 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func fleetPolicy(t *testing.T) *TrustPolicy {
+	t.Helper()
+	p, err := ParseTrustPolicy("priority 1 when true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Basic fleet lifecycle: groups land on ring owners, reconcile through
+// the routed store, and their data stays per-group.
+func TestFleetBasic(t *testing.T) {
+	ctx := context.Background()
+	schema := MustSchema(NewRelation("F", 1, "k", "v"))
+	fleet := NewFleet()
+	defer fleet.Close()
+	for _, s := range []string{"s0", "s1"} {
+		if err := fleet.AddStore(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	policy := fleetPolicy(t)
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("group-%d", i)
+		g, err := fleet.AddGroup(GroupSpec{
+			ID:     id,
+			Schema: schema,
+			Peers: []GroupPeer{
+				{ID: "alice", Trust: policy},
+				{ID: "bob", Trust: policy},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, ok := fleet.StoreFor(id)
+		if !ok || owner == "" {
+			t.Fatalf("group %s has no owner", id)
+		}
+		alice, _ := g.System().Peer("alice")
+		if _, err := alice.Edit(Insert("F", Strs("k-"+id, "v-"+id), "alice")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.System().ReconcileAll(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.System().ReconcileAll(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every group's bob imported exactly his group's row.
+	for _, g := range fleet.Groups() {
+		bob, _ := g.System().Peer("bob")
+		inst := bob.Instance()
+		tuples := inst.Tuples("F")
+		if len(tuples) != 1 {
+			t.Fatalf("group %s: bob has %d F rows, want 1", g.ID(), len(tuples))
+		}
+		if got := tuples[0][0].String(); got != "k-"+g.ID() {
+			t.Fatalf("group %s: bob imported %q", g.ID(), got)
+		}
+	}
+	if len(fleet.Groups()) != 4 {
+		t.Fatalf("fleet has %d groups, want 4", len(fleet.Groups()))
+	}
+}
+
+// Scheduler rounds over more groups than the concurrency bound: all
+// groups converge.
+func TestSchedulerRounds(t *testing.T) {
+	ctx := context.Background()
+	schema := MustSchema(NewRelation("F", 1, "k", "v"))
+	fleet := NewFleet()
+	defer fleet.Close()
+	if err := fleet.AddStore("s0"); err != nil {
+		t.Fatal(err)
+	}
+	policy := fleetPolicy(t)
+	const groups = 7
+	for i := 0; i < groups; i++ {
+		id := fmt.Sprintf("g%d", i)
+		g, err := fleet.AddGroup(GroupSpec{
+			ID:     id,
+			Schema: schema,
+			Peers:  []GroupPeer{{ID: "a", Trust: policy}, {ID: "b", Trust: policy}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := g.System().Peer("a")
+		if _, err := a.Edit(Insert("F", Strs("k"+id, "v"), "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched := NewScheduler(fleet.Groups(), WithGroupLimit(2))
+	if err := sched.RunRounds(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range fleet.Groups() {
+		b, _ := g.System().Peer("b")
+		if n := len(b.Instance().Tuples("F")); n != 1 {
+			t.Fatalf("group %s: b has %d rows after scheduled rounds, want 1", g.ID(), n)
+		}
+	}
+}

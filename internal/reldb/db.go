@@ -299,6 +299,7 @@ const (
 	opDelete
 	opCreate
 	opSeq
+	opDrop
 )
 
 // applyOps replays logged operations without re-logging; used by recovery.
@@ -325,6 +326,11 @@ func (db *DB) applyOps(batch []walOp) error {
 			t.deleteByPK(op.PK)
 		case opSeq:
 			db.seqs[op.Seq] = op.SeqV
+		case opDrop:
+			if _, ok := db.tables[op.Table]; !ok {
+				return fmt.Errorf("reldb: recovery: %w: %s", ErrNoTable, op.Table)
+			}
+			delete(db.tables, op.Table)
 		default:
 			return fmt.Errorf("reldb: recovery: unknown op %d", op.Kind)
 		}

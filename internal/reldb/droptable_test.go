@@ -1,0 +1,115 @@
+package reldb
+
+import (
+	"errors"
+	"testing"
+)
+
+func dropTestDef(name string) TableDef {
+	return TableDef{
+		Name: name,
+		Cols: []ColDef{
+			{Name: "k", Type: ColString},
+			{Name: "v", Type: ColInt},
+		},
+		Key: []int{0},
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Update(func(tx *Tx) error {
+		for _, name := range []string{"keep", "doomed"} {
+			if err := tx.CreateTable(dropTestDef(name)); err != nil {
+				return err
+			}
+			if err := tx.Insert(name, Row{Str("a"), Int(1)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A rolled-back drop leaves the table (and its rows) untouched.
+	sentinel := errors.New("abort")
+	err = db.Update(func(tx *Tx) error {
+		if err := tx.DropTable("doomed"); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("rollback err = %v", err)
+	}
+	if _, ok := db.TableDef("doomed"); !ok {
+		t.Fatal("rolled-back drop removed the table")
+	}
+	err = db.View(func(tx *Tx) error {
+		if _, ok, err := tx.Get("doomed", Str("a")); err != nil || !ok {
+			t.Fatalf("row lost after rolled-back drop: ok=%v err=%v", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A committed drop removes the table; a later transaction can recreate
+	// the name from scratch.
+	if err := db.Update(func(tx *Tx) error { return tx.DropTable("doomed") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.TableDef("doomed"); ok {
+		t.Fatal("dropped table still declared")
+	}
+	err = db.Update(func(tx *Tx) error {
+		if err := tx.CreateTable(dropTestDef("doomed")); err != nil {
+			return err
+		}
+		return tx.Insert("doomed", Row{Str("b"), Int(2)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery replays create → put → drop → create → put in order.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	err = db2.View(func(tx *Tx) error {
+		if _, ok, err := tx.Get("keep", Str("a")); err != nil || !ok {
+			t.Fatalf("keep row lost across recovery: ok=%v err=%v", ok, err)
+		}
+		if r, ok, err := tx.Get("doomed", Str("b")); err != nil || !ok || r[1].I() != 2 {
+			t.Fatalf("recreated table wrong after recovery: row=%v ok=%v err=%v", r, ok, err)
+		}
+		if _, ok, _ := tx.Get("doomed", Str("a")); ok {
+			t.Fatal("pre-drop row survived the drop across recovery")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropTableUnknown(t *testing.T) {
+	db := MustOpenMemory()
+	defer db.Close()
+	err := db.Update(func(tx *Tx) error { return tx.DropTable("ghost") })
+	if !errors.Is(err, ErrNoTable) {
+		t.Fatalf("err = %v, want ErrNoTable", err)
+	}
+}

@@ -37,10 +37,11 @@ type undoOp struct {
 type undoKind uint8
 
 const (
-	undoPut    undoKind = iota + 1 // re-put row into t (reverses delete/replace)
-	undoDelete                     // delete pk from t (reverses insert)
-	undoSeq                        // restore sequence seq to seqV
-	undoDrop                       // drop the created table t
+	undoPut     undoKind = iota + 1 // re-put row into t (reverses delete/replace)
+	undoDelete                      // delete pk from t (reverses insert)
+	undoSeq                         // restore sequence seq to seqV
+	undoDrop                        // drop the created table t
+	undoRestore                     // re-register the dropped table t
 )
 
 // table resolves a table and, on first touch, acquires its lock in the
@@ -168,6 +169,28 @@ func (tx *Tx) CreateTable(def TableDef) error {
 	tx.tabs = append(tx.tabs, t)
 	tx.undo = append(tx.undo, undoOp{kind: undoDrop, t: t})
 	tx.logOp(walOp{Kind: opCreate, Def: def})
+	return nil
+}
+
+// DropTable removes a table and all its rows. Like CreateTable, DDL is not
+// isolated from concurrent DML: drop a table only while no concurrent
+// transaction can touch it (the central store drops a tenant's tables only
+// after the tenant is closed and drained). The dropped table stays locked
+// by this transaction until commit; re-creating the same name within the
+// same transaction is not supported.
+func (tx *Tx) DropTable(name string) error {
+	if err := tx.requireWritable(); err != nil {
+		return err
+	}
+	t, err := tx.table(name)
+	if err != nil {
+		return err
+	}
+	tx.db.tablesMu.Lock()
+	delete(tx.db.tables, name)
+	tx.db.tablesMu.Unlock()
+	tx.undo = append(tx.undo, undoOp{kind: undoRestore, t: t})
+	tx.logOp(walOp{Kind: opDrop, Table: name})
 	return nil
 }
 
@@ -369,6 +392,10 @@ func (tx *Tx) rollback() {
 		case undoDrop:
 			tx.db.tablesMu.Lock()
 			delete(tx.db.tables, u.t.def.Name)
+			tx.db.tablesMu.Unlock()
+		case undoRestore:
+			tx.db.tablesMu.Lock()
+			tx.db.tables[u.t.def.Name] = u.t
 			tx.db.tablesMu.Unlock()
 		}
 	}

@@ -233,6 +233,24 @@ type Store struct {
 	schema   *core.Schema
 	counters *metrics.StoreCounters
 
+	// ns is the group-namespace prefix every table and sequence name
+	// carries ("" for a single-tenant store opened with Open). Tenant
+	// stores opened through a Node share one reldb database; because each
+	// tenant touches only its own prefixed tables, reldb's per-table locks
+	// keep tenants fully parallel while their commits share WAL group
+	// flushes. ownsDB records whether Close may close the database (a
+	// tenant's database belongs to its Node).
+	ns     string
+	ownsDB bool
+
+	// Namespaced fixed table and sequence names, precomputed at open.
+	metaTab  string
+	peersTab string
+	snapsTab string
+	idemTab  string
+	trustTab string
+	epochSeq string
+
 	// tableShards is the epoch-shard count; epoch e lives in the shard-k
 	// tables below with k = e mod tableShards. The per-shard table names
 	// are precomputed at open.
@@ -382,10 +400,30 @@ func Open(schema *core.Schema, dir string, opts ...Option) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	s, err := openOn(db, schema, "", true, cfg)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// openOn builds a store over an existing database under the given
+// namespace prefix. ownsDB decides whether Close closes the database: the
+// single-tenant Open owns its database, a Node's tenants do not.
+func openOn(db *reldb.DB, schema *core.Schema, ns string, ownsDB bool, cfg config) (*Store, error) {
 	s := &Store{
 		db:          db,
 		schema:      schema,
 		counters:    &metrics.StoreCounters{},
+		ns:          ns,
+		ownsDB:      ownsDB,
+		metaTab:     ns + "meta",
+		peersTab:    ns + "peers",
+		snapsTab:    ns + "snapshots",
+		idemTab:     ns + "idempotency",
+		trustTab:    ns + "trust",
+		epochSeq:    ns + "epoch",
 		epochs:      make(map[core.Epoch]*epochMeta),
 		peers:       make(map[core.PeerID]*peerMeta),
 		epochBlock:  cfg.epochBlock,
@@ -400,11 +438,9 @@ func Open(schema *core.Schema, dir string, opts ...Option) (*Store, error) {
 		s.shards[i].m = make(map[core.TxnID]*entry)
 	}
 	if err := s.initTables(cfg); err != nil {
-		db.Close()
 		return nil, err
 	}
 	if err := s.loadCaches(); err != nil {
-		db.Close()
 		return nil, err
 	}
 	return s, nil
@@ -419,8 +455,9 @@ func MustOpenMemory(schema *core.Schema) *Store {
 	return s
 }
 
-// Close terminates open watch subscriptions and closes the backing
-// database.
+// Close terminates open watch subscriptions and, for a store that owns its
+// database (opened with Open), closes it. A tenant store opened through a
+// Node leaves the shared database to the Node.
 func (s *Store) Close() error {
 	s.watchMu.Lock()
 	if !s.watchClosed {
@@ -428,6 +465,9 @@ func (s *Store) Close() error {
 		close(s.watchDone)
 	}
 	s.watchMu.Unlock()
+	if !s.ownsDB {
+		return nil
+	}
 	return s.db.Close()
 }
 
@@ -526,19 +566,19 @@ func (s *Store) decisionShard(id core.TxnID) int {
 // Pre-shard directories fail with a version error — same no-migration
 // policy as the binary-codec break.
 func (s *Store) resolveLayout(cfg config) error {
-	if _, ok := s.db.TableDef("txns"); ok {
+	if _, ok := s.db.TableDef(s.ns + "txns"); ok {
 		return fmt.Errorf("central: store directory uses the pre-shard single-table layout; no migration path (layout version %d writes epoch-sharded tables)", layoutVersion)
 	}
 	shards := cfg.tableShards
-	if _, ok := s.db.TableDef("meta"); ok {
+	if _, ok := s.db.TableDef(s.metaTab); ok {
 		var layout, stored int64
 		err := s.db.View(func(tx *reldb.Tx) error {
-			if r, ok, err := tx.Get("meta", reldb.Str("layout")); err != nil {
+			if r, ok, err := tx.Get(s.metaTab, reldb.Str("layout")); err != nil {
 				return err
 			} else if ok {
 				layout = r[1].I()
 			}
-			if r, ok, err := tx.Get("meta", reldb.Str("table_shards")); err != nil {
+			if r, ok, err := tx.Get(s.metaTab, reldb.Str("table_shards")); err != nil {
 				return err
 			} else if ok {
 				stored = r[1].I()
@@ -564,9 +604,9 @@ func (s *Store) resolveLayout(cfg config) error {
 	s.txnsTab = make([]string, shards)
 	s.decisionsTab = make([]string, shards)
 	for k := 0; k < shards; k++ {
-		s.epochsTab[k] = fmt.Sprintf("epochs_%02d", k)
-		s.txnsTab[k] = fmt.Sprintf("txns_%02d", k)
-		s.decisionsTab[k] = fmt.Sprintf("decisions_%02d", k)
+		s.epochsTab[k] = fmt.Sprintf("%sepochs_%02d", s.ns, k)
+		s.txnsTab[k] = fmt.Sprintf("%stxns_%02d", s.ns, k)
+		s.decisionsTab[k] = fmt.Sprintf("%sdecisions_%02d", s.ns, k)
 	}
 	s.counters.InitShards(shards)
 	return nil
@@ -583,9 +623,9 @@ func (s *Store) initTables(cfg config) error {
 			}
 			return tx.CreateTable(def)
 		}
-		if !tx.HasTable("meta") {
+		if !tx.HasTable(s.metaTab) {
 			if err := tx.CreateTable(reldb.TableDef{
-				Name: "meta",
+				Name: s.metaTab,
 				Cols: []reldb.ColDef{
 					{Name: "key", Type: reldb.ColString},
 					{Name: "value", Type: reldb.ColInt},
@@ -594,10 +634,10 @@ func (s *Store) initTables(cfg config) error {
 			}); err != nil {
 				return err
 			}
-			if err := tx.Insert("meta", reldb.Row{reldb.Str("layout"), reldb.Int(layoutVersion)}); err != nil {
+			if err := tx.Insert(s.metaTab, reldb.Row{reldb.Str("layout"), reldb.Int(layoutVersion)}); err != nil {
 				return err
 			}
-			if err := tx.Insert("meta", reldb.Row{reldb.Str("table_shards"), reldb.Int(int64(s.tableShards))}); err != nil {
+			if err := tx.Insert(s.metaTab, reldb.Row{reldb.Str("table_shards"), reldb.Int(int64(s.tableShards))}); err != nil {
 				return err
 			}
 		}
@@ -654,7 +694,7 @@ func (s *Store) initTables(cfg config) error {
 			}
 		}
 		if err := create(reldb.TableDef{
-			Name: "peers",
+			Name: s.peersTab,
 			Cols: []reldb.ColDef{
 				{Name: "peer", Type: reldb.ColString},
 				{Name: "last_epoch", Type: reldb.ColInt},
@@ -669,7 +709,7 @@ func (s *Store) initTables(cfg config) error {
 		// it; a torn commit rolls back whole, so the previous snapshot (and
 		// the publish log) are never voided by a crash mid-snapshot.
 		if err := create(reldb.TableDef{
-			Name: "snapshots",
+			Name: s.snapsTab,
 			Cols: []reldb.ColDef{
 				{Name: "epoch", Type: reldb.ColInt},
 				{Name: "payload", Type: reldb.ColBytes},
@@ -685,7 +725,7 @@ func (s *Store) initTables(cfg config) error {
 		// conditionally: directories from before this table gain it on
 		// reopen with no layout break.
 		if err := create(reldb.TableDef{
-			Name: "idempotency",
+			Name: s.idemTab,
 			Cols: []reldb.ColDef{
 				{Name: "key", Type: reldb.ColString},
 				{Name: "op", Type: reldb.ColString},
@@ -704,7 +744,7 @@ func (s *Store) initTables(cfg config) error {
 		// those peers must re-register after recovery (beginReconciliation
 		// refuses them with a clear error until they do).
 		return create(reldb.TableDef{
-			Name: "trust",
+			Name: s.trustTab,
 			Cols: []reldb.ColDef{
 				{Name: "peer", Type: reldb.ColString},
 				{Name: "policy", Type: reldb.ColString},
@@ -739,7 +779,7 @@ func (s *Store) loadCaches() error {
 		// now; register them as void (finished, empty) so the stable
 		// frontier passes over the gaps. Allocation resumes with a fresh
 		// block above the high-water mark.
-		seqHW := core.Epoch(tx.CurrentSeq("epoch"))
+		seqHW := core.Epoch(tx.CurrentSeq(s.epochSeq))
 		for e := core.Epoch(1); e <= seqHW; e++ {
 			if _, ok := s.epochs[e]; !ok {
 				em := &epochMeta{}
@@ -784,7 +824,7 @@ func (s *Store) loadCaches() error {
 				em.txns = append(em.txns, en.pub.Txn.ID)
 			}
 		}
-		if err := tx.Scan("peers", func(r reldb.Row) bool {
+		if err := tx.Scan(s.peersTab, func(r reldb.Row) bool {
 			s.peers[core.PeerID(r[0].S())] = &peerMeta{
 				lastEpoch:  core.Epoch(r[1].I()),
 				recno:      int(r[2].I()),
@@ -798,7 +838,7 @@ func (s *Store) loadCaches() error {
 		// Restore persisted textual trust policies. Peers registered with
 		// in-process predicate policies have no row here and stay
 		// trust-less until they re-register.
-		if err := tx.Scan("trust", func(r reldb.Row) bool {
+		if err := tx.Scan(s.trustTab, func(r reldb.Row) bool {
 			pm := s.peers[core.PeerID(r[0].S())]
 			if pm == nil {
 				return true
@@ -833,7 +873,7 @@ func (s *Store) loadCaches() error {
 				return err
 			}
 		}
-		if r, ok, err := tx.Get("meta", reldb.Str("compacted_before")); err != nil {
+		if r, ok, err := tx.Get(s.metaTab, reldb.Str("compacted_before")); err != nil {
 			return err
 		} else if ok {
 			s.snapState.compacted = core.Epoch(r[1].I())
@@ -906,14 +946,14 @@ func (s *Store) RegisterPeer(_ context.Context, peer core.PeerID, t core.Trust) 
 	_, known := s.peers[peer]
 	err := s.db.Update(func(tx *reldb.Tx) error {
 		if !known {
-			if err := tx.Insert("peers", reldb.Row{reldb.Str(string(peer)), reldb.Int(0), reldb.Int(0)}); err != nil {
+			if err := tx.Insert(s.peersTab, reldb.Row{reldb.Str(string(peer)), reldb.Int(0), reldb.Int(0)}); err != nil {
 				return err
 			}
 		}
 		if p, ok := t.(*trust.Policy); ok {
-			return tx.Upsert("trust", reldb.Row{reldb.Str(string(peer)), reldb.Str(p.String())})
+			return tx.Upsert(s.trustTab, reldb.Row{reldb.Str(string(peer)), reldb.Str(p.String())})
 		}
-		_, err := tx.Delete("trust", reldb.Str(string(peer)))
+		_, err := tx.Delete(s.trustTab, reldb.Str(string(peer)))
 		return err
 	})
 	if err != nil {
@@ -962,7 +1002,7 @@ func (s *Store) allocEpoch(peer core.PeerID) (core.Epoch, error) {
 		var end int64
 		err := s.db.Update(func(tx *reldb.Tx) error {
 			var err error
-			end, err = tx.AdvanceSeq("epoch", s.epochBlock)
+			end, err = tx.AdvanceSeq(s.epochSeq, s.epochBlock)
 			return err
 		})
 		if err != nil {
@@ -1063,7 +1103,7 @@ func (s *Store) publishWrite(peer core.PeerID, epoch core.Epoch, txns []store.Pu
 			}
 		}
 		if key != "" {
-			return tx.Insert("idempotency", idemRow(key, opPublish, int64(epoch), 0, 0))
+			return tx.Insert(s.idemTab, idemRow(key, opPublish, int64(epoch), 0, 0))
 		}
 		return nil
 	})
@@ -1239,13 +1279,13 @@ func (s *Store) beginReconciliation(peer core.PeerID, key store.IdempotencyKey) 
 	// prescribes, so the epochs table is released for publishers. The dedup
 	// record rides the same commit.
 	err = s.db.Update(func(tx *reldb.Tx) error {
-		if err := tx.Upsert("peers", reldb.Row{
+		if err := tx.Upsert(s.peersTab, reldb.Row{
 			reldb.Str(string(peer)), reldb.Int(int64(stable)), reldb.Int(int64(recno)),
 		}); err != nil {
 			return err
 		}
 		if key != "" {
-			return tx.Insert("idempotency", idemRow(key, opBegin, int64(recno), int64(from), int64(stable)))
+			return tx.Insert(s.idemTab, idemRow(key, opBegin, int64(recno), int64(from), int64(stable)))
 		}
 		return nil
 	})
@@ -1499,7 +1539,7 @@ func (s *Store) recordDecisionsBatch(batches []store.DecisionBatch, key store.Id
 				}
 			}
 			if key != "" {
-				return tx.Insert("idempotency", idemRow(key, opDecide, int64(wm), 0, 0))
+				return tx.Insert(s.idemTab, idemRow(key, opDecide, int64(wm), 0, 0))
 			}
 			return nil
 		})

@@ -22,6 +22,30 @@ func TestWatchConformance(t *testing.T) {
 	storetest.RunWatchConformance(t, factory)
 }
 
+// TestMultiGroupConformance runs the tenancy suite over a Node hosting
+// every group in one shared in-memory database.
+func TestMultiGroupConformance(t *testing.T) {
+	storetest.RunMultiGroupConformance(t, factory,
+		func(t *testing.T, schema *core.Schema) (func(string, core.PeerID) store.Store, func()) {
+			node, err := OpenNode("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores := make(map[string]*Store)
+			return func(group string, _ core.PeerID) store.Store {
+				if s, ok := stores[group]; ok {
+					return s
+				}
+				s, err := node.OpenGroup(group, schema)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stores[group] = s
+				return s
+			}, func() { node.Close() }
+		})
+}
+
 // TestUnfinishedEpochBlocksStable: a reconciler must not see past an
 // unfinished epoch, even when later epochs are complete (§5.2.1).
 func TestUnfinishedEpochBlocksStable(t *testing.T) {

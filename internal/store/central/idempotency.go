@@ -128,7 +128,7 @@ func idemRow(key store.IdempotencyKey, op string, r1, r2, r3 int64) reldb.Row {
 // loadIdem rebuilds the completed-entry map from the idempotency table
 // (within loadCaches' recovery view).
 func (s *Store) loadIdem(tx *reldb.Tx) error {
-	return tx.Scan("idempotency", func(r reldb.Row) bool {
+	return tx.Scan(s.idemTab, func(r reldb.Row) bool {
 		en := &idemEntry{op: r[1].S(), done: make(chan struct{})}
 		switch en.op {
 		case opPublish, opSnapshot, opCompact, opDecide:

@@ -248,22 +248,22 @@ func (s *Store) snapshotLocked(ctx context.Context, key store.IdempotencyKey) (c
 	payload := store.AppendSnapshot(nil, snap)
 	err = s.db.Update(func(tx *reldb.Tx) error {
 		var old []int64
-		if err := tx.Scan("snapshots", func(r reldb.Row) bool {
+		if err := tx.Scan(s.snapsTab, func(r reldb.Row) bool {
 			old = append(old, r[0].I())
 			return true
 		}); err != nil {
 			return err
 		}
 		for _, e := range old {
-			if _, err := tx.Delete("snapshots", reldb.Int(e)); err != nil {
+			if _, err := tx.Delete(s.snapsTab, reldb.Int(e)); err != nil {
 				return err
 			}
 		}
-		if err := tx.Insert("snapshots", reldb.Row{reldb.Int(int64(stable)), reldb.Bytes(payload)}); err != nil {
+		if err := tx.Insert(s.snapsTab, reldb.Row{reldb.Int(int64(stable)), reldb.Bytes(payload)}); err != nil {
 			return err
 		}
 		if key != "" {
-			return tx.Insert("idempotency", idemRow(key, opSnapshot, int64(stable), 0, 0))
+			return tx.Insert(s.idemTab, idemRow(key, opSnapshot, int64(stable), 0, 0))
 		}
 		return nil
 	})
@@ -295,7 +295,7 @@ func (s *Store) LatestSnapshot(_ context.Context) (*store.Snapshot, error) {
 	var payload []byte
 	err := s.db.View(func(tx *reldb.Tx) error {
 		best := int64(-1)
-		return tx.Scan("snapshots", func(r reldb.Row) bool {
+		return tx.Scan(s.snapsTab, func(r reldb.Row) bool {
 			if e := r[0].I(); e > best {
 				best = e
 				payload = append(payload[:0], r[1].Raw()...)
@@ -566,16 +566,16 @@ func (s *Store) compactBeforeLocked(e core.Epoch, key store.IdempotencyKey) erro
 				}
 			}
 		}
-		if err := tx.Upsert("meta", reldb.Row{reldb.Str("compacted_before"), reldb.Int(int64(e))}); err != nil {
+		if err := tx.Upsert(s.metaTab, reldb.Row{reldb.Str("compacted_before"), reldb.Int(int64(e))}); err != nil {
 			return err
 		}
 		for _, k := range pruneIdem {
-			if _, err := tx.Delete("idempotency", reldb.Str(string(k))); err != nil {
+			if _, err := tx.Delete(s.idemTab, reldb.Str(string(k))); err != nil {
 				return err
 			}
 		}
 		if key != "" {
-			return tx.Insert("idempotency", idemRow(key, opCompact, int64(e), 0, 0))
+			return tx.Insert(s.idemTab, idemRow(key, opCompact, int64(e), 0, 0))
 		}
 		return nil
 	})

@@ -1,0 +1,280 @@
+package central
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"orchestra/internal/core"
+	"orchestra/internal/store"
+	"orchestra/internal/store/storetest"
+)
+
+// pubBatch publishes one batch of n transactions from peer p into s,
+// with sequence numbers seq, seq+1, ...
+func pubBatch(t *testing.T, s *Store, p core.PeerID, seq uint64, n int) []core.TxnID {
+	t.Helper()
+	batch := make([]store.PublishedTxn, n)
+	ids := make([]core.TxnID, n)
+	for k := range batch {
+		id := core.TxnID{Origin: p, Seq: seq + uint64(k)}
+		ids[k] = id
+		batch[k] = store.PublishedTxn{Txn: core.NewTransaction(id,
+			core.Insert("F", core.Strs(string(p), fmt.Sprintf("prot-%d", id.Seq), "fn"), p))}
+	}
+	if _, err := s.Publish(context.Background(), p, batch); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// TestTenantMaintenanceIsolation: one co-located group's maintenance —
+// snapshots, compaction, watch subscriptions, idempotency records — must
+// neither observe nor disturb another group's state.
+func TestTenantMaintenanceIsolation(t *testing.T) {
+	ctx := context.Background()
+	schema := storetest.Schema(t)
+	node, err := OpenNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	noisy, err := node.OpenGroup("noisy", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := node.OpenGroup("quiet", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive both groups with reconciling peers so the noisy group's
+	// compaction preconditions (peer frontiers, snapshot coverage) hold.
+	mkPeer := func(s *Store, id core.PeerID) *store.Peer {
+		p, err := store.NewPeer(ctx, id, schema, storetest.TrustAll(1), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	nAlice, nBob := mkPeer(noisy, "alice"), mkPeer(noisy, "bob")
+	qAlice, qBob := mkPeer(quiet, "alice"), mkPeer(quiet, "bob")
+	for i := 0; i < 3; i++ {
+		if _, err := nAlice.Edit(core.Insert("F", core.Strs("rat", fmt.Sprintf("np%d", i), "fn"), "alice")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nAlice.PublishAndReconcile(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nBob.PublishAndReconcile(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := qAlice.Edit(core.Insert("F", core.Strs("mouse", "qp0", "fn"), "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qAlice.PublishAndReconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qBob.PublishAndReconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Noisy snapshots and compacts its whole log.
+	horizon, err := noisy.Snapshot(ctx)
+	if err != nil || horizon == 0 {
+		t.Fatalf("noisy snapshot: %d, %v", horizon, err)
+	}
+	if err := noisy.CompactBefore(ctx, noisy.CompactionHorizon()); err != nil {
+		t.Fatalf("noisy compact: %v", err)
+	}
+
+	// The quiet group saw none of it: no snapshot retained, no epochs
+	// compacted — a fresh reconciler still replays from epoch 0.
+	if snap, err := quiet.LatestSnapshot(ctx); err != nil || snap != nil {
+		t.Fatalf("quiet group inherited a snapshot: %+v, %v", snap, err)
+	}
+	if got := quiet.CompactedBefore(); got != 0 {
+		t.Fatalf("quiet group compacted to %d by noisy maintenance", got)
+	}
+	fresh := mkPeer(quiet, "fresh")
+	res, err := fresh.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 {
+		t.Fatalf("quiet fresh peer accepted %d txns, want its group's 1", len(res.Accepted))
+	}
+	for _, tup := range fresh.Instance().Tuples("F") {
+		if tup[0].String() != "mouse" {
+			t.Fatalf("quiet fresh peer imported foreign tuple %v", tup)
+		}
+	}
+
+	// Watch isolation: a quiet-group subscription never wakes for noisy
+	// publishes (the stores' watch machinery is fully disjoint), and does
+	// wake for its own.
+	qFrontier := quiet.stableEpoch()
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, err := quiet.WatchFrom(wctx, qFrontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubBatch(t, noisy, "alice", 1000, 1)
+	select {
+	case ev, ok := <-ch:
+		if ok {
+			t.Fatalf("quiet watcher woke for noisy publish: %+v", ev)
+		}
+		t.Fatal("quiet watcher closed unexpectedly")
+	case <-time.After(50 * time.Millisecond):
+	}
+	quietIDs := pubBatch(t, quiet, "alice", 2000, 1)
+	select {
+	case ev := <-ch:
+		if len(ev.Txns) != 1 || ev.Txns[0].Txn.ID != quietIDs[0] {
+			t.Fatalf("quiet watcher got wrong window: %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("quiet watcher missed its own group's publish")
+	}
+
+	// Idempotency isolation: the same key dedupes within a group but not
+	// across groups — each tenant has its own dedup table.
+	keyed := store.WithIdempotencyKey(ctx, "shared-key")
+	e1, err := noisy.Publish(keyed, "alice", []store.PublishedTxn{{Txn: core.NewTransaction(
+		core.TxnID{Origin: "alice", Seq: 3000},
+		core.Insert("F", core.Strs("rat", "kp", "fn"), "alice"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eDup, err := noisy.Publish(keyed, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eDup != e1 {
+		t.Fatalf("same-group keyed retry returned %d, want replayed %d", eDup, e1)
+	}
+	before := quiet.stableEpoch()
+	e2, err := quiet.Publish(keyed, "alice", []store.PublishedTxn{{Txn: core.NewTransaction(
+		core.TxnID{Origin: "alice", Seq: 3001},
+		core.Insert("F", core.Strs("mouse", "kp", "fn"), "alice"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != before+1 {
+		t.Fatalf("cross-group keyed publish returned %d, want fresh epoch %d (dedup leaked across tenants)", e2, before+1)
+	}
+}
+
+// TestTenantCrashTornMultiGroupWAL: a crash tearing the shared WAL
+// mid-flush voids only the group whose commit was torn. Both tenants'
+// commits ride one WAL; the tear kills the final record — the second
+// group's last publish — and recovery must void exactly that epoch while
+// the first group keeps every row.
+func TestTenantCrashTornMultiGroupWAL(t *testing.T) {
+	ctx := context.Background()
+	schema := storetest.Schema(t)
+	dir := t.TempDir()
+	node, err := OpenNode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := node.OpenGroup("a", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := node.OpenGroup("b", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*Store{ga, gb} {
+		if err := g.RegisterPeer(ctx, "pub", core.TrustAll(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var aIDs []core.TxnID
+	for i := 0; i < 3; i++ {
+		aIDs = append(aIDs, pubBatch(t, ga, "pub", uint64(10*i), 2)...)
+	}
+	var bIDs []core.TxnID
+	for i := 0; i < 2; i++ {
+		bIDs = append(bIDs, pubBatch(t, gb, "pub", uint64(10*i), 2)...)
+	}
+	// The final commit in the shared WAL: b's third publish — the one the
+	// crash tears.
+	tornIDs := pubBatch(t, gb, "pub", 100, 2)
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tearLastWALRecord(t, dir)
+
+	node2, err := OpenNode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+	if got := node2.StoredGroups(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("recovered groups %v, want [a b]", got)
+	}
+	ra, err := node2.OpenGroup("a", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := node2.OpenGroup("b", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Group a is untouched by b's torn flush.
+	if got, want := ra.TxnCount(), len(aIDs); got != want {
+		t.Fatalf("group a recovered %d txns, want %d", got, want)
+	}
+	if err := ra.RegisterPeer(ctx, "fresh", core.TrustAll(1)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ra.BeginReconciliation(ctx, "fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Candidates) != len(aIDs) {
+		t.Fatalf("group a fresh window has %d candidates, want %d", len(rec.Candidates), len(aIDs))
+	}
+
+	// Group b lost exactly the torn epoch: the two completed publishes
+	// survive, the torn one is voided, and the log stays writable.
+	if got, want := rb.TxnCount(), len(bIDs); got != want {
+		t.Fatalf("group b recovered %d txns, want %d (torn publish must void)", got, want)
+	}
+	if err := rb.RegisterPeer(ctx, "fresh", core.TrustAll(1)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = rb.BeginReconciliation(ctx, "fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[core.TxnID]bool, len(rec.Candidates))
+	for _, c := range rec.Candidates {
+		got[c.Txn.ID] = true
+	}
+	for _, id := range bIDs {
+		if !got[id] {
+			t.Errorf("group b lost completed txn %s", id)
+		}
+	}
+	for _, id := range tornIDs {
+		if got[id] {
+			t.Errorf("group b torn txn %s survived recovery", id)
+		}
+	}
+	retry := pubBatch(t, rb, "pub", 200, 1)
+	rec, err = rb.BeginReconciliation(ctx, "fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Candidates) != 1 || rec.Candidates[0].Txn.ID != retry[0] {
+		t.Fatalf("group b retry after torn recovery not delivered: %+v", rec.Candidates)
+	}
+}

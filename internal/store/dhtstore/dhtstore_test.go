@@ -43,6 +43,13 @@ func TestWatchConformance(t *testing.T) {
 	storetest.RunWatchConformance(t, factory)
 }
 
+// TestMultiGroupConformance documents that the DHT store has no
+// multi-group tenancy: the capability probe answers no and the whole
+// suite skips.
+func TestMultiGroupConformance(t *testing.T) {
+	storetest.RunMultiGroupConformance(t, factory, nil)
+}
+
 // TestMessageAccounting: the DHT store generates per-transaction request
 // traffic, and reconciliation traffic grows with the number of transactions
 // retrieved (the effect behind Figures 10 and 12).

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Group-namespace codec. A multi-tenant store keeps every group's rows in
+// tables named "g_<encoded group>_<table>" inside one shared database, so
+// the group identifier must become a table-name-safe token. The encoding
+// is injective (two distinct group IDs can never collide on one namespace,
+// which would silently merge tenants) and reversible (a node can enumerate
+// the groups it hosts from its table names alone).
+//
+// Scheme: ASCII letters and digits pass through; every other byte —
+// including '_', the escape introducer — encodes as '_' followed by two
+// lowercase hex digits. Decoding rejects malformed escapes and
+// non-canonical ones ('_41' for 'A', uppercase hex), so the codec is a
+// bijection between group IDs and valid namespaces: exactly one encoding
+// per ID, exactly one ID per valid namespace.
+
+// EncodeNamespace turns an arbitrary group ID into a table-name-safe
+// token of [A-Za-z0-9_]*.
+func EncodeNamespace(group string) string {
+	var b strings.Builder
+	b.Grow(len(group))
+	for i := 0; i < len(group); i++ {
+		c := group[i]
+		if isNamespacePlain(c) {
+			b.WriteByte(c)
+		} else {
+			fmt.Fprintf(&b, "_%02x", c)
+		}
+	}
+	return b.String()
+}
+
+// DecodeNamespace inverts EncodeNamespace, rejecting anything that is not
+// the canonical encoding of some group ID.
+func DecodeNamespace(ns string) (string, error) {
+	var b strings.Builder
+	b.Grow(len(ns))
+	for i := 0; i < len(ns); {
+		c := ns[i]
+		switch {
+		case c == '_':
+			if i+2 >= len(ns) {
+				return "", fmt.Errorf("store: namespace %q: truncated escape", ns)
+			}
+			hi, okHi := hexVal(ns[i+1])
+			lo, okLo := hexVal(ns[i+2])
+			if !okHi || !okLo {
+				return "", fmt.Errorf("store: namespace %q: bad escape %q", ns, ns[i:i+3])
+			}
+			d := byte(hi<<4 | lo)
+			if isNamespacePlain(d) {
+				return "", fmt.Errorf("store: namespace %q: non-canonical escape %q for %q", ns, ns[i:i+3], d)
+			}
+			b.WriteByte(d)
+			i += 3
+		case isNamespacePlain(c):
+			b.WriteByte(c)
+			i++
+		default:
+			return "", fmt.Errorf("store: namespace %q: invalid byte %q", ns, c)
+		}
+	}
+	return b.String(), nil
+}
+
+func isNamespacePlain(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// hexVal decodes one lowercase hex digit (the only case the encoder
+// emits).
+func hexVal(c byte) (int, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0'), true
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,91 @@
+package store
+
+import "testing"
+
+func TestNamespaceRoundTrip(t *testing.T) {
+	cases := []struct{ group, want string }{
+		{"", ""},
+		{"proteomics", "proteomics"},
+		{"Group7", "Group7"},
+		{"a_b", "a_5fb"},
+		{"a-b.c", "a_2db_2ec"},
+		{"über/group", "_c3_bcber_2fgroup"},
+		{"g\x00\xff", "g_00_ff"},
+		{"tenant 1", "tenant_201"},
+	}
+	for _, c := range cases {
+		got := EncodeNamespace(c.group)
+		if got != c.want {
+			t.Errorf("EncodeNamespace(%q) = %q, want %q", c.group, got, c.want)
+		}
+		back, err := DecodeNamespace(got)
+		if err != nil || back != c.group {
+			t.Errorf("DecodeNamespace(%q) = %q, %v; want %q", got, back, err, c.group)
+		}
+	}
+}
+
+func TestNamespaceRejectsMalformed(t *testing.T) {
+	for _, ns := range []string{
+		"_",      // truncated escape
+		"a_5",    // truncated escape
+		"a_5g",   // bad hex digit
+		"a_5F",   // uppercase hex is non-canonical
+		"a_41",   // escape for 'A', which must pass through plain
+		"a-b",    // raw non-namespace byte
+		"g_zz",   // bad hex
+		"space ", // raw space
+	} {
+		if got, err := DecodeNamespace(ns); err == nil {
+			t.Errorf("DecodeNamespace(%q) = %q, want error", ns, got)
+		}
+	}
+}
+
+// Injectivity over a brute-force corpus: distinct group IDs must never
+// share a namespace (a collision would merge two tenants' tables).
+func TestNamespaceInjective(t *testing.T) {
+	corpus := []string{
+		"", "a", "A", "_", "__", "a_", "_a", "a_5fb", "a_b", "a b",
+		"g1", "g-1", "g.1", "g/1", "G1", "über", "u\xcc\x88ber",
+	}
+	seen := make(map[string]string)
+	for _, g := range corpus {
+		ns := EncodeNamespace(g)
+		if prev, dup := seen[ns]; dup {
+			t.Fatalf("namespace collision: %q and %q both encode to %q", prev, g, ns)
+		}
+		seen[ns] = g
+	}
+}
+
+func FuzzNamespaceCodec(f *testing.F) {
+	for _, seed := range []string{"", "plain", "a_b", "über/group", "_5f", "g\x00\xff"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, group string) {
+		ns := EncodeNamespace(group)
+		// The encoding must be table-name safe.
+		for i := 0; i < len(ns); i++ {
+			if !isNamespacePlain(ns[i]) && ns[i] != '_' {
+				t.Fatalf("EncodeNamespace(%q) = %q: unsafe byte %q", group, ns, ns[i])
+			}
+		}
+		// And must round-trip exactly.
+		back, err := DecodeNamespace(ns)
+		if err != nil {
+			t.Fatalf("DecodeNamespace(EncodeNamespace(%q)) failed: %v", group, err)
+		}
+		if back != group {
+			t.Fatalf("round trip %q → %q → %q", group, ns, back)
+		}
+		// Decoding any input that succeeds must re-encode to the same
+		// namespace (canonical fixpoint): valid namespaces and group IDs
+		// are in bijection.
+		if dec, err := DecodeNamespace(group); err == nil {
+			if re := EncodeNamespace(dec); re != group {
+				t.Fatalf("non-canonical decode: %q → %q → %q", group, dec, re)
+			}
+		}
+	})
+}

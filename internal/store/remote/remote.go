@@ -210,6 +210,7 @@ func NewServer(backend store.Store, schema *core.Schema) *Server {
 	mux.Handle(mCompact, s.compact)
 	mux.Handle(mWatch, s.watch)
 	mux.Handle(mCanWatch, s.canWatch)
+	mux.Handle(mCanMultiGroup, s.canMultiGroup)
 	s.mux = mux
 	s.srv = rpc.NewServer(mux)
 	return s
@@ -467,7 +468,15 @@ type Client struct {
 	// watchPoll bounds the server-side wait of each watch long-poll (see
 	// WithWatchPoll).
 	watchPoll time.Duration
+	// group is the method prefix ("group/<encoded id>/", or empty) a
+	// WithGroup client stamps on every store call, routing it to one tenant
+	// of a multi-group server (see GroupServer).
+	group string
 }
+
+// m maps a store method name to the wire method this client calls:
+// group-scoped clients prefix every call with their group route.
+func (c *Client) m(name string) string { return c.group + name }
 
 // ClientOption configures a Client.
 type ClientOption func(*Client)
@@ -512,6 +521,16 @@ func WithWatchPoll(d time.Duration) ClientOption {
 	}
 }
 
+// WithGroup scopes every call of this client to one group of a
+// multi-group server (GroupServer): method names travel with the group's
+// route prefix. Against a single-group Server the prefixed methods do not
+// resolve, so a group-scoped client only works with a group gateway.
+func WithGroup(group string) ClientOption {
+	return func(c *Client) {
+		c.group = "group/" + store.EncodeNamespace(group) + "/"
+	}
+}
+
 // NewClient returns a client for the server at addr.
 func NewClient(from, addr string, opts ...ClientOption) *Client {
 	return NewClientOn(rpc.NewClient(from), addr, opts...)
@@ -545,7 +564,7 @@ func (c *Client) serverDedupes(ctx context.Context) bool {
 		return v > 0
 	}
 	var reply canReplayReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mCanDedupe, &struct{}{}, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mCanDedupe), &struct{}{}, &reply); err != nil {
 		if !store.IsTransient(err) {
 			// A server without the capability RPC (or one that refuses it)
 			// will keep refusing; cache the no.
@@ -587,7 +606,7 @@ func (c *Client) RegisterPeer(ctx context.Context, peer core.PeerID, t core.Trus
 	if !ok {
 		return fmt.Errorf("remote: peer %s: trust policy must be a *trust.Policy (textual rules)", peer)
 	}
-	return rpc.Invoke(ctx, c.caller, c.addr, mRegister,
+	return rpc.Invoke(ctx, c.caller, c.addr, c.m(mRegister),
 		&registerArgs{Peer: peer, Policy: policy.String()}, nil)
 }
 
@@ -596,7 +615,7 @@ func (c *Client) RegisterPeer(ctx context.Context, peer core.PeerID, t core.Trus
 func (c *Client) Publish(ctx context.Context, peer core.PeerID, txns []store.PublishedTxn) (core.Epoch, error) {
 	var reply publishReply
 	args := publishArgs{Peer: peer, Payload: store.AppendPublishedTxns(nil, txns), Key: c.key(ctx, "publish")}
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mPublish, &args, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mPublish), &args, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Epoch, nil
@@ -609,7 +628,7 @@ func (c *Client) Publish(ctx context.Context, peer core.PeerID, txns []store.Pub
 func (c *Client) BeginReconciliation(ctx context.Context, peer core.PeerID) (*store.Reconciliation, error) {
 	var reply beginReply
 	args := beginArgs{Peer: peer, Key: c.key(ctx, "begin")}
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mBegin, &args, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mBegin), &args, &reply); err != nil {
 		return nil, err
 	}
 	rec := &store.Reconciliation{Recno: reply.Recno, FromEpoch: reply.FromEpoch, ToEpoch: reply.ToEpoch}
@@ -624,20 +643,20 @@ func (c *Client) BeginReconciliation(ctx context.Context, peer core.PeerID) (*st
 // RecordDecisions implements store.Store.
 func (c *Client) RecordDecisions(ctx context.Context, peer core.PeerID, recno int, accepted, rejected []core.TxnID) error {
 	args := decideArgs{Peer: peer, Recno: recno, Accepted: accepted, Rejected: rejected, Key: c.key(ctx, "decide")}
-	return rpc.Invoke(ctx, c.caller, c.addr, mDecide, &args, nil)
+	return rpc.Invoke(ctx, c.caller, c.addr, c.m(mDecide), &args, nil)
 }
 
 // RecordDecisionsBatch implements store.Store: the whole wave's decisions
 // travel in one network round trip.
 func (c *Client) RecordDecisionsBatch(ctx context.Context, batches []store.DecisionBatch) error {
 	args := decideBatchArgs{Batches: batches, Key: c.key(ctx, "decide.batch")}
-	return rpc.Invoke(ctx, c.caller, c.addr, mDecideBatch, &args, nil)
+	return rpc.Invoke(ctx, c.caller, c.addr, c.m(mDecideBatch), &args, nil)
 }
 
 // CurrentRecno implements store.Store.
 func (c *Client) CurrentRecno(ctx context.Context, peer core.PeerID) (int, error) {
 	var reply recnoReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mRecno, &recnoArgs{Peer: peer}, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mRecno), &recnoArgs{Peer: peer}, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Recno, nil
@@ -649,7 +668,7 @@ func (c *Client) CurrentRecno(ctx context.Context, peer core.PeerID) (int, error
 // unreachable or pre-probe server counts as "cannot replay".
 func (c *Client) CanReplay(ctx context.Context) bool {
 	var reply canReplayReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mCanReplay, &struct{}{}, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mCanReplay), &struct{}{}, &reply); err != nil {
 		return false
 	}
 	return reply.OK
@@ -661,7 +680,7 @@ func (c *Client) CanReplay(ctx context.Context) bool {
 // from a local one (store.RebuildPeer).
 func (c *Client) ReplayFor(ctx context.Context, peer core.PeerID) ([]store.PublishedTxn, map[core.TxnID]core.RestoredDecision, error) {
 	var reply replayReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mReplay, &replayArgs{Peer: peer}, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mReplay), &replayArgs{Peer: peer}, &reply); err != nil {
 		return nil, nil, err
 	}
 	log, err := store.DecodePublishedTxns(reply.Log)
@@ -676,7 +695,7 @@ func (c *Client) ReplayFor(ctx context.Context, peer core.PeerID) ([]store.Publi
 // the other end of the wire.
 func (c *Client) CanSnapshot(ctx context.Context) bool {
 	var reply canReplayReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mCanSnapshot, &struct{}{}, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mCanSnapshot), &struct{}{}, &reply); err != nil {
 		return false
 	}
 	return reply.OK
@@ -687,7 +706,7 @@ func (c *Client) CanSnapshot(ctx context.Context) bool {
 func (c *Client) Snapshot(ctx context.Context) (core.Epoch, error) {
 	var reply takeSnapshotReply
 	args := takeSnapshotArgs{Key: c.key(ctx, "snapshot")}
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mTakeSnapshot, &args, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mTakeSnapshot), &args, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Epoch, nil
@@ -697,7 +716,7 @@ func (c *Client) Snapshot(ctx context.Context) (core.Epoch, error) {
 // the compaction safety invariants and its refusals travel back as errors.
 func (c *Client) CompactBefore(ctx context.Context, e core.Epoch) error {
 	args := compactArgs{Epoch: e, Key: c.key(ctx, "compact")}
-	return rpc.Invoke(ctx, c.caller, c.addr, mCompact, &args, nil)
+	return rpc.Invoke(ctx, c.caller, c.addr, c.m(mCompact), &args, nil)
 }
 
 // LatestSnapshot implements store.SnapshotReplayer: the retained snapshot
@@ -706,7 +725,7 @@ func (c *Client) CompactBefore(ctx context.Context, e core.Epoch) error {
 // uses against a remote store.
 func (c *Client) LatestSnapshot(ctx context.Context) (*store.Snapshot, error) {
 	var reply snapshotReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mSnapshot, &struct{}{}, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mSnapshot), &struct{}{}, &reply); err != nil {
 		return nil, err
 	}
 	if len(reply.Snapshot) == 0 {
@@ -727,7 +746,7 @@ func (c *Client) CanWatch(ctx context.Context) bool {
 		return v > 0
 	}
 	var reply canReplayReply
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mCanWatch, &struct{}{}, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mCanWatch), &struct{}{}, &reply); err != nil {
 		if !store.IsTransient(err) {
 			// A server without the capability RPC will keep refusing.
 			c.watchable.Store(-1)
@@ -762,7 +781,7 @@ func (c *Client) watchLoop(ctx context.Context, cursor core.Epoch, ch chan<- sto
 	for ctx.Err() == nil {
 		var reply watchReply
 		pollCtx, cancel := context.WithTimeout(ctx, c.watchPoll+watchWaitSlack)
-		err := rpc.Invoke(pollCtx, c.caller, c.addr, mWatch,
+		err := rpc.Invoke(pollCtx, c.caller, c.addr, c.m(mWatch),
 			&watchArgs{From: cursor, WaitNanos: int64(c.watchPoll)}, &reply)
 		cancel()
 		if err != nil {
@@ -793,7 +812,7 @@ func (c *Client) watchLoop(ctx context.Context, cursor core.Epoch, ch chan<- sto
 func (c *Client) ReplayFrom(ctx context.Context, peer core.PeerID, from core.Epoch, afterSeq int64) ([]store.PublishedTxn, map[core.TxnID]core.RestoredDecision, error) {
 	var reply replayReply
 	args := replayFromArgs{Peer: peer, From: from, AfterSeq: afterSeq}
-	if err := rpc.Invoke(ctx, c.caller, c.addr, mReplayFrom, &args, &reply); err != nil {
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mReplayFrom), &args, &reply); err != nil {
 		return nil, nil, err
 	}
 	log, err := store.DecodePublishedTxns(reply.Log)

@@ -63,6 +63,37 @@ func TestWatchConformance(t *testing.T) {
 	})
 }
 
+// TestMultiGroupConformance runs the tenancy suite over TCP: a group
+// gateway in front of a shared-database Node, with every peer a
+// group-scoped client. Exercises the group route prefix, lazy per-group
+// sub-servers, and the namespace codec on the wire.
+func TestMultiGroupConformance(t *testing.T) {
+	plain := func(t *testing.T, schema *core.Schema) (func(core.PeerID) store.Store, func()) {
+		addr := startServer(t, schema)
+		return func(p core.PeerID) store.Store { return NewClient(string(p), addr) }, func() {}
+	}
+	storetest.RunMultiGroupConformance(t, plain,
+		func(t *testing.T, schema *core.Schema) (func(string, core.PeerID) store.Store, func()) {
+			node, err := central.OpenNode("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gw := NewGroupServer(func(group string) (store.Store, error) {
+				return node.OpenGroup(group, schema)
+			}, schema)
+			addr, err := gw.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func(group string, p core.PeerID) store.Store {
+					return NewClient(string(p), addr, WithGroup(group))
+				}, func() {
+					gw.Close()
+					node.Close()
+				}
+		})
+}
+
 func TestRemoteEndToEnd(t *testing.T) {
 	schema := storetest.Schema(t)
 	addr := startServer(t, schema)
