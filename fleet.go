@@ -2,8 +2,10 @@ package orchestra
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -181,8 +183,14 @@ func (f *Fleet) RemoveStore(name string) error {
 		return err
 	}
 	if err := f.rebalanceLocked(); err != nil {
-		// Rejoin so the ring matches where the groups actually are.
+		// Some groups may already have moved to owners computed from the
+		// shrunken ring. Rejoin, then rebalance against the restored ring
+		// so owner[] converges back to Place() instead of staying diverged
+		// until the next membership change.
 		f.placement.AddMember(name)
+		if rerr := f.rebalanceLocked(); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
 		return err
 	}
 	delete(f.nodes, name)
@@ -352,24 +360,32 @@ func (f *Fleet) migrateLocked(g *Group, fromName, toName string) error {
 	if err := from.CloseGroup(g.id); err != nil {
 		return err
 	}
-	reopen := func() {
-		if st, err := from.OpenGroup(g.id, g.schema); err == nil {
-			g.routed.st = st
+	// reopen restores the tenant on the source after a failed move. A
+	// reopen failure is joined into the migration error: the routed store
+	// would otherwise silently keep pointing at the closed tenant.
+	reopen := func(cause error) error {
+		st, err := from.OpenGroup(g.id, g.schema)
+		if err != nil {
+			return errors.Join(cause, fmt.Errorf("orchestra: reopen group %q on %s after failed migration: %w", g.id, fromName, err))
 		}
+		g.routed.st = st
+		return cause
 	}
 	if err := copyGroupData(from.DB(), to.DB(), g.id); err != nil {
-		reopen()
-		return err
+		return reopen(err)
 	}
 	st, err := to.OpenGroup(g.id, g.schema)
 	if err != nil {
-		reopen()
-		return err
+		return reopen(err)
 	}
 	if err := from.DetachGroup(g.id); err != nil {
+		// The copy committed on the target; drop it again or the leftover
+		// tables would shadow the (still live) source copy on a later move.
 		to.CloseGroup(g.id)
-		reopen()
-		return err
+		if derr := to.DetachGroup(g.id); derr != nil {
+			err = errors.Join(err, derr)
+		}
+		return reopen(err)
 	}
 	g.routed.st = st
 	f.owner[g.id] = toName
@@ -382,12 +398,17 @@ func (f *Fleet) migrateLocked(g *Group, fromName, toName string) error {
 // copyGroupData copies one group's namespaced tables and epoch sequence
 // between databases. The source read and the target write are each one
 // storage transaction, so the copy is a consistent snapshot and lands
-// atomically.
+// atomically. Prefix selection is sound because the namespace grammar
+// (store.GroupTablePrefix) is prefix-free across groups. Tables already
+// present on the target under the group's namespace — leftovers of an
+// earlier migration attempt that copied but failed to detach — are
+// replaced, so a retried move converges instead of failing on a duplicate
+// create.
 func copyGroupData(src, dst *reldb.DB, group string) error {
-	ns := "g_" + store.EncodeNamespace(group) + "_"
+	ns := store.GroupTablePrefix(group)
 	var names []string
 	for _, t := range src.TableNames() {
-		if len(t) >= len(ns) && t[:len(ns)] == ns {
+		if strings.HasPrefix(t, ns) {
 			names = append(names, t)
 		}
 	}
@@ -418,6 +439,29 @@ func copyGroupData(src, dst *reldb.DB, group string) error {
 	})
 	if err != nil {
 		return err
+	}
+	// Drop leftovers first, in their own transaction — reldb does not
+	// support re-creating a dropped name within one transaction. A crash
+	// between the two commits leaves the target clean, as if the copy had
+	// never started.
+	var leftovers []string
+	for _, t := range dst.TableNames() {
+		if strings.HasPrefix(t, ns) {
+			leftovers = append(leftovers, t)
+		}
+	}
+	if len(leftovers) > 0 {
+		sort.Strings(leftovers)
+		if err := dst.Update(func(tx *reldb.Tx) error {
+			for _, t := range leftovers {
+				if err := tx.DropTable(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	return dst.Update(func(tx *reldb.Tx) error {
 		for _, tc := range copies {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"testing"
+
+	"orchestra/internal/store/central"
 )
 
 func fleetPolicy(t *testing.T) *TrustPolicy {
@@ -75,6 +77,47 @@ func TestFleetBasic(t *testing.T) {
 
 // Scheduler rounds over more groups than the concurrency bound: all
 // groups converge.
+// TestFleetCopyGroupSiblingPrefix: the migration copy must select exactly
+// the group's own tables. "team" and "team-1" overlapped under the old
+// single-'_' namespace terminator ('-' encodes as "_2d"), so migrating
+// "team" also carried — and then detached — the sibling tenant. And a
+// re-copy onto a target that kept tables from an earlier failed attempt
+// must replace them rather than fail on a duplicate create, or the group
+// can never migrate to that node again.
+func TestFleetCopyGroupSiblingPrefix(t *testing.T) {
+	schema := MustSchema(NewRelation("F", 1, "k", "v"))
+	src, err := central.OpenNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := central.OpenNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	for _, g := range []string{"team", "team-1"} {
+		if _, err := src.OpenGroup(g, schema); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.CloseGroup(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := copyGroupData(src.DB(), dst.DB(), "team"); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.StoredGroups(); len(got) != 1 || got[0] != "team" {
+		t.Fatalf("target stores %v after copying %q, want exactly [team]", got, "team")
+	}
+	if err := copyGroupData(src.DB(), dst.DB(), "team"); err != nil {
+		t.Fatalf("re-copy onto leftover target tables: %v", err)
+	}
+	if got := src.StoredGroups(); len(got) != 2 {
+		t.Fatalf("source stores %v, want both groups intact", got)
+	}
+}
+
 func TestSchedulerRounds(t *testing.T) {
 	ctx := context.Background()
 	schema := MustSchema(NewRelation("F", 1, "k", "v"))

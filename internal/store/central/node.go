@@ -61,9 +61,12 @@ func OpenNode(dir string, opts ...Option) (*Node, error) {
 	return &Node{db: db, cfg: cfg, groups: make(map[string]*Store)}, nil
 }
 
-// groupNS returns the table-name prefix for a group's tenant store.
+// groupNS returns the table-name prefix for a group's tenant store. The
+// grammar (store.GroupTablePrefix) is prefix-free across groups, which is
+// what lets DetachGroup and the migration copy select a group's tables by
+// raw prefix without ever touching a sibling tenant's.
 func groupNS(group string) string {
-	return "g_" + store.EncodeNamespace(group) + "_"
+	return store.GroupTablePrefix(group)
 }
 
 // OpenGroup opens (or creates) the named group's store over the node's
@@ -144,14 +147,9 @@ func (n *Node) DetachGroup(group string) error {
 func (n *Node) StoredGroups() []string {
 	var groups []string
 	for _, t := range n.db.TableNames() {
-		if !strings.HasPrefix(t, "g_") || !strings.HasSuffix(t, "_meta") {
-			continue
+		if id, ok := store.GroupFromMetaTable(t); ok {
+			groups = append(groups, id)
 		}
-		id, err := store.DecodeNamespace(t[len("g_") : len(t)-len("_meta")])
-		if err != nil {
-			continue
-		}
-		groups = append(groups, id)
 	}
 	sort.Strings(groups)
 	return groups

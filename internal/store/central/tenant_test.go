@@ -169,6 +169,78 @@ func TestTenantMaintenanceIsolation(t *testing.T) {
 	}
 }
 
+// TestTenantSiblingPrefixDetach: detaching a group whose encoded
+// namespace is a leading fragment of a sibling's must drop only its own
+// tables. Regression for the single-'_' terminator grammar, under which
+// "team"'s prefix matched "team-1"'s tables ('-' encodes as "_2d") and a
+// detach silently destroyed the sibling tenant.
+func TestTenantSiblingPrefixDetach(t *testing.T) {
+	ctx := context.Background()
+	schema := storetest.Schema(t)
+	for _, pair := range [][2]string{{"team", "team-1"}, {"a", "a_b"}} {
+		victim, survivor := pair[0], pair[1]
+		t.Run(victim+" vs "+survivor, func(t *testing.T) {
+			node, err := OpenNode("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer node.Close()
+			v, err := node.OpenGroup(victim, schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := node.OpenGroup(survivor, schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := store.NewPeer(ctx, "alice", schema, storetest.TrustAll(1), v); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := store.NewPeer(ctx, "alice", schema, storetest.TrustAll(1), s); err != nil {
+				t.Fatal(err)
+			}
+			pubBatch(t, v, "alice", 1, 2)
+			pubBatch(t, s, "alice", 1, 3)
+
+			if err := node.CloseGroup(victim); err != nil {
+				t.Fatal(err)
+			}
+			if err := node.DetachGroup(victim); err != nil {
+				t.Fatal(err)
+			}
+			if got := node.StoredGroups(); len(got) != 1 || got[0] != survivor {
+				t.Fatalf("StoredGroups after detach = %v, want [%q]", got, survivor)
+			}
+			// Detaching again must report no tables — had the old grammar
+			// matched, the survivor's tables would satisfy the prefix.
+			if err := node.DetachGroup(victim); err == nil {
+				t.Fatalf("second DetachGroup(%q) succeeded; it matched %q's tables", victim, survivor)
+			}
+
+			// The survivor recovers from its tables alone and still serves
+			// every row it published.
+			if err := node.CloseGroup(survivor); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := node.OpenGroup(survivor, schema)
+			if err != nil {
+				t.Fatalf("reopen %q after detaching %q: %v", survivor, victim, err)
+			}
+			p, err := store.NewPeer(ctx, "bob", schema, storetest.TrustAll(1), s2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.PublishAndReconcile(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Accepted) != 3 {
+				t.Fatalf("survivor peer accepted %d txns after sibling detach, want 3", len(res.Accepted))
+			}
+		})
+	}
+}
+
 // TestTenantCrashTornMultiGroupWAL: a crash tearing the shared WAL
 // mid-flush voids only the group whose commit was torn. Both tenants'
 // commits ride one WAL; the tear kills the final record — the second

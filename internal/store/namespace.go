@@ -68,6 +68,36 @@ func DecodeNamespace(ns string) (string, error) {
 	return b.String(), nil
 }
 
+// GroupTablePrefix returns the table-name prefix under which a group's
+// tenant tables live in a shared database: "g_<encoded group>__". The
+// terminator is a double underscore, which makes the grammar prefix-free:
+// a valid encoding never contains "__" (every '_' it emits introduces an
+// escape and is followed by two hex digits) and never ends in '_', so no
+// group's prefix is a prefix of another group's table names. Anything that
+// selects a group's tables by prefix — detach, migration copy — depends on
+// this; a single-'_' terminator would let group "team" (prefix "g_team_")
+// claim group "team-1"'s tables ("g_team_2d1__meta").
+func GroupTablePrefix(group string) string {
+	return "g_" + EncodeNamespace(group) + "__"
+}
+
+// GroupFromMetaTable inverts GroupTablePrefix for a group's meta table:
+// given a table name of the form "g_<encoded>__meta" it returns the
+// decoded group ID. Used to enumerate the groups a database hosts from its
+// table names alone.
+func GroupFromMetaTable(table string) (string, bool) {
+	const pre, suf = "g_", "__meta"
+	if len(table) < len(pre)+len(suf) ||
+		table[:len(pre)] != pre || table[len(table)-len(suf):] != suf {
+		return "", false
+	}
+	id, err := DecodeNamespace(table[len(pre) : len(table)-len(suf)])
+	if err != nil {
+		return "", false
+	}
+	return id, true
+}
+
 func isNamespacePlain(c byte) bool {
 	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
 }

@@ -1,6 +1,9 @@
 package store
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestNamespaceRoundTrip(t *testing.T) {
 	cases := []struct{ group, want string }{
@@ -57,6 +60,71 @@ func TestNamespaceInjective(t *testing.T) {
 		}
 		seen[ns] = g
 	}
+}
+
+// The regression behind GroupTablePrefix's "__" terminator: with a
+// single-'_' terminator, group "team"'s prefix is a prefix of group
+// "team-1"'s tables ('-' encodes as "_2d"), so detaching "team" would
+// drop "team-1"'s rows. The grammar must keep sibling groups' table
+// names prefix-disjoint.
+func TestGroupTablePrefixDisjoint(t *testing.T) {
+	pairs := [][2]string{
+		{"team", "team-1"}, // escape opens with the old delimiter
+		{"team", "team1"},  // plain extension
+		{"a", "a_b"},       // '_' in the ID itself
+		{"a", "a-b"}, {"", "x"},
+		{"g", "g\x00"}, {"tenant", "tenant 1"},
+	}
+	for _, p := range pairs {
+		ns1, ns2 := GroupTablePrefix(p[0]), GroupTablePrefix(p[1])
+		if strings.HasPrefix(ns2, ns1) || strings.HasPrefix(ns1, ns2) {
+			t.Errorf("prefixes of %q and %q overlap: %q vs %q", p[0], p[1], ns1, ns2)
+		}
+	}
+	for table, want := range map[string]string{
+		"g_team__meta":     "team",
+		"g_team_2d1__meta": "team-1",
+		"g___meta":         "",
+		"g_a_5fb__meta":    "a_b",
+		"g_team__peers":    "", // not a meta table
+		"g_team_2d1_meta":  "", // old single-'_' grammar must not parse
+		"x_team__meta":     "",
+	} {
+		got, ok := GroupFromMetaTable(table)
+		if want == "" && table != "g___meta" {
+			if ok {
+				t.Errorf("GroupFromMetaTable(%q) = %q, want no parse", table, got)
+			}
+			continue
+		}
+		if !ok || got != want {
+			t.Errorf("GroupFromMetaTable(%q) = %q, %v; want %q", table, got, ok, want)
+		}
+	}
+}
+
+// FuzzNamespacePrefixFree pins the grammar property the migration and
+// detach paths rely on: distinct groups' table prefixes are never prefixes
+// of one another, so prefix selection cannot cross tenants.
+func FuzzNamespacePrefixFree(f *testing.F) {
+	f.Add("team", "team-1")
+	f.Add("a", "a_b")
+	f.Add("", "x")
+	f.Add("über", "über/group")
+	f.Fuzz(func(t *testing.T, g1, g2 string) {
+		if g1 == g2 {
+			return
+		}
+		ns1, ns2 := GroupTablePrefix(g1), GroupTablePrefix(g2)
+		if strings.HasPrefix(ns2, ns1) || strings.HasPrefix(ns1, ns2) {
+			t.Fatalf("prefixes of %q and %q overlap: %q vs %q", g1, g2, ns1, ns2)
+		}
+		// Every meta table parses back to exactly its own group, never a
+		// sibling's.
+		if got, ok := GroupFromMetaTable(ns1 + "meta"); !ok || got != g1 {
+			t.Fatalf("GroupFromMetaTable(%q) = %q, %v; want %q", ns1+"meta", got, ok, g1)
+		}
+	})
 }
 
 func FuzzNamespaceCodec(f *testing.F) {

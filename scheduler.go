@@ -169,24 +169,51 @@ func (s *Scheduler) RunStreaming(ctx context.Context) error {
 	}
 
 	// Time-multiplexed: limit workers, shared rotation cursor, one slice
-	// per turn. A group that failed permanently is skipped thereafter.
+	// per turn. A group that failed permanently is skipped thereafter, and
+	// a group a worker currently holds is skipped too — without that, a
+	// turn that returns before its slice (a group with zero peers returns
+	// immediately) lets the cursor wrap and hand the same group to a
+	// second worker, driving duplicate per-peer streams concurrently.
 	var (
 		mu     sync.Mutex
 		cursor int
+		busy   = make([]bool, len(s.groups))
 		failed = make([]bool, len(s.groups))
 		errs   = make([]error, len(s.groups))
 	)
-	take := func() (int, *Group) {
+	// take claims the next group that is neither failed nor held by
+	// another worker; alive reports whether any unfailed group remains
+	// (busy or not), so workers can tell "wait" from "all groups failed".
+	take := func() (i int, g *Group, alive bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		for tries := 0; tries < len(s.groups); tries++ {
 			i := cursor
 			cursor = (cursor + 1) % len(s.groups)
-			if !failed[i] {
-				return i, s.groups[i]
+			if failed[i] {
+				continue
 			}
+			alive = true
+			if busy[i] {
+				continue
+			}
+			busy[i] = true
+			return i, s.groups[i], true
 		}
-		return -1, nil
+		return -1, nil, alive
+	}
+	release := func(i int) {
+		mu.Lock()
+		busy[i] = false
+		mu.Unlock()
+	}
+	idle := func(d time.Duration) { // ctx-aware sleep
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+		case <-t.C:
+		}
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < s.limit; w++ {
@@ -194,10 +221,15 @@ func (s *Scheduler) RunStreaming(ctx context.Context) error {
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
-				i, g := take()
+				i, g, alive := take()
 				if g == nil {
-					return // every group failed
+					if !alive {
+						return // every group failed
+					}
+					idle(s.slice) // all live groups held by other workers
+					continue
 				}
+				start := time.Now()
 				sctx, cancel := context.WithTimeout(ctx, s.slice)
 				err := g.sys.RunStreaming(sctx)
 				cancel()
@@ -206,6 +238,13 @@ func (s *Scheduler) RunStreaming(ctx context.Context) error {
 					failed[i] = true
 					errs[i] = &GroupError{Group: g.id, Err: err}
 					mu.Unlock()
+				}
+				release(i)
+				// A turn is one slice of attention whether or not the group
+				// used it: sleeping out an early return keeps a fleet of
+				// empty groups from hot-spinning the rotation.
+				if rest := s.slice - time.Since(start); err == nil && rest > 0 {
+					idle(rest)
 				}
 			}
 		}()
