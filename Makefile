@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json chaos-smoke multigroup-smoke fuzz-smoke linkcheck clean
+.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json chaos-smoke multigroup-smoke trust-smoke fuzz-smoke linkcheck clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,21 @@ multigroup-smoke:
 	$(GO) test -race -count=1 -run '^TestFleet' .
 	$(GO) test -race -count=1 -run '^TestTenant' ./internal/store/central
 
+# trust-smoke runs the trust-layer contract gates under the race detector
+# (see docs/TRUST.md): the compiled-vs-interpreted differentials (whole-
+# system reconciliation transcripts across every topology, plus the
+# 1k-peer effective-policy sweep with its mid-stream blast-radius
+# assertions), the policy/graph unit layer, the recompile-counter and
+# restart-persistence cells, and a short parser fuzz budget. make verify
+# covers the tests too; running them by name makes a trust regression
+# unmissable in CI.
+trust-smoke:
+	$(GO) test -race -count=1 -run '^TestTrustTopologyDifferential$$|^TestTrustScale|^TestTrustTopologyGenerator$$' .
+	$(GO) test -race -count=1 ./internal/trust
+	$(GO) test -race -count=1 -run '^TestTrust' ./internal/store/central
+	$(GO) test -race -count=1 -run '^TestRefreshTrust|^TestPriorityCache|^TestSetTrustInvalidatesCache$$' ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzTrustParse$$' -fuzztime 10s ./internal/trust
+
 # fuzz-smoke gives every native fuzz target a short budget on top of its
 # checked-in seed corpus (testdata/fuzz): enough to catch decoder panics
 # and corpus rot on every PR without CI paying for a real fuzzing campaign.
@@ -71,6 +86,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzNamespaceCodec$$' -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz '^FuzzNamespacePrefixFree$$' -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz '^FuzzTrustParse$$' -fuzztime 10s ./internal/trust
 
 # linkcheck verifies every relative markdown link in README.md and docs/
 # resolves to an existing file (offline; external URLs are not fetched).

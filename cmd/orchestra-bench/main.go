@@ -44,7 +44,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trials/rounds for a fast pass")
 	seed := flag.Int64("seed", 1, "base random seed")
 	cell := flag.Bool("cell", false, "run a single custom experiment cell instead of a figure")
-	peers := flag.Int("peers", 10, "[cell] number of participants")
+	peers := flag.Int("peers", 10, "[cell|trust-topology] number of participants")
 	txnSize := flag.Int("txnsize", 1, "[cell] updates per transaction")
 	ri := flag.Int("ri", 4, "[cell] transactions between reconciliations")
 	rounds := flag.Int("rounds", 5, "[cell] publish/reconcile rounds per peer")
@@ -55,7 +55,28 @@ func main() {
 	dup := flag.Float64("dup", 0, "[chaos] per-message duplication probability, 0..1")
 	jitter := flag.Duration("jitter", 0, "[chaos] max extra per-message latency")
 	jsonOut := flag.String("json", "", "run the core reconciliation perf suite and write machine-readable results to this file (e.g. BENCH_core.json)")
+	trustTopo := flag.String("trust-topology", "", "run one trust-at-scale cell over this delegation topology (star|chain|clique|dag) with -peers participants")
 	flag.Parse()
+
+	if *trustTopo != "" {
+		kind, err := workload.ParseTopology(*trustTopo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		e, err := runTrustEvalCell(kind, *peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trust cell: topology=%s peers=%d edges=%d\n", e.Topology, e.Peers, e.Edges)
+		fmt.Printf("  compiled ns/decision:    %.1f\n", e.CompiledNsPerDecision)
+		fmt.Printf("  interpreted ns/decision: %.1f\n", e.InterpretedNsPerDecision)
+		fmt.Printf("  speedup:                 %.1fx\n", e.Speedup)
+		fmt.Printf("  recompile latency:       %.0f ns (%d participants re-resolved)\n",
+			e.RecompileNs, e.RecompiledPeers)
+		return
+	}
 
 	if *jsonOut != "" {
 		if err := runCoreSuite(*jsonOut); err != nil {
@@ -277,6 +298,26 @@ type multiGroupBenchEntry struct {
 	CommitsPerFlush float64 `json:"commits_per_flush"`
 }
 
+// trustEvalEntry is one cell of the trust-at-scale suite: a generated
+// delegation topology resolved through the trust graph, with per-decision
+// cost measured on sampled participants' effective policies — once through
+// the compiled decision program, once through the AST interpreter over the
+// same textual rendering — plus the latency of a mid-stream mapping change
+// (graph re-resolution of every affected participant). Speedup is
+// interpreted/compiled; the compiled path is expected to hold a >= 2x
+// advantage at 1k peers (origin-dispatch vs a linear rule scan).
+type trustEvalEntry struct {
+	Name                     string  `json:"name"`
+	Topology                 string  `json:"topology"`
+	Peers                    int     `json:"peers"`
+	Edges                    int     `json:"edges"`
+	CompiledNsPerDecision    float64 `json:"compiled_ns_per_decision"`
+	InterpretedNsPerDecision float64 `json:"interpreted_ns_per_decision"`
+	Speedup                  float64 `json:"speedup"`
+	RecompileNs              float64 `json:"recompile_ns"`
+	RecompiledPeers          int     `json:"recompiled_peers"`
+}
+
 // coreBenchReport is the BENCH_core.json schema; future PRs compare their
 // runs against the committed serial baseline to track the perf trajectory.
 // See docs/BENCHMARKING.md.
@@ -294,6 +335,7 @@ type coreBenchReport struct {
 	ChaosOverhead     []chaosOverheadEntry    `json:"chaos_overhead"`
 	StreamLatency     []streamLatencyEntry    `json:"stream_latency"`
 	MultiGroup        []multiGroupBenchEntry  `json:"multi_group"`
+	TrustEval         []trustEvalEntry        `json:"trust_eval"`
 }
 
 // runCoreSuite measures Engine.Reconcile on the shared contended workload
@@ -368,6 +410,9 @@ func runCoreSuite(path string) error {
 		return err
 	}
 	if err := runMultiGroupSuite(&report); err != nil {
+		return err
+	}
+	if err := runTrustEvalSuite(&report); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -1179,6 +1224,114 @@ func runDecisionBatchSuite(report *coreBenchReport) error {
 	fmt.Printf("%-40s %12d trips (unbatched would be %d) %10d decisions %6d peak\n",
 		"DecisionBatching/ReconcileAll", snap.DecisionRoundTrips, snap.DecisionPeers,
 		snap.Decisions, snap.BatchPeak)
+	return nil
+}
+
+// trustEvalTopology builds and resolves one generated delegation topology:
+// direct policies first, then the full delegating policies in descending
+// index order (delegation targets re-register after their delegators, so
+// registration cost stays near-linear until the final hub flip).
+func trustEvalTopology(kind workload.TopologyKind, peers int) (*workload.TrustTopology, *trust.Graph, error) {
+	tt, err := workload.NewTrustTopology(workload.TopologyConfig{Kind: kind, Peers: peers, Seed: 7})
+	if err != nil {
+		return nil, nil, err
+	}
+	g := trust.NewGraph(nil)
+	for i := 0; i < peers; i++ {
+		g.Set(tt.PeerID(i), trust.MustParse(tt.DirectPolicy(i)))
+	}
+	for i := peers - 1; i >= 0; i-- {
+		g.Set(tt.PeerID(i), trust.MustParse(tt.Policy(i)))
+	}
+	return tt, g, nil
+}
+
+// runTrustEvalCell measures one topology cell: compiled vs interpreted
+// ns/decision over sampled participants' effective policies, and the
+// re-resolution latency of a mid-stream mapping change.
+func runTrustEvalCell(kind workload.TopologyKind, peers int) (*trustEvalEntry, error) {
+	tt, g, err := trustEvalTopology(kind, peers)
+	if err != nil {
+		return nil, err
+	}
+	// Sample a spread of participants and origins; every sampled policy is
+	// evaluated against every origin per benchmark op.
+	var samples []int
+	for s := 0; s < peers; s += peers/7 + 1 {
+		samples = append(samples, s)
+	}
+	samples = append(samples, peers-1)
+	var origins []core.PeerID
+	for s := 1; s < peers; s += peers/11 + 1 {
+		origins = append(origins, tt.PeerID(s))
+	}
+	origins = append(origins, "ghost")
+	updates := make([]core.Update, len(origins))
+	for i, o := range origins {
+		updates[i] = core.Insert("F", core.Strs("org", "prot", "fn"), o)
+	}
+	compiled := make([]core.Trust, len(samples))
+	interpreted := make([]core.Trust, len(samples))
+	for i, s := range samples {
+		eff, ok := g.Effective(tt.PeerID(s)).(*trust.Policy)
+		if !ok {
+			return nil, fmt.Errorf("trust_eval: %s effective policy is not textual", tt.PeerID(s))
+		}
+		compiled[i] = eff
+		interpreted[i] = trust.MustParse(eff.String()).WithInterpreted()
+	}
+	measure := func(pols []core.Trust) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range pols {
+					for _, u := range updates {
+						_ = p.Priority(u)
+					}
+				}
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N*len(pols)*len(updates))
+	}
+	compiledNs := measure(compiled)
+	interpretedNs := measure(interpreted)
+
+	// Mid-stream mapping change: re-register a mid-graph peer and time the
+	// affected-set re-resolution (the store's RegisterPeer critical path).
+	changed := tt.PeerID(peers / 2)
+	pol := trust.MustParse(tt.Policy(peers / 2))
+	start := time.Now()
+	affected := g.Set(changed, pol)
+	recompileNs := float64(time.Since(start).Nanoseconds())
+
+	e := &trustEvalEntry{
+		Name:                     fmt.Sprintf("TrustEval/topology=%s/peers=%d", kind, peers),
+		Topology:                 string(kind),
+		Peers:                    peers,
+		Edges:                    tt.Edges(),
+		CompiledNsPerDecision:    compiledNs,
+		InterpretedNsPerDecision: interpretedNs,
+		RecompileNs:              recompileNs,
+		RecompiledPeers:          len(affected),
+	}
+	if compiledNs > 0 {
+		e.Speedup = interpretedNs / compiledNs
+	}
+	return e, nil
+}
+
+// runTrustEvalSuite sweeps every delegation topology at 1k peers.
+func runTrustEvalSuite(report *coreBenchReport) error {
+	const peers = 1000
+	for _, kind := range workload.Topologies {
+		e, err := runTrustEvalCell(kind, peers)
+		if err != nil {
+			return err
+		}
+		report.TrustEval = append(report.TrustEval, *e)
+		fmt.Printf("%-45s %10.1f compiled ns %10.1f interpreted ns %7.1fx %10.0f recompile ns (%d peers)\n",
+			e.Name, e.CompiledNsPerDecision, e.InterpretedNsPerDecision, e.Speedup,
+			e.RecompileNs, e.RecompiledPeers)
+	}
 	return nil
 }
 

@@ -1,0 +1,185 @@
+package core
+
+import "testing"
+
+// TestRefreshTrustRepricesDeferred: a mid-stream trust change re-prices
+// the carried deferred candidates without replaying history; the next
+// reconciliation resolves the conflict under the new priorities with no
+// fresh candidates delivered.
+func TestRefreshTrustRepricesDeferred(t *testing.T) {
+	s := proteinSchema(t)
+	log := newTestLog(t, s)
+	q := NewEngine("q", s, TrustAll(1))
+	a := NewEngine("a", s, TrustAll(1))
+	b := NewEngine("b", s, TrustAll(1))
+
+	xa := mustLocal(t, a, Insert("F", Strs("rat", "p1", "va"), "a"))
+	xb := mustLocal(t, b, Insert("F", Strs("rat", "p1", "vb"), "b"))
+	log.publish(xa, xb)
+	res := log.reconcile(q)
+	wantIDs(t, "deferred", res.Deferred, xa.ID, xb.ID)
+
+	// Raise a above b: xa's priority changes (1→2), xb's does not.
+	if changed := q.RefreshTrust(TrustOrigins(map[PeerID]int{"a": 2, "b": 1})); changed != 1 {
+		t.Fatalf("changed = %d, want 1", changed)
+	}
+	res = log.reconcile(q) // empty fetch: only carried candidates
+	wantIDs(t, "accepted after refresh", res.Accepted, xa.ID)
+	wantIDs(t, "rejected after refresh", res.Rejected, xb.ID)
+	wantIDs(t, "deferred after refresh", res.Deferred)
+	wantTuples(t, q.Instance(), "F", Strs("rat", "p1", "va"))
+}
+
+// TestRefreshTrustUntrustedFallsOut: a deferred candidate whose author
+// becomes untrusted drops to priority 0 and silently leaves the candidate
+// set at the next run — no reject is recorded, matching a candidate that
+// was never relevant.
+func TestRefreshTrustUntrustedFallsOut(t *testing.T) {
+	s := proteinSchema(t)
+	log := newTestLog(t, s)
+	q := NewEngine("q", s, TrustAll(1))
+	a := NewEngine("a", s, TrustAll(1))
+	b := NewEngine("b", s, TrustAll(1))
+
+	xa := mustLocal(t, a, Insert("F", Strs("rat", "p1", "va"), "a"))
+	xb := mustLocal(t, b, Insert("F", Strs("rat", "p1", "vb"), "b"))
+	log.publish(xa, xb)
+	log.reconcile(q) // defers both
+
+	// b becomes untrusted entirely: xb's copy drops to 0, xa stays 1.
+	if changed := q.RefreshTrust(TrustOrigins(map[PeerID]int{"a": 1})); changed != 1 {
+		t.Fatalf("changed = %d, want 1", changed)
+	}
+	res := log.reconcile(q)
+	wantIDs(t, "accepted", res.Accepted, xa.ID)
+	wantIDs(t, "rejected", res.Rejected)
+	wantIDs(t, "deferred", res.Deferred)
+	if ids := q.DeferredIDs(); len(ids) != 0 {
+		t.Errorf("untrusted candidate still carried: %v", ids)
+	}
+}
+
+// TestRefreshTrustNoHistoryReplay: accepted state is immutable under a
+// trust change ("once an update has been accepted ... it will not be
+// rolled back") — distrusting an author does not un-apply its past
+// transactions.
+func TestRefreshTrustNoHistoryReplay(t *testing.T) {
+	s := proteinSchema(t)
+	log := newTestLog(t, s)
+	q := NewEngine("q", s, TrustAll(1))
+	a := NewEngine("a", s, TrustAll(1))
+
+	xa := mustLocal(t, a, Insert("F", Strs("rat", "p1", "va"), "a"))
+	log.publish(xa)
+	res := log.reconcile(q)
+	wantIDs(t, "accepted", res.Accepted, xa.ID)
+
+	if changed := q.RefreshTrust(TrustOrigins(map[PeerID]int{"z": 1})); changed != 0 {
+		t.Fatalf("changed = %d, want 0 (no deferred candidates)", changed)
+	}
+	if !q.Applied(xa.ID) {
+		t.Error("accepted transaction rolled back by trust change")
+	}
+	wantTuples(t, q.Instance(), "F", Strs("rat", "p1", "va"))
+}
+
+// countingOriginTrust counts Priority evaluations; origin-only, so the
+// author-set cache may memoize it.
+type countingOriginTrust struct {
+	m     map[PeerID]int
+	calls int
+}
+
+func (c *countingOriginTrust) Priority(u Update) int { c.calls++; return c.m[u.Origin] }
+func (c *countingOriginTrust) OriginOnly() bool      { return true }
+
+// TestPriorityCacheMemoizes: transactions sharing an author set share one
+// policy evaluation; multi-origin sets are keyed by the sorted distinct
+// set; a non-origin-only policy transparently falls back.
+func TestPriorityCacheMemoizes(t *testing.T) {
+	ct := &countingOriginTrust{m: map[PeerID]int{"a": 2, "b": 3}}
+	c := NewPriorityCache(ct)
+
+	x1 := NewTransaction(TxnID{Origin: "a", Seq: 1},
+		Insert("F", Strs("r1", "p", "f"), "a"),
+		Insert("F", Strs("r2", "p", "f"), "a"),
+		Insert("F", Strs("r3", "p", "f"), "a"))
+	if got := c.TxnPriority(x1); got != 2 {
+		t.Fatalf("priority = %d", got)
+	}
+	after := ct.calls
+	x2 := NewTransaction(TxnID{Origin: "a", Seq: 2},
+		Insert("F", Strs("r4", "p", "f"), "a"),
+		Insert("F", Strs("r5", "p", "f"), "a"))
+	if got := c.TxnPriority(x2); got != 2 {
+		t.Fatalf("priority = %d", got)
+	}
+	if ct.calls != after {
+		t.Errorf("same-author txn re-evaluated the policy: %d extra calls", ct.calls-after)
+	}
+
+	// Multi-origin (an antecedent-carrying txn mixes authors; NewTransaction
+	// stamps one origin, so build directly): first evaluation walks the
+	// updates, the repeat — different multiplicity and order — is served
+	// from the sorted-distinct set key.
+	m1 := &Transaction{ID: TxnID{Origin: "a", Seq: 3}, Updates: []Update{
+		Insert("F", Strs("r6", "p", "f"), "a"),
+		Insert("F", Strs("r7", "p", "f"), "b"),
+	}}
+	if got := c.TxnPriority(m1); got != 3 {
+		t.Fatalf("multi priority = %d", got)
+	}
+	after = ct.calls
+	m2 := &Transaction{ID: TxnID{Origin: "b", Seq: 4}, Updates: []Update{
+		Insert("F", Strs("r8", "p", "f"), "b"),
+		Insert("F", Strs("r9", "p", "f"), "b"),
+		Insert("F", Strs("rA", "p", "f"), "a"),
+	}}
+	if got := c.TxnPriority(m2); got != 3 {
+		t.Fatalf("multi priority = %d", got)
+	}
+	if ct.calls != after {
+		t.Errorf("same author set re-evaluated the policy: %d extra calls", ct.calls-after)
+	}
+
+	// Untrusted-origin short circuit still yields 0 through the cache.
+	z := &Transaction{ID: TxnID{Origin: "z", Seq: 5}, Updates: []Update{
+		Insert("F", Strs("rB", "p", "f"), "z"),
+		Insert("F", Strs("rC", "p", "f"), "a"),
+	}}
+	if got := c.TxnPriority(z); got != 0 {
+		t.Fatalf("untrusted priority = %d", got)
+	}
+
+	// Non-origin-only policies bypass the cache: TrustFunc carries no
+	// OriginOnly marker.
+	fallback := NewPriorityCache(TrustFunc(func(u Update) int { return 7 }))
+	x := NewTransaction(TxnID{Origin: "a", Seq: 6}, Insert("F", Strs("rD", "p", "f"), "a"))
+	if got := fallback.TxnPriority(x); got != 7 {
+		t.Fatalf("fallback priority = %d", got)
+	}
+	// Nil cache (nil trust) treats everything as untrusted.
+	var nilCache *PriorityCache
+	if got := nilCache.TxnPriority(x); got != 0 {
+		t.Fatalf("nil cache priority = %d", got)
+	}
+}
+
+// TestSetTrustInvalidatesCache: replacing the policy rebuilds the cache,
+// so stale author-set entries can never serve the new policy's decisions.
+func TestSetTrustInvalidatesCache(t *testing.T) {
+	s := proteinSchema(t)
+	q := NewEngine("q", s, TrustOrigins(map[PeerID]int{"a": 1}))
+	x := NewTransaction(TxnID{Origin: "a", Seq: 1}, Insert("F", Strs("r", "p", "f"), "a"))
+	if got := q.TxnPriority(x); got != 1 {
+		t.Fatalf("priority = %d", got)
+	}
+	q.SetTrust(TrustOrigins(map[PeerID]int{"a": 5}))
+	if got := q.TxnPriority(x); got != 5 {
+		t.Fatalf("post-SetTrust priority = %d (stale cache?)", got)
+	}
+	q.SetTrust(TrustOrigins(map[PeerID]int{"b": 1}))
+	if got := q.TxnPriority(x); got != 0 {
+		t.Fatalf("post-distrust priority = %d (stale cache?)", got)
+	}
+}

@@ -40,6 +40,8 @@ type StoreCounters struct {
 
 	dedupHits atomic.Int64
 
+	trustRecompiles atomic.Int64
+
 	// shards carries per-epoch-shard publish counters; sized once by
 	// InitShards before the store goes concurrent, then only the atomics
 	// move.
@@ -135,6 +137,17 @@ func (c *StoreCounters) ObserveDedupHit() {
 	c.dedupHits.Add(1)
 }
 
+// ObserveTrustRecompiles counts n effective-trust recompilations caused
+// by one trust registration — the incremental re-evaluation cost of a
+// mid-stream mapping change (1 for an isolated peer, more when other
+// participants delegate to it, never the whole membership).
+func (c *StoreCounters) ObserveTrustRecompiles(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.trustRecompiles.Add(int64(n))
+}
+
 // ObserveSnapshot counts one retained engine-state snapshot written.
 func (c *StoreCounters) ObserveSnapshot() {
 	if c == nil {
@@ -170,6 +183,8 @@ type StoreSnapshot struct {
 
 	DedupHits int64 // duplicate keyed deliveries answered from dedup state
 
+	TrustRecompiles int64 // effective-trust recompilations across all registrations
+
 	ShardPublishes  []int64 // publish commits per table shard (nil when unsharded)
 	ShardContention []int64 // same-shard publish overlaps per table shard
 }
@@ -192,6 +207,7 @@ func (c *StoreCounters) Snapshot() StoreSnapshot {
 		Compactions:        c.compactions.Load(),
 		CompactedEpochs:    c.compactedEpochs.Load(),
 		DedupHits:          c.dedupHits.Load(),
+		TrustRecompiles:    c.trustRecompiles.Load(),
 	}
 	if len(c.shards) > 0 {
 		snap.ShardPublishes = make([]int64, len(c.shards))

@@ -285,6 +285,13 @@ type Store struct {
 	peersMu sync.RWMutex
 	peers   map[core.PeerID]*peerMeta
 
+	// trustGraph resolves registered textual policies' delegations into
+	// each peer's effective, compiled trust. Registration (and recovery)
+	// feed it; peerMeta.trust always holds the resolved form. Mutations
+	// happen under peersMu, so the affected peers' metas can be updated
+	// atomically with the graph.
+	trustGraph *trust.Graph
+
 	// snapMu serializes Snapshot and CompactBefore against each other; it
 	// is the outermost store lock (never taken while holding any other) and
 	// is never needed by the publish/reconcile paths.
@@ -363,8 +370,12 @@ func (em *epochMeta) txnIDs() []core.TxnID {
 type peerMeta struct {
 	// mu serializes this peer's publishes, reconciliations, and decision
 	// recording against each other — and nothing else.
-	mu        sync.Mutex
-	trust     core.Trust
+	mu    sync.Mutex
+	trust core.Trust
+	// prio memoizes transaction priorities by author set under the
+	// peer's current effective trust; rebuilt whenever trust changes.
+	// Guarded by mu like the candidate paths that read it.
+	prio      *core.PriorityCache
 	lastEpoch core.Epoch
 	recno     int
 	decided   map[core.TxnID]core.Decision
@@ -426,6 +437,7 @@ func openOn(db *reldb.DB, schema *core.Schema, ns string, ownsDB bool, cfg confi
 		epochSeq:    ns + "epoch",
 		epochs:      make(map[core.Epoch]*epochMeta),
 		peers:       make(map[core.PeerID]*peerMeta),
+		trustGraph:  trust.NewGraph(schema),
 		epochBlock:  cfg.epochBlock,
 		snapEvery:   cfg.snapEvery,
 		compactKeep: cfg.compactKeep,
@@ -837,10 +849,13 @@ func (s *Store) loadCaches() error {
 		}
 		// Restore persisted textual trust policies. Peers registered with
 		// in-process predicate policies have no row here and stay
-		// trust-less until they re-register.
+		// trust-less until they re-register. Every row is parsed before
+		// any policy is resolved: a policy may delegate to a peer whose
+		// row scans later, and per-row resolution would bind incomplete
+		// closures.
+		recoveredTrust := make(map[core.PeerID]*trust.Policy)
 		if err := tx.Scan(s.trustTab, func(r reldb.Row) bool {
-			pm := s.peers[core.PeerID(r[0].S())]
-			if pm == nil {
+			if s.peers[core.PeerID(r[0].S())] == nil {
 				return true
 			}
 			p, err := trust.Parse(r[1].S())
@@ -848,13 +863,23 @@ func (s *Store) loadCaches() error {
 				scanErr = fmt.Errorf("central: peer %s persisted trust policy: %w", r[0].S(), err)
 				return false
 			}
-			pm.trust = p
+			recoveredTrust[core.PeerID(r[0].S())] = p.WithSchema(s.schema)
 			return true
 		}); err != nil {
 			return err
 		}
 		if scanErr != nil {
 			return scanErr
+		}
+		for peer, p := range recoveredTrust {
+			// Registration order is irrelevant: Set re-resolves every
+			// already-loaded policy whose closure reaches the new member.
+			s.trustGraph.Set(peer, p)
+		}
+		for peer := range recoveredTrust {
+			pm := s.peers[peer]
+			pm.trust = s.trustGraph.Effective(peer)
+			pm.prio = core.NewPriorityCache(pm.trust)
 		}
 		for k := 0; k < s.tableShards; k++ {
 			if err := tx.Scan(s.decisionsTab[k], func(r reldb.Row) bool {
@@ -934,15 +959,37 @@ func (s *Store) loadSnapshotState() error {
 }
 
 // RegisterPeer implements store.Store. Re-registering an existing peer
-// (e.g. after recovery) replaces its trust policy and keeps its history.
-// Textual policies (*trust.Policy) are persisted alongside the peer row so
-// a recovered store serves reconciliations without re-registration;
-// in-process predicate policies cannot travel into the directory, so any
-// previously persisted text is dropped rather than left to resurrect an
-// outdated policy on the next recovery.
+// (e.g. after recovery, or to change trust mid-stream) replaces its trust
+// policy and keeps its history. Textual policies (*trust.Policy) are
+// persisted alongside the peer row so a recovered store serves
+// reconciliations without re-registration; in-process predicate policies
+// cannot travel into the directory, so any previously persisted text is
+// dropped rather than left to resurrect an outdated policy on the next
+// recovery.
+//
+// The textual form stays the durable format; what registration installs
+// is the policy's *effective* decision program, resolved through the
+// store's trust graph. Delegations must name peers this store already
+// knows. Re-registration recompiles only the affected participants —
+// those whose delegation closure reaches this peer.
 func (s *Store) RegisterPeer(_ context.Context, peer core.PeerID, t core.Trust) error {
 	s.peersMu.Lock()
 	defer s.peersMu.Unlock()
+	if pol, ok := t.(*trust.Policy); ok {
+		if pol.Schema() == nil {
+			pol.WithSchema(s.schema)
+		}
+		// A delegation to a peer this store has never seen would silently
+		// contribute nothing; refuse it instead.
+		for _, d := range pol.Delegations() {
+			if d.Peer == peer {
+				continue
+			}
+			if _, known := s.peers[d.Peer]; !known {
+				return fmt.Errorf("central: peer %s delegates to unregistered peer %s", peer, d.Peer)
+			}
+		}
+	}
 	_, known := s.peers[peer]
 	err := s.db.Update(func(tx *reldb.Tx) error {
 		if !known {
@@ -959,18 +1006,38 @@ func (s *Store) RegisterPeer(_ context.Context, peer core.PeerID, t core.Trust) 
 	if err != nil {
 		return err
 	}
-	if pm, ok := s.peers[peer]; ok {
+	if !known {
+		s.peers[peer] = &peerMeta{
+			decided:    make(map[core.TxnID]core.Decision),
+			decidedSeq: make(map[core.TxnID]int64),
+		}
+	}
+	affected := s.trustGraph.Set(peer, t)
+	for _, ap := range affected {
+		pm := s.peers[ap]
+		if pm == nil {
+			continue
+		}
+		eff := s.trustGraph.Effective(ap)
 		pm.mu.Lock()
-		pm.trust = t
+		pm.trust = eff
+		pm.prio = core.NewPriorityCache(eff)
 		pm.mu.Unlock()
-		return nil
 	}
-	s.peers[peer] = &peerMeta{
-		trust:      t,
-		decided:    make(map[core.TxnID]core.Decision),
-		decidedSeq: make(map[core.TxnID]int64),
-	}
+	s.counters.ObserveTrustRecompiles(len(affected))
 	return nil
+}
+
+// EffectiveTrust implements store.TrustResolver: it returns the peer's
+// resolved, compiled trust — its own rules merged with every delegation
+// closure member's capped rules.
+func (s *Store) EffectiveTrust(_ context.Context, peer core.PeerID) (core.Trust, error) {
+	s.peersMu.RLock()
+	defer s.peersMu.RUnlock()
+	if _, ok := s.peers[peer]; !ok {
+		return nil, fmt.Errorf("central: unknown peer %s", peer)
+	}
+	return s.trustGraph.Effective(peer), nil
 }
 
 // PublishBegin allocates an epoch and records that the peer has started
@@ -1326,7 +1393,7 @@ func (s *Store) candidatesLocked(pm *peerMeta, peer core.PeerID, from, to core.E
 				continue
 			}
 			x := en.pub.Txn
-			prio := core.TxnPriority(pm.trust, x)
+			prio := pm.prio.TxnPriority(x)
 			if prio <= 0 {
 				continue
 			}
@@ -1374,7 +1441,7 @@ func (s *Store) replayCandidatesLocked(pm *peerMeta, peer core.PeerID, from, to 
 			continue
 		}
 		x := en.pub.Txn
-		prio := core.TxnPriority(pm.trust, x)
+		prio := pm.prio.TxnPriority(x)
 		if prio <= 0 {
 			continue
 		}

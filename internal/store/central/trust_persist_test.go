@@ -2,10 +2,12 @@ package central
 
 import (
 	"context"
+	"maps"
 	"strings"
 	"testing"
 
 	"orchestra/internal/core"
+	"orchestra/internal/store"
 	"orchestra/internal/trust"
 )
 
@@ -126,5 +128,90 @@ func TestTextualReplacesThenPredicateDropsRow(t *testing.T) {
 	defer st2.Close()
 	if _, err := st2.BeginReconciliation(ctx, "pa"); err == nil {
 		t.Fatal("stale textual policy resurrected after predicate re-registration")
+	}
+}
+
+// TestTrustPersistDelegation: the textual form is the durable format, so a
+// restart-recovered store must rebuild a delegating policy's *full*
+// closure from the persisted rows alone — two hops of delegation, each
+// capping the priorities below it — and price updates identically to the
+// pre-restart store.
+func TestTrustPersistDelegation(t *testing.T) {
+	dir := t.TempDir()
+	schema := trustPersistSchema(t)
+	ctx := context.Background()
+
+	s, err := Open(schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := func(st *Store, id core.PeerID, text string) {
+		t.Helper()
+		if err := st.RegisterPeer(ctx, id, trust.MustParse(text)); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+	}
+	for _, id := range []core.PeerID{"pa", "pb", "pc"} {
+		reg(s, id, "priority 1 when true")
+	}
+	// hub --3--> mid --2--> leaf: hub's effective policy is its own pa:5,
+	// mid's pb:4 capped to 3, and leaf's pc:9 capped to min(3,2)=2.
+	reg(s, "leaf", "priority 9 when origin = 'pc'")
+	reg(s, "mid", "priority 4 when origin = 'pb'\ndelegate 'leaf' priority 2")
+	reg(s, "hub", "priority 5 when origin = 'pa'\ndelegate 'mid' priority 3")
+
+	prios := func(st *Store) map[core.PeerID]int {
+		t.Helper()
+		eff, err := st.EffectiveTrust(ctx, "hub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[core.PeerID]int{}
+		for _, o := range []core.PeerID{"pa", "pb", "pc", "px"} {
+			out[o] = eff.Priority(core.Insert("R", core.Strs("k1", "v"), o))
+		}
+		return out
+	}
+	want := map[core.PeerID]int{"pa": 5, "pb": 3, "pc": 2, "px": 0}
+	if got := prios(s); !maps.Equal(got, want) {
+		t.Fatalf("pre-restart hub priorities %v, want %v", got, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := prios(s2); !maps.Equal(got, want) {
+		t.Fatalf("post-restart hub priorities %v, want %v", got, want)
+	}
+
+	// The recovered closure prices a live reconciliation: a publish from
+	// pc reaches hub only through the two delegation hops.
+	pcPeer, err := store.NewPeer(ctx, "pc", schema, trust.MustParse("priority 1 when true"), s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := store.NewPeer(ctx, "hub", schema,
+		trust.MustParse("priority 5 when origin = 'pa'\ndelegate 'mid' priority 3"), s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := pcPeer.Edit(core.Insert("R", core.Strs("r1", "v"), "pc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pcPeer.PublishAndReconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := hub.PublishAndReconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 || res.Accepted[0] != x.ID {
+		t.Fatalf("hub accepted %v, want [%v]", res.Accepted, x.ID)
 	}
 }

@@ -1,0 +1,61 @@
+package central
+
+import (
+	"context"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/trust"
+)
+
+// TestTrustRecompileCounter pins the incremental re-evaluation contract at
+// the store boundary: a mid-stream re-registration recompiles exactly the
+// participants whose delegation closure reaches the changed peer — never
+// the whole membership — and the TrustRecompiles counter exposes that.
+func TestTrustRecompileCounter(t *testing.T) {
+	schema := trustPersistSchema(t)
+	ctx := context.Background()
+	st, err := Open(schema, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	reg := func(peer, text string) {
+		t.Helper()
+		if err := st.RegisterPeer(ctx, core.PeerID(peer), trust.MustParse(text)); err != nil {
+			t.Fatalf("register %s: %v", peer, err)
+		}
+	}
+	recompiles := func() int64 { return st.Metrics().Snapshot().TrustRecompiles }
+
+	// Chain a --> b --> c plus two peers outside the chain.
+	reg("c", "priority 1 when origin = 'pz'")
+	reg("b", "priority 1 when origin = 'py'\ndelegate 'c' priority 2")
+	reg("a", "priority 1 when origin = 'px'\ndelegate 'b' priority 3")
+	reg("iso", "priority 1 when true")
+	reg("other", "priority 2 when origin = 'pq'")
+
+	// Changing the chain's leaf recompiles the leaf and both delegators —
+	// and nobody else (5 members, delta 3).
+	before := recompiles()
+	reg("c", "priority 8 when origin = 'pz'")
+	if got := recompiles() - before; got != 3 {
+		t.Fatalf("leaf re-registration recompiled %d participants, want 3 (a, b, c)", got)
+	}
+
+	// Changing an isolated peer recompiles only itself.
+	before = recompiles()
+	reg("iso", "priority 2 when true")
+	if got := recompiles() - before; got != 1 {
+		t.Fatalf("isolated re-registration recompiled %d participants, want 1", got)
+	}
+
+	// Changing the chain's head recompiles only the head: delegation edges
+	// point downstream, so b and c are unaffected.
+	before = recompiles()
+	reg("a", "priority 6 when origin = 'px'\ndelegate 'b' priority 3")
+	if got := recompiles() - before; got != 1 {
+		t.Fatalf("head re-registration recompiled %d participants, want 1", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"orchestra/internal/core"
+	"orchestra/internal/trust"
 )
 
 // Peer couples a reconciliation engine with an update store and drives the
@@ -43,12 +44,71 @@ type pubStamp struct {
 	t     time.Time
 }
 
-// NewPeer registers the peer with the store and returns the wrapper.
-func NewPeer(ctx context.Context, id core.PeerID, schema *core.Schema, trust core.Trust, st Store) (*Peer, error) {
-	if err := st.RegisterPeer(ctx, id, trust); err != nil {
+// NewPeer registers the peer with the store and returns the wrapper. When
+// the store resolves trust delegations (TrustResolver), the engine is
+// seeded with the peer's *effective* policy rather than the raw registered
+// one, so local candidate pricing matches the store's.
+func NewPeer(ctx context.Context, id core.PeerID, schema *core.Schema, t core.Trust, st Store) (*Peer, error) {
+	if err := st.RegisterPeer(ctx, id, t); err != nil {
 		return nil, err
 	}
-	return &Peer{engine: core.NewEngine(id, schema, trust), store: st}, nil
+	eff := effectiveTrust(ctx, st, id, schema, t)
+	return &Peer{engine: core.NewEngine(id, schema, eff), store: st}, nil
+}
+
+// effectiveTrust asks a resolving store for the peer's effective policy,
+// falling back to the registered one. A policy that crossed the wire comes
+// back schema-less; it is a private parsed copy, so binding the engine's
+// schema is safe (store-owned resolved policies arrive schema-bound
+// already and are never mutated here).
+func effectiveTrust(ctx context.Context, st Store, id core.PeerID, schema *core.Schema, t core.Trust) core.Trust {
+	eff := t
+	if r, ok := st.(TrustResolver); ok {
+		if rt, err := r.EffectiveTrust(ctx, id); err == nil && rt != nil {
+			eff = rt
+		}
+	}
+	if pol, ok := eff.(*trust.Policy); ok && pol.Schema() == nil {
+		pol.WithSchema(schema)
+	}
+	return eff
+}
+
+// SetTrust re-registers the peer at the store with a new trust policy and
+// refreshes the engine in place, mid-stream: deferred candidates are
+// re-priced under the new policy without replaying history, and the next
+// reconciliation window is already priced store-side by the new effective
+// trust. It returns the number of deferred candidates whose priority
+// changed. Delegations take effect here too — the engine receives the
+// resolved effective policy when the store exposes one.
+func (p *Peer) SetTrust(ctx context.Context, t core.Trust) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start := time.Now()
+	err := p.store.RegisterPeer(ctx, p.ID(), t)
+	p.storeTime += time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	eff := t
+	if r, ok := p.store.(TrustResolver); ok {
+		start = time.Now()
+		rt, rerr := r.EffectiveTrust(ctx, p.ID())
+		p.storeTime += time.Since(start)
+		if rerr != nil {
+			return 0, rerr
+		}
+		if rt != nil {
+			eff = rt
+		}
+	}
+	if pol, ok := eff.(*trust.Policy); ok && pol.Schema() == nil {
+		pol.WithSchema(p.engine.Schema())
+	}
+	start = time.Now()
+	changed := p.engine.RefreshTrust(eff)
+	p.localTime += time.Since(start)
+	return changed, nil
 }
 
 // ID returns the peer's identifier.

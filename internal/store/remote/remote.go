@@ -44,6 +44,7 @@ const (
 	mCompact      = "store.compact"
 	mWatch        = "store.watch"
 	mCanWatch     = "store.canwatch"
+	mEffTrust     = "store.trust.effective"
 )
 
 type registerArgs struct {
@@ -99,6 +100,17 @@ type decideBatchArgs struct {
 
 type recnoArgs struct {
 	Peer core.PeerID
+}
+
+type effTrustArgs struct {
+	Peer core.PeerID
+}
+
+type effTrustReply struct {
+	// Policy is the peer's effective trust in textual form. Over the wire
+	// everything is textual (Client.RegisterPeer refuses anything else),
+	// so the resolved closure round-trips losslessly as text.
+	Policy string
 }
 
 type recnoReply struct {
@@ -211,6 +223,7 @@ func NewServer(backend store.Store, schema *core.Schema) *Server {
 	mux.Handle(mWatch, s.watch)
 	mux.Handle(mCanWatch, s.canWatch)
 	mux.Handle(mCanMultiGroup, s.canMultiGroup)
+	mux.Handle(mEffTrust, s.effectiveTrust)
 	s.mux = mux
 	s.srv = rpc.NewServer(mux)
 	return s
@@ -407,6 +420,29 @@ func (s *Server) compact(ctx context.Context, req rpc.Request) ([]byte, error) {
 		return nil, err
 	}
 	return rpc.Encode(&struct{}{})
+}
+
+// effectiveTrust serves a peer's resolved trust as text. Delegation
+// closures computed by the backend's trust graph travel as the flattened
+// effective policy, so the client never needs the other members' policies.
+func (s *Server) effectiveTrust(ctx context.Context, req rpc.Request) ([]byte, error) {
+	var args effTrustArgs
+	if err := rpc.Decode(req.Body, &args); err != nil {
+		return nil, err
+	}
+	tr, ok := s.backend.(store.TrustResolver)
+	if !ok {
+		return nil, fmt.Errorf("remote: backend %T does not resolve trust", s.backend)
+	}
+	t, err := tr.EffectiveTrust(ctx, args.Peer)
+	if err != nil {
+		return nil, err
+	}
+	pol, ok := t.(*trust.Policy)
+	if !ok {
+		return nil, fmt.Errorf("remote: peer %s effective trust %T is not textual", args.Peer, t)
+	}
+	return rpc.Encode(&effTrustReply{Policy: pol.String()})
 }
 
 func (s *Server) canWatch(ctx context.Context, _ rpc.Request) ([]byte, error) {
@@ -660,6 +696,21 @@ func (c *Client) CurrentRecno(ctx context.Context, peer core.PeerID) (int, error
 		return 0, err
 	}
 	return reply.Recno, nil
+}
+
+// EffectiveTrust implements store.TrustResolver by RPC. The policy comes
+// back as a fresh parsed copy with no schema bound; callers that evaluate
+// attr('name') predicates locally bind their own schema (store.Peer does).
+func (c *Client) EffectiveTrust(ctx context.Context, peer core.PeerID) (core.Trust, error) {
+	var reply effTrustReply
+	if err := rpc.Invoke(ctx, c.caller, c.addr, c.m(mEffTrust), &effTrustArgs{Peer: peer}, &reply); err != nil {
+		return nil, err
+	}
+	pol, err := trust.Parse(reply.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("remote: effective trust payload: %w", err)
+	}
+	return pol, nil
 }
 
 // CanReplay implements store.ReplayProber: the client's ReplayFor stub

@@ -131,6 +131,7 @@ func RunConformance(t *testing.T, factory Factory) {
 	t.Run("ReplayRebuild", func(t *testing.T) { testReplayRebuild(t, factory) })
 	t.Run("SnapshotRebuild", func(t *testing.T) { testSnapshotRebuild(t, factory) })
 	t.Run("IdempotentRetry", func(t *testing.T) { testIdempotentRetry(t, factory) })
+	t.Run("TrustUpdate", func(t *testing.T) { testTrustUpdate(t, factory) })
 }
 
 // testIdempotentRetry: on stores that dedupe keyed operations

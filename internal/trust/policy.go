@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"orchestra/internal/core"
 )
@@ -17,13 +18,39 @@ type Rule struct {
 	expr      expr
 }
 
-// Policy is a participant's ordered set of acceptance rules. It implements
-// core.Trust: the priority of an update is the maximum priority among
-// matching rules, or 0 (untrusted) if none match. The zero Policy trusts
-// nothing.
+// Delegation is one trust delegation: "trust whatever Peer accepts, at
+// priority capped at Cap". Delegations are inert on a standalone Policy —
+// resolving them needs the other participants' policies, which is the
+// Graph's job (graph.go); stores resolve registered policies through a
+// Graph automatically.
+type Delegation struct {
+	Peer core.PeerID
+	Cap  int
+}
+
+// Policy is a participant's ordered set of acceptance rules plus its trust
+// delegations. It implements core.Trust: the priority of an update is the
+// maximum priority among matching rules, or 0 (untrusted) if none match.
+// The zero Policy trusts nothing.
+//
+// Rules are compiled into a flat decision program (program.go) lazily on
+// first evaluation and recompiled after mutation; WithInterpreted keeps
+// the AST-walking interpreter as an escape hatch. A compiled Policy is
+// safe for concurrent evaluation, but mutation (Add, AddDelegation,
+// WithSchema) must not race with evaluation. Policies must not be copied
+// after first use.
 type Policy struct {
 	rules  []Rule
+	delegs []Delegation
 	schema *core.Schema
+	// dyn carries delegated non-textual trust sources; only resolved
+	// policies built by Graph.Effective have them.
+	dyn []dynSource
+	// interpret disables the compiled program (WithInterpreted).
+	interpret bool
+	// prog caches the compiled program; nil after any mutation. Racing
+	// recompiles are harmless: compilation is deterministic.
+	prog atomic.Pointer[program]
 }
 
 // NewPolicy returns an empty policy. Bind a schema with WithSchema to
@@ -34,11 +61,31 @@ func NewPolicy() *Policy { return &Policy{} }
 // resolution. The receiver is returned for chaining.
 func (p *Policy) WithSchema(s *core.Schema) *Policy {
 	p.schema = s
+	p.prog.Store(nil)
 	return p
 }
 
+// Schema returns the schema bound by WithSchema, nil if none.
+func (p *Policy) Schema() *core.Schema { return p.schema }
+
+// WithInterpreted returns the policy evaluating through the AST
+// interpreter instead of the compiled decision program — the escape hatch
+// (and the reference implementation the compiled-vs-interpreted
+// differential tests compare against).
+func (p *Policy) WithInterpreted() *Policy {
+	p.interpret = true
+	return p
+}
+
+// Interpreted reports whether the policy evaluates through the
+// interpreter.
+func (p *Policy) Interpreted() bool { return p.interpret }
+
 // Add compiles and appends a rule. Priorities must be positive: priority 0
-// is the implicit "untrusted" default.
+// is the implicit "untrusted" default. A rule identical to one already
+// present (same priority, same predicate text) is dropped: duplicates
+// cannot change the max-of-matching semantics and would only inflate
+// every evaluation.
 func (p *Policy) Add(priority int, predicate string) error {
 	if priority <= 0 {
 		return fmt.Errorf("trust: rule priority must be positive, got %d", priority)
@@ -47,13 +94,49 @@ func (p *Policy) Add(priority int, predicate string) error {
 	if err != nil {
 		return err
 	}
+	for i := range p.rules {
+		if p.rules[i].Priority == priority && p.rules[i].Predicate == predicate {
+			return nil
+		}
+	}
 	p.rules = append(p.rules, Rule{Priority: priority, Predicate: predicate, expr: e})
+	p.prog.Store(nil)
 	return nil
 }
 
 // MustAdd is Add that panics on error, for literals in tests and examples.
 func (p *Policy) MustAdd(priority int, predicate string) *Policy {
 	if err := p.Add(priority, predicate); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AddDelegation appends a delegation. The cap must be positive; a second
+// delegation to the same peer keeps the higher cap (a wider delegation
+// subsumes a narrower one).
+func (p *Policy) AddDelegation(peer core.PeerID, cap int) error {
+	if cap <= 0 {
+		return fmt.Errorf("trust: delegation priority must be positive, got %d", cap)
+	}
+	if peer == "" {
+		return fmt.Errorf("trust: delegation needs a peer name")
+	}
+	for i := range p.delegs {
+		if p.delegs[i].Peer == peer {
+			if cap > p.delegs[i].Cap {
+				p.delegs[i].Cap = cap
+			}
+			return nil
+		}
+	}
+	p.delegs = append(p.delegs, Delegation{Peer: peer, Cap: cap})
+	return nil
+}
+
+// MustDelegate is AddDelegation that panics on error.
+func (p *Policy) MustDelegate(peer core.PeerID, cap int) *Policy {
+	if err := p.AddDelegation(peer, cap); err != nil {
 		panic(err)
 	}
 	return p
@@ -66,11 +149,37 @@ func (p *Policy) Rules() []Rule {
 	return out
 }
 
+// Delegations returns a copy of the delegations.
+func (p *Policy) Delegations() []Delegation {
+	out := make([]Delegation, len(p.delegs))
+	copy(out, p.delegs)
+	return out
+}
+
 // Len returns the number of rules.
 func (p *Policy) Len() int { return len(p.rules) }
 
-// Priority implements core.Trust.
+// compiled returns the policy's decision program, compiling on first use.
+func (p *Policy) compiled() *program {
+	if pr := p.prog.Load(); pr != nil {
+		return pr
+	}
+	pr := compileProgram(p.rules, p.dyn, p.schema)
+	p.prog.Store(pr)
+	return pr
+}
+
+// Priority implements core.Trust. Delegations are not evaluated here —
+// see Delegation and Graph.
 func (p *Policy) Priority(u core.Update) int {
+	if p.interpret {
+		return p.interpretPriority(u)
+	}
+	return p.compiled().priority(u)
+}
+
+// interpretPriority is the reference evaluator: walk every rule's AST.
+func (p *Policy) interpretPriority(u core.Update) int {
 	best := 0
 	ctx := &evalCtx{u: u, schema: p.schema}
 	for i := range p.rules {
@@ -82,26 +191,55 @@ func (p *Policy) Priority(u core.Update) int {
 			best = r.Priority
 		}
 	}
+	for i := range p.dyn {
+		d := &p.dyn[i]
+		if d.cap <= best {
+			continue
+		}
+		if v := d.t.Priority(u); v > 0 {
+			if v > d.cap {
+				v = d.cap
+			}
+			if v > best {
+				best = v
+			}
+		}
+	}
 	return best
 }
 
-// String renders the policy in the textual rule format accepted by Parse.
+// OriginOnly implements core.OriginTrust: it reports whether every
+// decision depends only on the update's origin, the validity condition
+// for the engine- and store-side author-set priority caches. The analysis
+// runs on the compiled program regardless of evaluation mode — caching
+// memoizes identical results either way.
+func (p *Policy) OriginOnly() bool { return p.compiled().originOnly }
+
+// String renders the policy in the textual rule format accepted by Parse:
+// rules first, then delegations.
 func (p *Policy) String() string {
 	var b strings.Builder
 	for _, r := range p.rules {
 		fmt.Fprintf(&b, "priority %d when %s\n", r.Priority, r.Predicate)
 	}
+	for _, d := range p.delegs {
+		fmt.Fprintf(&b, "delegate '%s' priority %d\n", strings.ReplaceAll(string(d.Peer), "'", "''"), d.Cap)
+	}
 	return b.String()
 }
 
-// Parse reads a policy in textual form: one rule per line,
+// Parse reads a policy in textual form: one rule or delegation per line,
 //
 //	priority <n> when <predicate>
+//	delegate <peer> priority <n>
 //
-// Blank lines and lines starting with '#' or '--' are ignored.
+// The delegated peer may be a bare identifier or a quoted string (a
+// doubled single quote escapes a quote). Blank lines and lines starting
+// with '#' or '--' are ignored.
 func Parse(text string) (*Policy, error) {
 	p := NewPolicy()
 	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineno := 0
 	for sc.Scan() {
 		lineno++
@@ -109,9 +247,15 @@ func Parse(text string) (*Policy, error) {
 		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "--") {
 			continue
 		}
+		if rest, ok := cutKeyword(line, "delegate"); ok {
+			if err := parseDelegation(p, rest); err != nil {
+				return nil, fmt.Errorf("trust: line %d: %w", lineno, err)
+			}
+			continue
+		}
 		rest, ok := cutKeyword(line, "priority")
 		if !ok {
-			return nil, fmt.Errorf("trust: line %d: expected 'priority <n> when <predicate>'", lineno)
+			return nil, fmt.Errorf("trust: line %d: expected 'priority <n> when <predicate>' or 'delegate <peer> priority <n>'", lineno)
 		}
 		rest = strings.TrimSpace(rest)
 		sp := strings.IndexFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' })
@@ -131,6 +275,47 @@ func Parse(text string) (*Policy, error) {
 		}
 	}
 	return p, sc.Err()
+}
+
+// parseDelegation parses the remainder of a `delegate <peer> priority <n>`
+// line (everything after the keyword).
+func parseDelegation(p *Policy, rest string) error {
+	lx := &lexer{src: strings.TrimSpace(rest)}
+	peerTok, err := lx.next()
+	if err != nil {
+		return err
+	}
+	var peer core.PeerID
+	switch peerTok.kind {
+	case tokString, tokIdent:
+		peer = core.PeerID(peerTok.text)
+	default:
+		return fmt.Errorf("delegate needs a peer name, found %s", peerTok.kind)
+	}
+	kw, err := lx.next()
+	if err != nil {
+		return err
+	}
+	if kw.kind != tokIdent || lower(kw.text) != "priority" {
+		return fmt.Errorf("expected 'priority <n>' after the delegated peer")
+	}
+	numTok, err := lx.next()
+	if err != nil {
+		return err
+	}
+	if numTok.kind != tokNumber {
+		return fmt.Errorf("expected a delegation priority, found %s %q", numTok.kind, numTok.text)
+	}
+	n, err := strconv.Atoi(numTok.text)
+	if err != nil {
+		return fmt.Errorf("bad delegation priority %q", numTok.text)
+	}
+	if trailing, err := lx.next(); err != nil {
+		return err
+	} else if trailing.kind != tokEOF {
+		return fmt.Errorf("unexpected trailing input %q", trailing.text)
+	}
+	return p.AddDelegation(peer, n)
 }
 
 // MustParse is Parse that panics on error.

@@ -1,0 +1,294 @@
+package trust
+
+import (
+	"sync"
+
+	"orchestra/internal/core"
+)
+
+// program is the compiled form of a policy's rule list: a flat decision
+// program evaluated without touching the AST. Compilation (compile.go)
+// performs the classic lowering passes —
+//
+//   - origin dispatch: rules of the shape `origin = 'x'` or
+//     `origin in (...)` collapse into a single map lookup;
+//   - constant folding: leaf-free subtrees are evaluated at compile time,
+//     always-true rules become a constant floor, never-true rules vanish;
+//   - priority scheduling: the surviving general rules are sorted by
+//     priority descending, so evaluation stops at the first match (the
+//     first match IS the maximum) and skips the tail once the running
+//     best dominates it;
+//   - leaf hoisting: every distinct update access (origin, rel, op,
+//     attr(...)) is value-numbered into a shared leaf table and extracted
+//     at most once per update, however many rules mention it;
+//   - attribute resolution: attr('name') lookups are resolved against the
+//     bound schema once at compile time into a relation→index table,
+//     replacing the per-eval Relation()/AttrIndex walk.
+//
+// A program is immutable after compilation and safe for concurrent use;
+// per-evaluation scratch comes from a sync.Pool.
+type program struct {
+	// constPrio is the floor priority from always-true rules (0 if none).
+	constPrio int
+	// originPrio dispatches origin-only equality/in rules: the maximum
+	// rule priority per origin.
+	originPrio map[core.PeerID]int
+	// rules are the remaining general rules, sorted by priority descending.
+	rules []compiledRule
+	// dyn are delegated non-textual trust sources, each contributing
+	// min(cap, source priority) when the source trusts the update; sorted
+	// by cap descending so a dominated tail is skipped.
+	dyn []dynSource
+	// leaves is the shared value-numbered leaf table.
+	leaves []leaf
+	// lits, inSets, patterns are the constant tables referenced by opcode
+	// operands.
+	lits     []val
+	inSets   [][]val
+	patterns []string
+
+	// originOnly reports that every decision depends only on u.Origin —
+	// the validity condition for core's author-set priority cache.
+	originOnly bool
+	// maxStack is the deepest operand stack any rule needs.
+	maxStack int
+
+	pool sync.Pool // *scratch
+}
+
+// compiledRule is one general rule: a postfix instruction sequence over
+// the program's leaf and constant tables.
+type compiledRule struct {
+	prio int
+	code []instr
+}
+
+// dynSource is a delegated trust source that could not be inlined as
+// rules (a non-textual core.Trust): it contributes min(cap, priority).
+type dynSource struct {
+	t   core.Trust
+	cap int
+}
+
+type opcode uint8
+
+const (
+	opLeaf opcode = iota // push leaves[a]
+	opLit                // push lits[a]
+	opEq                 // pop b, a; push a = b
+	opNe                 // pop b, a; push a != b
+	opLt                 // pop b, a; push a < b
+	opLe                 // pop b, a; push a <= b
+	opGt                 // pop b, a; push a > b
+	opGe                 // pop b, a; push a >= b
+	opIn                 // pop a; push a in inSets[n]
+	opLike               // pop a; push a like patterns[n]
+	opNot                // pop a; push not a
+	opAnd                // pop b, a; push a and b
+	opOr                 // pop b, a; push a or b
+)
+
+type instr struct {
+	op opcode
+	a  int32
+}
+
+// leafKind selects which part of the update a leaf extracts.
+type leafKind uint8
+
+const (
+	leafOrigin leafKind = iota
+	leafRel
+	leafOp
+	leafAttr
+)
+
+// leaf is one hoisted update access. Attribute leaves carry the
+// compile-time resolved relation→index table (nil when no schema was
+// bound, matching the interpreter's null result).
+type leaf struct {
+	kind    leafKind
+	replace bool // newattr
+	byName  bool
+	name    string
+	idx     int
+	relIdx  map[string]int
+}
+
+// eval extracts the leaf's value from the update. Semantics mirror the
+// AST nodes (fieldExpr, attrExpr) exactly: the differential tests assert
+// bit-identical priorities against the interpreter.
+func (lf *leaf) eval(u core.Update) val {
+	switch lf.kind {
+	case leafOrigin:
+		return strVal(string(u.Origin))
+	case leafRel:
+		return strVal(u.Rel)
+	case leafOp:
+		switch u.Op {
+		case core.OpInsert:
+			return strVal("insert")
+		case core.OpDelete:
+			return strVal("delete")
+		case core.OpModify:
+			return strVal("modify")
+		}
+		return nullVal
+	default:
+		t := u.Tuple
+		if lf.replace && u.New != nil {
+			t = u.New
+		}
+		idx := lf.idx
+		if lf.byName {
+			i, ok := lf.relIdx[u.Rel]
+			if !ok {
+				return nullVal
+			}
+			idx = i
+		}
+		if idx < 0 || idx >= len(t) {
+			return nullVal
+		}
+		return coreValueToVal(t[idx])
+	}
+}
+
+// scratch is the reusable per-evaluation state: the operand stack and the
+// leaf value cache. Leaf slots are invalidated by generation counter
+// instead of clearing.
+type scratch struct {
+	stack    []val
+	leafVals []val
+	leafGen  []uint32
+	gen      uint32
+}
+
+func (pr *program) getScratch() *scratch {
+	sc, _ := pr.pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{
+			stack:    make([]val, 0, pr.maxStack),
+			leafVals: make([]val, len(pr.leaves)),
+			leafGen:  make([]uint32, len(pr.leaves)),
+		}
+	}
+	sc.gen++
+	if sc.gen == 0 { // wrapped: stale gens could collide, reset
+		for i := range sc.leafGen {
+			sc.leafGen[i] = 0
+		}
+		sc.gen = 1
+	}
+	return sc
+}
+
+// priority evaluates the program against one update: the compiled
+// equivalent of the interpreter's max-of-matching-rules walk.
+func (pr *program) priority(u core.Update) int {
+	best := pr.constPrio
+	if len(pr.originPrio) > 0 {
+		if p, ok := pr.originPrio[u.Origin]; ok && p > best {
+			best = p
+		}
+	}
+	if len(pr.rules) > 0 && pr.rules[0].prio > best {
+		sc := pr.getScratch()
+		for i := range pr.rules {
+			r := &pr.rules[i]
+			if r.prio <= best {
+				break // sorted descending: nothing below can raise best
+			}
+			if pr.evalRule(r, sc, u) {
+				best = r.prio // first match is the max of the remainder
+				break
+			}
+		}
+		pr.pool.Put(sc)
+	}
+	for i := range pr.dyn {
+		d := &pr.dyn[i]
+		if d.cap <= best {
+			break // sorted descending: min(cap, ·) cannot raise best
+		}
+		if p := d.t.Priority(u); p > 0 {
+			if p > d.cap {
+				p = d.cap
+			}
+			if p > best {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// evalRule runs one rule's postfix code. The language is pure, so eager
+// evaluation of and/or is observably identical to the interpreter's
+// short-circuit.
+func (pr *program) evalRule(r *compiledRule, sc *scratch, u core.Update) bool {
+	st := sc.stack[:0]
+	for _, in := range r.code {
+		switch in.op {
+		case opLeaf:
+			li := in.a
+			if sc.leafGen[li] != sc.gen {
+				sc.leafVals[li] = pr.leaves[li].eval(u)
+				sc.leafGen[li] = sc.gen
+			}
+			st = append(st, sc.leafVals[li])
+		case opLit:
+			st = append(st, pr.lits[in.a])
+		case opNot:
+			st[len(st)-1] = boolVal(!st[len(st)-1].truthy())
+		case opIn:
+			v := st[len(st)-1]
+			res := falseVal
+			for _, o := range pr.inSets[in.a] {
+				if equalVal(v, o) {
+					res = trueVal
+					break
+				}
+			}
+			st[len(st)-1] = res
+		case opLike:
+			v := st[len(st)-1]
+			st[len(st)-1] = boolVal(v.kind == 's' && likeMatch(pr.patterns[in.a], v.s))
+		case opAnd:
+			b := st[len(st)-2].truthy() && st[len(st)-1].truthy()
+			st = st[:len(st)-1]
+			st[len(st)-1] = boolVal(b)
+		case opOr:
+			b := st[len(st)-2].truthy() || st[len(st)-1].truthy()
+			st = st[:len(st)-1]
+			st[len(st)-1] = boolVal(b)
+		default: // comparisons
+			lv, rv := st[len(st)-2], st[len(st)-1]
+			st = st[:len(st)-1]
+			var b bool
+			switch in.op {
+			case opEq:
+				b = equalVal(lv, rv)
+			case opNe:
+				b = !equalVal(lv, rv)
+			default:
+				if cmp, ok := compareVal(lv, rv); ok {
+					switch in.op {
+					case opLt:
+						b = cmp < 0
+					case opLe:
+						b = cmp <= 0
+					case opGt:
+						b = cmp > 0
+					case opGe:
+						b = cmp >= 0
+					}
+				}
+			}
+			st[len(st)-1] = boolVal(b)
+		}
+	}
+	res := st[len(st)-1].truthy()
+	sc.stack = st[:0]
+	return res
+}
