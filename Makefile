@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json chaos-smoke multigroup-smoke trust-smoke fuzz-smoke linkcheck clean
+.PHONY: build vet test race verify fmt-check bench bench-smoke bench-json chaos-smoke gateway-smoke multigroup-smoke trust-smoke fuzz-smoke linkcheck clean
 
 build:
 	$(GO) build ./...
@@ -40,15 +40,27 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/orchestra-bench -json BENCH_core.json
 
-# chaos-smoke runs the fault-injection convergence matrix (loss, dup,
-# jitter, partition, store crash + snapshot rebuild, and the streaming
-# cells that cut the watch stream mid-flight — see docs/FAULTS.md) and the
+# chaos-smoke runs both fault-injection convergence matrices — the 4-peer
+# cells (loss, dup, jitter, partition, store crash + snapshot rebuild, and
+# the streaming cells that cut the watch stream mid-flight) and the
+# 16/32-peer scale matrix (churn, asymmetric partitions, store crash
+# composed with client rebuild, slow store — see docs/FAULTS.md) — and the
 # fabric/retry unit layer under the race detector. make verify covers
 # these too; this target runs them by name so a chaos regression is
 # unmissable in CI.
 chaos-smoke:
-	$(GO) test -race -count=1 -run '^TestChaosMatrix' .
+	$(GO) test -race -count=1 -run '^TestChaosMatrix|^TestScaleMatrix' .
 	$(GO) test -race -count=1 -run '^TestFault|^TestOneWayPartition|^TestCrashRestart|^TestLinkFaults|^TestRetry' ./internal/simnet ./internal/rpc
+
+# gateway-smoke runs the gateway contract suite under the race detector
+# (auth, per-group rate limits, backpressure shedding, idempotent retry
+# after a 429, long-poll + SSE watch, pool round-robin — see
+# docs/GATEWAY.md), then the closed-loop driver: concurrent keyed clients
+# saturating a tiny gate, with the exactly-once audit required to find
+# every operation despite the shedding.
+gateway-smoke:
+	$(GO) test -race -count=1 ./internal/gateway
+	$(GO) run ./cmd/orchestra-bench -gateway -clients 8 -rounds 10
 
 # multigroup-smoke runs the multi-group contract gates under the race
 # detector (see docs/MULTIGROUP.md): the cross-tenant differential (every

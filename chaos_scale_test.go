@@ -1,0 +1,585 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"orchestra/internal/simnet"
+	"orchestra/internal/store"
+	"orchestra/internal/store/central"
+	"orchestra/internal/store/remote"
+	"orchestra/internal/store/storetest"
+)
+
+// The scale matrix: the chaos matrix grown to real confederation sizes.
+// Where chaos_test.go proves each fault regime at 4 peers through the
+// System wrapper, this harness drives 16- and 32-peer confederations
+// peer-by-peer so that membership itself can change mid-run: peers depart
+// (their fabric node crashes, their decisions stay behind in the store),
+// new peers join, and departed peers rejoin by rebuilding their engine
+// from the store's snapshot + tail (store.RebuildPeer) rather than from
+// any local state. Every cell runs its exact drive schedule twice — once
+// fault-free, once under the fault regime — and the final fingerprints
+// (instances, accepts, rejects, defers per peer) must be bit-identical.
+//
+// The same workload split as the 4-peer matrix applies: contended rounds
+// only under fully-retryable faults (loss, dup, jitter, slow store), the
+// conflict-free per-peer keyspaces wherever whole rounds are deliberately
+// lost (churn, partitions, store crash) and caught up later.
+//
+// One protocol subtlety shapes the partition cell: publishes and begins
+// are idempotency-keyed per *client call* — retries inside one call
+// dedupe, but a re-issued call mints a fresh key. A cell must therefore
+// never let an operation land server-side while the whole call fails and
+// is later re-driven. A request-direction cut is safe to drive through
+// (nothing lands); a reply-direction cut is driven reconcile-only, whose
+// begin is harmless to re-issue.
+
+const scaleStoreAddr = "scale-store"
+
+// scaleRoster names n peers w00..w<n-1>.
+func scaleRoster(n int) []PeerID {
+	ids := make([]PeerID, n)
+	for i := range ids {
+		ids[i] = PeerID(fmt.Sprintf("w%02d", i))
+	}
+	return ids
+}
+
+// scaleTrust builds the strict-priority total order every peer applies to
+// every origin in the full eventual roster (including not-yet-joined
+// peers), so contended decisions are deterministic and joiners are
+// rankable from the moment they appear.
+func scaleTrust(roster []PeerID) Trust {
+	prio := make(map[PeerID]int, len(roster))
+	for i, id := range roster {
+		prio[id] = len(roster) - i
+	}
+	return storetest.TrustOrigins(prio)
+}
+
+type scaleHarness struct {
+	t      *testing.T
+	schema *Schema
+	net    *simnet.Network
+	node   *simnet.Node // the store's fabric endpoint
+	cs     *central.Store
+	dir    string
+	trust  Trust
+
+	ids   []PeerID // roster in join order; departed peers keep their slot
+	nodes map[PeerID]*simnet.Node
+	peers map[PeerID]*store.Peer // nil entry = currently departed
+
+	universe []TxnID
+}
+
+func scalePeerAddr(id PeerID) string { return "w-" + string(id) }
+
+// newScaleHarness builds the fabric, the snapshotting central store behind
+// a remote server on a simnet node, and one retrying remote client per
+// initial peer, each on its own fabric node.
+func newScaleHarness(t *testing.T, seed int64, durable bool, initial []PeerID, trust Trust) *scaleHarness {
+	t.Helper()
+	h := &scaleHarness{
+		t:      t,
+		schema: MustSchema(NewRelation("F", 2, "organism", "protein", "function")),
+		net:    simnet.NewVirtual(time.Microsecond),
+		trust:  trust,
+		nodes:  make(map[PeerID]*simnet.Node),
+		peers:  make(map[PeerID]*store.Peer),
+	}
+	h.net.Seed(seed)
+	if durable {
+		h.dir = t.TempDir()
+	}
+	h.cs = h.openStore()
+	h.node = h.net.Node(scaleStoreAddr, remote.NewServer(h.cs, h.schema).Handler())
+	for _, id := range initial {
+		h.join(id)
+	}
+	t.Cleanup(func() { h.cs.Close() })
+	return h
+}
+
+// openStore opens the central store with automatic snapshots (the rejoin
+// bootstrap path needs them) but without compaction: a mid-run joiner
+// reconciles from epoch 0, and bootstrap-from-snapshot after compaction is
+// an open roadmap item — with compaction on, the joiner's visible history
+// would start at a horizon whose position depends on nondeterministic
+// epoch allocation order. The 4-peer matrix keeps covering compaction.
+func (h *scaleHarness) openStore() *central.Store {
+	cs, err := central.Open(h.schema, h.dir, central.WithSnapshotEvery(8))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return cs
+}
+
+// clientFor builds a fresh retrying remote client on the peer's fabric
+// node (creating the node on first use).
+func (h *scaleHarness) clientFor(id PeerID) store.Store {
+	n, ok := h.nodes[id]
+	if !ok {
+		n = h.net.Node(scalePeerAddr(id), nil)
+		h.nodes[id] = n
+	}
+	return remote.NewClientOn(n, scaleStoreAddr,
+		remote.WithRetryPolicy(chaosRetryPolicy()),
+		remote.WithWatchPoll(time.Millisecond))
+}
+
+// join registers a brand-new peer and appends it to the roster. Used both
+// for the initial roster and for mid-run joiners (in which case it runs in
+// the baseline and the faulty run alike: joining is schedule, not fault).
+func (h *scaleHarness) join(id PeerID) *store.Peer {
+	h.t.Helper()
+	p, err := store.NewPeer(context.Background(), id, h.schema, h.trust, h.clientFor(id))
+	if err != nil {
+		h.t.Fatalf("join %s: %v", id, err)
+	}
+	h.ids = append(h.ids, id)
+	h.peers[id] = p
+	return p
+}
+
+// depart crashes the peer's fabric node and drops its in-memory peer: its
+// engine — the client soft state — is gone, while its decisions stay in
+// the store. Departing peers must leave clean (everything published);
+// unpublished local edits are soft state the rejoin cannot resurrect, and
+// a cell that lost them would diverge from its baseline by construction.
+func (h *scaleHarness) depart(id PeerID) {
+	h.t.Helper()
+	if n := h.peers[id].PendingCount(); n != 0 {
+		h.t.Fatalf("depart %s: %d unpublished edits", id, n)
+	}
+	h.net.Crash(scalePeerAddr(id))
+	h.peers[id] = nil
+}
+
+// rejoin restarts the peer's fabric node and rebuilds its engine from the
+// update store alone — snapshot + tail when a snapshot covers it, full
+// replay otherwise. The rebuilt peer continues where the departed one
+// stopped; the differential against the never-departed baseline peer is
+// exactly the §5.2 soft-state guarantee at scale.
+func (h *scaleHarness) rejoin(id PeerID) {
+	h.t.Helper()
+	h.net.Restart(scalePeerAddr(id))
+	p, err := store.RebuildPeer(context.Background(), id, h.schema, h.trust, h.clientFor(id))
+	if err != nil {
+		h.t.Fatalf("rejoin %s: %v", id, err)
+	}
+	h.peers[id] = p
+}
+
+func (h *scaleHarness) edit(id PeerID, u Update) {
+	h.t.Helper()
+	p := h.peers[id]
+	if p == nil {
+		h.t.Fatalf("edit at departed peer %s", id)
+	}
+	x, err := p.Edit(u)
+	if err != nil {
+		h.t.Fatalf("edit at %s: %v", id, err)
+	}
+	h.universe = append(h.universe, x.ID)
+}
+
+// conflictFreeEdits: every live peer not in skip writes the round's key in
+// its own keyspace.
+func (h *scaleHarness) conflictFreeEdits(round int, skip map[PeerID]bool) {
+	for _, id := range h.ids {
+		if skip[id] || h.peers[id] == nil {
+			continue
+		}
+		h.edit(id, Insert("F",
+			Strs("zone-"+string(id), fmt.Sprintf("k%d", round), fmt.Sprintf("v%d", round)), id))
+	}
+}
+
+// contendedEdits: a rotating half of the roster each write their own value
+// for the round's shared key; consumers accept the highest-priority writer.
+func (h *scaleHarness) contendedEdits(round int) {
+	for i, id := range h.ids {
+		if i%2 != round%2 || h.peers[id] == nil {
+			continue
+		}
+		h.edit(id, Insert("F",
+			Strs("shared", fmt.Sprintf("k%d", round), "val-"+string(id)), id))
+	}
+}
+
+// scaleRound drives one barrier round concurrently: every live peer not in
+// skip publishes, then every live peer not in skip (or pubOnly-skipped)
+// reconciles. Peers in tolerate may fail transiently — their pending state
+// survives for a later round — anyone else's failure is fatal.
+type scaleRound struct {
+	skip     map[PeerID]bool // not driven at all this round
+	pubSkip  map[PeerID]bool // reconcile-only: publish not attempted
+	tolerate map[PeerID]bool // transient errors allowed
+}
+
+func (h *scaleHarness) round(o scaleRound) {
+	h.t.Helper()
+	ctx := context.Background()
+	h.forEach(o.tolerate, func(id PeerID, p *store.Peer) error {
+		if o.skip[id] || o.pubSkip[id] {
+			return nil
+		}
+		_, err := p.Publish(ctx)
+		return err
+	})
+	h.forEach(o.tolerate, func(id PeerID, p *store.Peer) error {
+		if o.skip[id] {
+			return nil
+		}
+		_, err := p.Reconcile(ctx)
+		return err
+	})
+}
+
+// forEach fans fn out over every live peer concurrently and joins.
+func (h *scaleHarness) forEach(tolerate map[PeerID]bool, fn func(PeerID, *store.Peer) error) {
+	h.t.Helper()
+	errs := make([]error, len(h.ids))
+	var wg sync.WaitGroup
+	for i, id := range h.ids {
+		p := h.peers[id]
+		if p == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, id PeerID, p *store.Peer) {
+			defer wg.Done()
+			errs[i] = fn(id, p)
+		}(i, id, p)
+	}
+	wg.Wait()
+	for i, id := range h.ids {
+		switch {
+		case errs[i] == nil:
+		case tolerate[id] && store.IsTransient(errs[i]):
+		default:
+			h.t.Fatalf("peer %s: %v", id, errs[i])
+		}
+	}
+}
+
+// quiesce clears every fault, heals every link, and runs fault-free
+// catch-up rounds: one to let stragglers publish leftovers and reconcile
+// to the frontier, the rest to prove a fixpoint.
+func (h *scaleHarness) quiesce(rounds int) {
+	h.t.Helper()
+	h.net.SetFaults(simnet.Faults{})
+	h.net.SetProcessingCost(0)
+	for _, id := range h.ids {
+		h.net.HealOneWay(scalePeerAddr(id), scaleStoreAddr)
+		h.net.HealOneWay(scaleStoreAddr, scalePeerAddr(id))
+	}
+	for i := 0; i < rounds; i++ {
+		h.round(scaleRound{})
+	}
+}
+
+// fingerprint captures every peer's complete observable outcome over the
+// universe, in roster order.
+func (h *scaleHarness) fingerprint() map[PeerID]peerState {
+	h.t.Helper()
+	out := make(map[PeerID]peerState, len(h.ids))
+	for _, id := range h.ids {
+		p := h.peers[id]
+		if p == nil {
+			h.t.Fatalf("fingerprint: peer %s still departed", id)
+		}
+		var st peerState
+		for _, tu := range p.Instance().Tuples("F") {
+			st.Tuples = append(st.Tuples, tu.Encode())
+		}
+		sort.Strings(st.Tuples)
+		for _, xid := range h.universe {
+			if p.Engine().Applied(xid) {
+				st.Applied = append(st.Applied, xid.String())
+			}
+			if p.Engine().Rejected(xid) {
+				st.Rejected = append(st.Rejected, xid.String())
+			}
+		}
+		for _, xid := range p.Engine().DeferredIDs() {
+			st.Deferred = append(st.Deferred, xid.String())
+		}
+		sort.Strings(st.Deferred)
+		out[id] = st
+	}
+	return out
+}
+
+// runScaleCell executes the cell's drive schedule twice — fault-free and
+// faulty — quiesces both, and asserts bit-identical fingerprints peer by
+// peer. post runs against the faulty harness for cell-specific assertions
+// (fault counters, rebuild evidence).
+func runScaleCell(t *testing.T, seed int64, durable bool, initial []PeerID, trust Trust,
+	cell func(h *scaleHarness, faulty bool), post func(h *scaleHarness)) {
+	t.Helper()
+	base := newScaleHarness(t, 0, durable, initial, trust)
+	cell(base, false)
+	base.quiesce(2)
+	want := base.fingerprint()
+
+	h := newScaleHarness(t, seed, durable, initial, trust)
+	cell(h, true)
+	h.quiesce(2)
+	got := h.fingerprint()
+
+	if len(got) != len(want) {
+		t.Fatalf("rosters diverged: %d peers faulty vs %d baseline", len(got), len(want))
+	}
+	for _, id := range h.ids {
+		if !reflect.DeepEqual(got[id], want[id]) {
+			t.Errorf("%s diverged from fault-free baseline:\n got %+v\nwant %+v", id, got[id], want[id])
+		}
+	}
+	if post != nil {
+		post(h)
+	}
+}
+
+const scaleRounds = 6
+
+// TestScaleMatrixCombinedFaults: 16 peers fighting over shared keys while
+// every link loses, duplicates, and jitters. Retries absorb every fault,
+// so each contended round completes exactly like the baseline's —
+// including every conflict decision across the 16-deep priority order.
+func TestScaleMatrixCombinedFaults(t *testing.T) {
+	roster := scaleRoster(16)
+	cell := func(h *scaleHarness, faulty bool) {
+		if faulty {
+			h.net.SetFaults(simnet.Faults{Loss: 0.05, Dup: 0.10, Jitter: 200 * time.Microsecond})
+		}
+		for r := 0; r < scaleRounds; r++ {
+			h.contendedEdits(r)
+			h.round(scaleRound{})
+		}
+	}
+	runScaleCell(t, 42, false, roster, scaleTrust(roster), cell, func(h *scaleHarness) {
+		fs := h.net.FaultStats()
+		if fs.Lost()+fs.Duplicates() == 0 {
+			t.Error("cell injected no faults — the run proved nothing")
+		}
+		if h.cs.Metrics().Snapshot().DedupHits == 0 {
+			t.Error("no idempotency dedup hits despite duplicate deliveries")
+		}
+	})
+}
+
+// TestScaleMatrixChurn: membership churns mid-run in a 16-peer
+// confederation — three peers depart clean after round 1 (fabric nodes
+// crash, decisions stay behind), two brand-new peers join at round 2, and
+// the departed three rejoin before round 4 by rebuilding their engines
+// from the store's snapshot + tail. The baseline runs the identical
+// schedule with the departed peers merely idle, so the differential pins
+// rebuild-and-catch-up ≡ never-left.
+func TestScaleMatrixChurn(t *testing.T) {
+	roster := scaleRoster(16)
+	joiners := []PeerID{"j0", "j1"}
+	trust := scaleTrust(append(append([]PeerID{}, roster...), joiners...))
+	victims := []PeerID{roster[3], roster[8], roster[13]}
+	away := map[PeerID]bool{victims[0]: true, victims[1]: true, victims[2]: true}
+
+	cell := func(h *scaleHarness, faulty bool) {
+		for r := 0; r < scaleRounds; r++ {
+			switch r {
+			case 2:
+				if faulty {
+					for _, v := range victims {
+						h.depart(v)
+					}
+				}
+				for _, j := range joiners {
+					h.join(j)
+				}
+			case 4:
+				if faulty {
+					for _, v := range victims {
+						h.rejoin(v)
+					}
+				}
+			}
+			gone := map[PeerID]bool{}
+			if r >= 2 && r < 4 {
+				gone = away
+			}
+			h.conflictFreeEdits(r, gone)
+			h.round(scaleRound{skip: gone})
+		}
+	}
+	runScaleCell(t, 77, false, roster, trust, cell, func(h *scaleHarness) {
+		// The rebuild must have gone through the bounded snapshot path:
+		// with WithSnapshotEvery(8) and ~13 publishes per round, snapshots
+		// cover the victims long before round 4.
+		if h.cs.Metrics().Snapshot().Snapshots == 0 {
+			t.Error("no snapshots taken — rejoin exercised full replay, not bootstrap")
+		}
+	})
+}
+
+// TestScaleMatrixAsymmetricPartition: two one-way cuts with different
+// directions, healing mid-run. reqVictim loses the request direction
+// (peer→store): it is driven throughout, every operation fails transiently
+// without ever landing, and its pending edits pile up and ship after the
+// heal. repVictim loses the reply direction (store→peer): its begins land
+// but the replies die, so it is driven reconcile-only — the begin is safe
+// to re-issue — and resumes editing after the heal.
+func TestScaleMatrixAsymmetricPartition(t *testing.T) {
+	roster := scaleRoster(16)
+	reqVictim, repVictim := roster[5], roster[10]
+
+	cell := func(h *scaleHarness, faulty bool) {
+		for r := 0; r < scaleRounds; r++ {
+			if faulty {
+				switch r {
+				case 1:
+					h.net.PartitionOneWay(scalePeerAddr(reqVictim), scaleStoreAddr)
+					h.net.PartitionOneWay(scaleStoreAddr, scalePeerAddr(repVictim))
+				case 4:
+					h.net.HealOneWay(scalePeerAddr(reqVictim), scaleStoreAddr)
+					h.net.HealOneWay(scaleStoreAddr, scalePeerAddr(repVictim))
+				}
+			}
+			cut := r >= 1 && r < 4
+			skipEdits := map[PeerID]bool{}
+			o := scaleRound{}
+			if cut {
+				// repVictim makes no edits and publishes nothing while its
+				// replies are dark; reqVictim keeps editing — the edits pend
+				// locally until the heal. Both may fail transiently.
+				skipEdits[repVictim] = true
+				o.pubSkip = map[PeerID]bool{repVictim: true}
+				o.tolerate = map[PeerID]bool{reqVictim: true, repVictim: true}
+			}
+			h.conflictFreeEdits(r, skipEdits)
+			h.round(o)
+		}
+	}
+	runScaleCell(t, 7, false, roster, scaleTrust(roster), cell, func(h *scaleHarness) {
+		if h.net.FaultStats().PartitionDrops() == 0 {
+			t.Error("partition never dropped a call")
+		}
+	})
+}
+
+// TestScaleMatrixStoreCrashRebuild: the store crashes mid-run under a
+// 16-peer confederation, the degraded round fails transiently for
+// everyone, and the store rebuilds from its directory (snapshot + WAL
+// tail, idempotency table included). One peer is then also rebuilt
+// client-side against the recovered store — churn and store crash
+// composed — before the confederation converges.
+func TestScaleMatrixStoreCrashRebuild(t *testing.T) {
+	roster := scaleRoster(16)
+	rebuilt := roster[6]
+
+	cell := func(h *scaleHarness, faulty bool) {
+		all := make(map[PeerID]bool, len(roster))
+		for _, id := range roster {
+			all[id] = true
+		}
+		for r := 0; r < scaleRounds; r++ {
+			h.conflictFreeEdits(r, nil)
+			if r == 2 && faulty {
+				h.net.Crash(scaleStoreAddr)
+				if err := h.cs.Close(); err != nil {
+					t.Fatalf("close crashed store: %v", err)
+				}
+				h.round(scaleRound{tolerate: all}) // degraded: nothing lands
+				h.cs = h.openStore()
+				h.node.Handle(remote.NewServer(h.cs, h.schema).Handler())
+				h.net.Restart(scaleStoreAddr)
+			}
+			h.round(scaleRound{})
+			if r == 2 && faulty {
+				// The round above published everything, so the peer is clean:
+				// rebuild it from the store that itself just came back — churn
+				// and store crash composed must behave like neither happened.
+				h.depart(rebuilt)
+				h.rejoin(rebuilt)
+			}
+		}
+	}
+	runScaleCell(t, 13, true, roster, scaleTrust(roster), cell, func(h *scaleHarness) {
+		if h.net.FaultStats().CrashDrops() == 0 {
+			t.Error("crash never dropped a call")
+		}
+	})
+}
+
+// TestScaleMatrixSlowStore: the store becomes slow — every request pays a
+// processing cost on top of jittered links — under the contended workload.
+// Latency must shift only the clock, never a decision: the cell is
+// bit-identical to the instant baseline.
+func TestScaleMatrixSlowStore(t *testing.T) {
+	roster := scaleRoster(16)
+	cell := func(h *scaleHarness, faulty bool) {
+		if faulty {
+			h.net.SetProcessingCost(300 * time.Microsecond)
+			h.net.SetFaults(simnet.Faults{Jitter: 500 * time.Microsecond})
+		}
+		for r := 0; r < scaleRounds; r++ {
+			h.contendedEdits(r)
+			h.round(scaleRound{})
+		}
+	}
+	runScaleCell(t, 23, false, roster, scaleTrust(roster), cell, func(h *scaleHarness) {
+		if h.net.FaultStats().Jitter() == 0 {
+			t.Error("no jitter was injected — the run proved nothing")
+		}
+	})
+}
+
+// TestScaleMatrixHostile32: the headline cell — a 32-peer confederation on
+// a network that is simultaneously lossy, duplicating, jittered, and slow,
+// while three peers churn out and rebuild back in. Everything the other
+// cells prove separately, composed, at double the roster.
+func TestScaleMatrixHostile32(t *testing.T) {
+	roster := scaleRoster(32)
+	victims := []PeerID{roster[7], roster[19], roster[29]}
+	away := map[PeerID]bool{victims[0]: true, victims[1]: true, victims[2]: true}
+
+	cell := func(h *scaleHarness, faulty bool) {
+		if faulty {
+			h.net.SetProcessingCost(100 * time.Microsecond)
+			h.net.SetFaults(simnet.Faults{Loss: 0.03, Dup: 0.05, Jitter: 200 * time.Microsecond})
+		}
+		for r := 0; r < scaleRounds; r++ {
+			switch r {
+			case 2:
+				if faulty {
+					for _, v := range victims {
+						h.depart(v)
+					}
+				}
+			case 4:
+				if faulty {
+					for _, v := range victims {
+						h.rejoin(v)
+					}
+				}
+			}
+			gone := map[PeerID]bool{}
+			if r >= 2 && r < 4 {
+				gone = away
+			}
+			h.conflictFreeEdits(r, gone)
+			h.round(scaleRound{skip: gone})
+		}
+	}
+	runScaleCell(t, 4242, false, roster, scaleTrust(roster), cell, func(h *scaleHarness) {
+		fs := h.net.FaultStats()
+		if fs.Lost()+fs.Duplicates() == 0 {
+			t.Error("cell injected no faults — the run proved nothing")
+		}
+	})
+}

@@ -56,7 +56,17 @@ func main() {
 	jitter := flag.Duration("jitter", 0, "[chaos] max extra per-message latency")
 	jsonOut := flag.String("json", "", "run the core reconciliation perf suite and write machine-readable results to this file (e.g. BENCH_core.json)")
 	trustTopo := flag.String("trust-topology", "", "run one trust-at-scale cell over this delegation topology (star|chain|clique|dag) with -peers participants")
+	gw := flag.Bool("gateway", false, "run the closed-loop gateway driver: -clients keyed publishers against the HTTP surface, -rounds ops each")
+	clients := flag.Int("clients", 16, "[gateway] concurrent closed-loop clients")
 	flag.Parse()
+
+	if *gw {
+		if err := runGatewayDriver(*clients, *rounds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *trustTopo != "" {
 		kind, err := workload.ParseTopology(*trustTopo)
@@ -336,6 +346,7 @@ type coreBenchReport struct {
 	StreamLatency     []streamLatencyEntry    `json:"stream_latency"`
 	MultiGroup        []multiGroupBenchEntry  `json:"multi_group"`
 	TrustEval         []trustEvalEntry        `json:"trust_eval"`
+	GatewayThroughput []gatewayBenchEntry     `json:"gateway_throughput"`
 }
 
 // runCoreSuite measures Engine.Reconcile on the shared contended workload
@@ -413,6 +424,9 @@ func runCoreSuite(path string) error {
 		return err
 	}
 	if err := runTrustEvalSuite(&report); err != nil {
+		return err
+	}
+	if err := runGatewaySuite(&report); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -1,0 +1,75 @@
+package gateway
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// gate is the queue-depth backpressure valve: at most slots requests run
+// concurrently, at most maxQueue more wait (each for at most queueWait),
+// and everything beyond that is shed immediately. Shedding with a
+// Retry-After instead of queueing unboundedly is what keeps an overloaded
+// gateway answering instead of collapsing — latency stays bounded by
+// queueWait and memory by slots+maxQueue.
+type gate struct {
+	slots     chan struct{}
+	queued    atomic.Int64
+	maxQueue  int64
+	queueWait time.Duration
+}
+
+func newGate(slots, maxQueue int, queueWait time.Duration) *gate {
+	if slots <= 0 {
+		return nil
+	}
+	g := &gate{
+		slots:     make(chan struct{}, slots),
+		maxQueue:  int64(maxQueue),
+		queueWait: queueWait,
+	}
+	for i := 0; i < slots; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// enter tries to claim a slot, waiting in the bounded queue if none is
+// free. It returns a release func on admission, or false if the request
+// must be shed. A nil gate admits everything.
+func (g *gate) enter(r *http.Request) (func(), bool) {
+	if g == nil {
+		return func() {}, true
+	}
+	select {
+	case <-g.slots:
+		return g.release, true
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return nil, false
+	}
+	defer g.queued.Add(-1)
+	timer := time.NewTimer(g.queueWait)
+	defer timer.Stop()
+	select {
+	case <-g.slots:
+		return g.release, true
+	case <-timer.C:
+		return nil, false
+	case <-r.Context().Done():
+		return nil, false
+	}
+}
+
+func (g *gate) release() { g.slots <- struct{}{} }
+
+// retryAfter estimates how long a shed client should back off: one queue
+// wait is the horizon at which today's queue has drained or been shed.
+func (g *gate) retryAfter() time.Duration {
+	if g == nil || g.queueWait <= 0 {
+		return time.Second
+	}
+	return g.queueWait
+}

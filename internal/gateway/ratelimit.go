@@ -1,0 +1,72 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-group token-bucket rate limiter. Each group (tenant)
+// refills at rate tokens/second up to burst; a request costs one token.
+// Groups the gateway has never seen start with a full bucket, so bursts up
+// to the bucket size pass untouched and only sustained overload is shaped.
+// When a request is bounced, the limiter reports how long until the bucket
+// holds a whole token again — the Retry-After hint.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter; rate <= 0 disables limiting (allow always).
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &limiter{rate: rate, burst: b, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from the group's bucket if it holds one. A nil
+// limiter always allows. On refusal it returns the wait until the next
+// whole token.
+func (l *limiter) allow(group string, now time.Time) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[group]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[group] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}

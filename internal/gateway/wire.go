@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"fmt"
+
+	"orchestra/internal/core"
+	"orchestra/internal/store"
+)
+
+// The gateway's JSON wire format. It deliberately mirrors the paper's
+// vocabulary (transactions of tuple-level updates, antecedents, epochs,
+// reconciliations) rather than the Go structs: clients are external and
+// the JSON shape is a public contract. Tuples cross the wire as string
+// vectors — every built-in schema is string-valued; non-string values
+// render through their canonical textual form.
+
+// WireTxnID is a transaction identifier X_{origin:seq}.
+type WireTxnID struct {
+	Origin string `json:"origin"`
+	Seq    uint64 `json:"seq"`
+}
+
+func (w WireTxnID) id() core.TxnID {
+	return core.TxnID{Origin: core.PeerID(w.Origin), Seq: w.Seq}
+}
+
+func wireID(id core.TxnID) WireTxnID {
+	return WireTxnID{Origin: string(id.Origin), Seq: id.Seq}
+}
+
+// WireUpdate is one tuple-level change: op is "insert", "delete", or
+// "modify"; new is the replacement tuple for "modify" only.
+type WireUpdate struct {
+	Op    string   `json:"op"`
+	Rel   string   `json:"rel"`
+	Tuple []string `json:"tuple"`
+	New   []string `json:"new,omitempty"`
+}
+
+// WireTxn is a transaction. On publish the client supplies seq and
+// updates (antecedents optional); epoch and order appear only in
+// responses, assigned by the store.
+type WireTxn struct {
+	Seq         uint64       `json:"seq"`
+	Updates     []WireUpdate `json:"updates"`
+	Antecedents []WireTxnID  `json:"antecedents,omitempty"`
+	Epoch       int64        `json:"epoch,omitempty"`
+	Order       uint64       `json:"order,omitempty"`
+}
+
+// WireCandidate is one reconciliation candidate: the transaction, the
+// peer's priority for it, and its antecedent extension in application
+// order.
+type WireCandidate struct {
+	Txn      WireTxn   `json:"txn"`
+	Priority int       `json:"priority"`
+	Ext      []WireTxn `json:"ext,omitempty"`
+}
+
+func wireTuple(t core.Tuple) []string {
+	if t == nil {
+		return nil
+	}
+	out := make([]string, len(t))
+	for i, v := range t {
+		if v.Kind() == core.KindString {
+			out[i] = v.Str()
+		} else {
+			out[i] = v.String()
+		}
+	}
+	return out
+}
+
+func coreTuple(ss []string) core.Tuple {
+	if ss == nil {
+		return nil
+	}
+	return core.Strs(ss...)
+}
+
+func wireUpdate(u core.Update) WireUpdate {
+	w := WireUpdate{Rel: u.Rel, Tuple: wireTuple(u.Tuple), New: wireTuple(u.New)}
+	switch u.Op {
+	case core.OpInsert:
+		w.Op = "insert"
+	case core.OpDelete:
+		w.Op = "delete"
+	case core.OpModify:
+		w.Op = "modify"
+	}
+	return w
+}
+
+func (w WireUpdate) update(origin core.PeerID) (core.Update, error) {
+	switch w.Op {
+	case "insert":
+		return core.Insert(w.Rel, coreTuple(w.Tuple), origin), nil
+	case "delete":
+		return core.Delete(w.Rel, coreTuple(w.Tuple), origin), nil
+	case "modify":
+		return core.Modify(w.Rel, coreTuple(w.Tuple), coreTuple(w.New), origin), nil
+	default:
+		return core.Update{}, fmt.Errorf("unknown op %q (want insert|delete|modify)", w.Op)
+	}
+}
+
+func wireTxn(x *core.Transaction, antecedents []core.TxnID) WireTxn {
+	w := WireTxn{
+		Seq:     x.ID.Seq,
+		Updates: make([]WireUpdate, len(x.Updates)),
+		Epoch:   int64(x.Epoch),
+		Order:   x.Order,
+	}
+	for i, u := range x.Updates {
+		w.Updates[i] = wireUpdate(u)
+	}
+	for _, a := range antecedents {
+		w.Antecedents = append(w.Antecedents, wireID(a))
+	}
+	return w
+}
+
+// publishedTxn converts one client-shaped transaction into the store's
+// form, forcing every update's origin to the publishing peer and
+// validating against the schema.
+func (w WireTxn) publishedTxn(peer core.PeerID, schema *core.Schema) (store.PublishedTxn, error) {
+	ups := make([]core.Update, len(w.Updates))
+	for i, wu := range w.Updates {
+		u, err := wu.update(peer)
+		if err != nil {
+			return store.PublishedTxn{}, fmt.Errorf("txn %d update %d: %w", w.Seq, i, err)
+		}
+		ups[i] = u
+	}
+	x := core.NewTransaction(core.TxnID{Origin: peer, Seq: w.Seq}, ups...)
+	if err := x.Validate(schema); err != nil {
+		return store.PublishedTxn{}, err
+	}
+	pt := store.PublishedTxn{Txn: x}
+	for _, a := range w.Antecedents {
+		pt.Antecedents = append(pt.Antecedents, a.id())
+	}
+	return pt, nil
+}
+
+func wireIDs(ids []WireTxnID) []core.TxnID {
+	if ids == nil {
+		return nil
+	}
+	out := make([]core.TxnID, len(ids))
+	for i, w := range ids {
+		out[i] = w.id()
+	}
+	return out
+}
+
+func wirePublished(pts []store.PublishedTxn) []WireTxn {
+	out := make([]WireTxn, len(pts))
+	for i, pt := range pts {
+		out[i] = wireTxn(pt.Txn, pt.Antecedents)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GatewayCounters aggregates the serving-surface health signals of the
+// HTTP gateway: admission (requests started and finished, the in-flight
+// gauge and its peak), protection (loads shed by the backpressure gate,
+// requests bounced by the per-group rate limiter, auth rejections), and
+// per-route latency. All methods are safe for concurrent use and nil-safe,
+// so an uninstrumented gateway can carry a nil *GatewayCounters.
+type GatewayCounters struct {
+	requests     atomic.Int64
+	inFlight     atomic.Int64
+	inFlightPeak atomic.Int64
+
+	shed        atomic.Int64
+	rateLimited atomic.Int64
+	authDenied  atomic.Int64
+
+	mu     sync.Mutex
+	routes map[string]*routeStat
+}
+
+// routeStat accumulates one route's latency distribution summary.
+type routeStat struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// ObserveStart marks one admitted request entering a handler and returns
+// the updated in-flight gauge.
+func (c *GatewayCounters) ObserveStart() int64 {
+	if c == nil {
+		return 0
+	}
+	c.requests.Add(1)
+	n := c.inFlight.Add(1)
+	atomicMax(&c.inFlightPeak, n)
+	return n
+}
+
+// ObserveEnd marks the request's handler finished: it drops the in-flight
+// gauge and folds the route's latency (and error outcome) into the
+// per-route stats.
+func (c *GatewayCounters) ObserveEnd(route string, d time.Duration, failed bool) {
+	if c == nil {
+		return
+	}
+	c.inFlight.Add(-1)
+	rs := c.route(route)
+	rs.count.Add(1)
+	if failed {
+		rs.errors.Add(1)
+	}
+	rs.totalNs.Add(int64(d))
+	atomicMax(&rs.maxNs, int64(d))
+}
+
+// ObserveShed counts one request shed by the backpressure gate.
+func (c *GatewayCounters) ObserveShed() {
+	if c == nil {
+		return
+	}
+	c.shed.Add(1)
+}
+
+// ObserveRateLimited counts one request bounced by the rate limiter.
+func (c *GatewayCounters) ObserveRateLimited() {
+	if c == nil {
+		return
+	}
+	c.rateLimited.Add(1)
+}
+
+// ObserveAuthDenied counts one request rejected by the auth hook.
+func (c *GatewayCounters) ObserveAuthDenied() {
+	if c == nil {
+		return
+	}
+	c.authDenied.Add(1)
+}
+
+// InFlight returns the current in-flight gauge.
+func (c *GatewayCounters) InFlight() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.inFlight.Load()
+}
+
+func (c *GatewayCounters) route(name string) *routeStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.routes == nil {
+		c.routes = make(map[string]*routeStat)
+	}
+	rs, ok := c.routes[name]
+	if !ok {
+		rs = &routeStat{}
+		c.routes[name] = rs
+	}
+	return rs
+}
+
+// RouteSnapshot is a point-in-time latency summary for one route.
+type RouteSnapshot struct {
+	Route  string
+	Count  int64
+	Errors int64
+	MeanNs int64
+	MaxNs  int64
+}
+
+// GatewaySnapshot is a point-in-time copy of GatewayCounters.
+type GatewaySnapshot struct {
+	Requests     int64 // requests admitted past the protective gates
+	InFlight     int64 // currently inside a handler
+	InFlightPeak int64 // high-water mark of the in-flight gauge
+	Shed         int64 // shed by queue-depth backpressure (503)
+	RateLimited  int64 // bounced by the per-group token bucket (429)
+	AuthDenied   int64 // rejected by the auth hook (401)
+	Routes       []RouteSnapshot
+}
+
+// Snapshot returns a copy of the counters (each field read atomically; the
+// route set under the registration lock). Routes come sorted by name for
+// deterministic output.
+func (c *GatewayCounters) Snapshot() GatewaySnapshot {
+	if c == nil {
+		return GatewaySnapshot{}
+	}
+	snap := GatewaySnapshot{
+		Requests:     c.requests.Load(),
+		InFlight:     c.inFlight.Load(),
+		InFlightPeak: c.inFlightPeak.Load(),
+		Shed:         c.shed.Load(),
+		RateLimited:  c.rateLimited.Load(),
+		AuthDenied:   c.authDenied.Load(),
+	}
+	c.mu.Lock()
+	for name, rs := range c.routes {
+		r := RouteSnapshot{
+			Route:  name,
+			Count:  rs.count.Load(),
+			Errors: rs.errors.Load(),
+			MaxNs:  rs.maxNs.Load(),
+		}
+		if r.Count > 0 {
+			r.MeanNs = rs.totalNs.Load() / r.Count
+		}
+		snap.Routes = append(snap.Routes, r)
+	}
+	c.mu.Unlock()
+	sort.Slice(snap.Routes, func(i, j int) bool { return snap.Routes[i].Route < snap.Routes[j].Route })
+	return snap
+}
+
+// String renders the snapshot compactly for logs.
+func (s GatewaySnapshot) String() string {
+	return fmt.Sprintf("gateway{req=%d inflight=%d peak=%d shed=%d limited=%d denied=%d routes=%d}",
+		s.Requests, s.InFlight, s.InFlightPeak, s.Shed, s.RateLimited, s.AuthDenied, len(s.Routes))
+}

@@ -1,0 +1,155 @@
+package reldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdaptiveGroupCommitConverges pins the adaptive window controller's
+// two fixed points: an idle database — every flush runs alone — converges
+// to the minimum window and stops paying gathering latency, while a
+// saturated one — concurrent committers on disjoint tables keep the flush
+// queue deep — converges to the cap, amortizing each fsync across the
+// deepest batch the load can form.
+func TestAdaptiveGroupCommitConverges(t *testing.T) {
+	const (
+		workers = 8
+		minW    = 25 * time.Microsecond
+		maxW    = 800 * time.Microsecond
+	)
+	dir := t.TempDir()
+	db, err := Open(Options{
+		Dir:                  dir,
+		GroupCommit:          true,
+		AdaptiveGroupCommit:  true,
+		GroupCommitMinWindow: minW,
+		GroupCommitMaxWindow: maxW,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	createN(t, db, workers)
+
+	// Freshly opened, the controller sits at the minimum.
+	if got := db.GroupCommitWindow(); got != minW {
+		t.Fatalf("initial window = %v, want min %v", got, minW)
+	}
+
+	// Saturate: disjoint-table committers (same-table commits serialize on
+	// the table lock and flush alone, so only disjoint writers can share a
+	// flush). Each round is a burst of workers committing concurrently;
+	// repeat until the controller pins the cap.
+	rows := 0
+	saturate := func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				table := fmt.Sprintf("t%d", w)
+				for i := 0; i < 10; i++ {
+					id := int64(rows + i)
+					if err := db.Update(func(tx *Tx) error {
+						return tx.Insert(table, Row{Int(id), Int(id), Int(id)})
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		rows += 10
+	}
+	for i := 0; i < 40 && db.GroupCommitWindow() != maxW; i++ {
+		saturate()
+	}
+	if got := db.GroupCommitWindow(); got != maxW {
+		t.Fatalf("saturated window = %v, want cap %v", got, maxW)
+	}
+
+	// Go idle: strictly serial commits flush alone, and the window decays
+	// back to the minimum.
+	idleRow := int64(1 << 20)
+	for i := 0; i < 64 && db.GroupCommitWindow() != minW; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			return tx.Insert("t0", Row{Int(idleRow), Int(idleRow), Int(idleRow)})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		idleRow++
+	}
+	if got := db.GroupCommitWindow(); got != minW {
+		t.Fatalf("idle window = %v, want min %v", got, minW)
+	}
+
+	// Adaptation never touches durability: everything committed under both
+	// regimes survives reopen.
+	committed := 0
+	if err := db.View(func(tx *Tx) error {
+		for w := 0; w < workers; w++ {
+			n, err := tx.Count(fmt.Sprintf("t%d", w))
+			if err != nil {
+				return err
+			}
+			committed += n
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	recovered := 0
+	if err := db2.View(func(tx *Tx) error {
+		for w := 0; w < workers; w++ {
+			n, err := tx.Count(fmt.Sprintf("t%d", w))
+			if err != nil {
+				return err
+			}
+			recovered += n
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if recovered != committed {
+		t.Errorf("recovered %d rows, committed %d", recovered, committed)
+	}
+}
+
+// TestAdaptiveWindowClamping pins the controller's edge behaviour directly.
+func TestAdaptiveWindowClamping(t *testing.T) {
+	// Degenerate bounds are repaired, not crashed on.
+	a := newAdaptiveWindow(-time.Second, 0)
+	if a.min != 0 || a.max != time.Millisecond {
+		t.Errorf("repaired bounds = [%v, %v], want [0, 1ms]", a.min, a.max)
+	}
+	// Growth escapes a zero minimum and clamps at the cap.
+	for i := 0; i < 64; i++ {
+		a.observe(4)
+	}
+	if got := a.current(); got != a.max {
+		t.Errorf("grown window = %v, want %v", got, a.max)
+	}
+	// Decay clamps at the minimum.
+	for i := 0; i < 64; i++ {
+		a.observe(1)
+	}
+	if got := a.current(); got != a.min {
+		t.Errorf("decayed window = %v, want %v", got, a.min)
+	}
+	// min > max collapses to max.
+	b := newAdaptiveWindow(2*time.Millisecond, time.Millisecond)
+	if b.min != time.Millisecond || b.max != time.Millisecond {
+		t.Errorf("collapsed bounds = [%v, %v], want [1ms, 1ms]", b.min, b.max)
+	}
+}

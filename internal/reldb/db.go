@@ -44,6 +44,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"orchestra/internal/btree"
@@ -140,6 +141,20 @@ type Options struct {
 	// the time the leader runs — natural batching under contention with no
 	// added latency when idle.
 	GroupCommitWindow time.Duration
+	// AdaptiveGroupCommit sizes the gathering window from observed flush
+	// depth instead of the fixed GroupCommitWindow: flushes that carry a
+	// group grow the window (deeper batches amortize the fsync further),
+	// flushes that run alone shrink it (an idle database should not pay
+	// gathering latency). The window moves multiplicatively between
+	// GroupCommitMinWindow and GroupCommitMaxWindow, so an idle database
+	// converges to the minimum and a saturated one to the cap within a few
+	// flushes.
+	AdaptiveGroupCommit bool
+	// GroupCommitMinWindow and GroupCommitMaxWindow bound the adaptive
+	// window. Min defaults to 0 (no latency when idle); Max defaults to
+	// 1ms.
+	GroupCommitMinWindow time.Duration
+	GroupCommitMaxWindow time.Duration
 }
 
 // Open opens (or creates) a database, recovering from the snapshot and WAL
@@ -176,9 +191,26 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	if opts.GroupCommit {
-		db.gc = &groupCommitter{db: db, window: opts.GroupCommitWindow}
+		gc := &groupCommitter{db: db, window: opts.GroupCommitWindow}
+		if opts.AdaptiveGroupCommit {
+			gc.adaptive = newAdaptiveWindow(opts.GroupCommitMinWindow, opts.GroupCommitMaxWindow)
+		}
+		db.gc = gc
 	}
 	return db, nil
+}
+
+// GroupCommitWindow reports the gathering window the next flush leader
+// will sleep: the fixed window, or the adaptive controller's current
+// value. Zero when group commit is off.
+func (db *DB) GroupCommitWindow() time.Duration {
+	if db.gc == nil {
+		return 0
+	}
+	if db.gc.adaptive != nil {
+		return db.gc.adaptive.current()
+	}
+	return db.gc.window
 }
 
 // MustOpenMemory returns a volatile in-memory database, panicking on error;
@@ -401,12 +433,62 @@ func (t *table) uniqueViolated(r Row, pk string) bool {
 // transactions can never share a group — record order within a flush only
 // ever permutes independent transactions, which replay to the same state.
 type groupCommitter struct {
-	db     *DB
-	window time.Duration
+	db       *DB
+	window   time.Duration
+	adaptive *adaptiveWindow // nil = fixed window
 
 	mu      sync.Mutex
 	leading bool
 	queue   []*commitWait
+}
+
+// adaptiveWindow sizes the gathering window from observed flush depth: a
+// flush that carried company doubles the window (deeper batches amortize
+// the fsync further, and a queue is already forming), a flush that ran
+// alone halves it (nobody is waiting — gathering latency buys nothing).
+// Multiplicative moves clamp to [min, max], so an idle database converges
+// to min and a saturated one to max within a few flushes. Adaptation
+// changes flush timing only — never which records are durable or their
+// replay order — so every group-commit correctness guarantee is untouched.
+type adaptiveWindow struct {
+	min, max time.Duration
+	cur      atomic.Int64 // current window, ns
+}
+
+func newAdaptiveWindow(min, max time.Duration) *adaptiveWindow {
+	if max <= 0 {
+		max = time.Millisecond
+	}
+	if min < 0 {
+		min = 0
+	}
+	if min > max {
+		min = max
+	}
+	a := &adaptiveWindow{min: min, max: max}
+	a.cur.Store(int64(min))
+	return a
+}
+
+func (a *adaptiveWindow) current() time.Duration { return time.Duration(a.cur.Load()) }
+
+func (a *adaptiveWindow) observe(depth int) {
+	cur := a.current()
+	var next time.Duration
+	switch {
+	case depth > 1:
+		// 2x+1µs so growth escapes a zero minimum.
+		next = cur*2 + time.Microsecond
+		if next > a.max {
+			next = a.max
+		}
+	default:
+		next = cur / 2
+		if next < a.min {
+			next = a.min
+		}
+	}
+	a.cur.Store(int64(next))
 }
 
 // flushResult is what a flush hands each waiter: appended distinguishes a
@@ -444,8 +526,12 @@ func (gc *groupCommitter) commit(payload []byte) (bool, error) {
 
 // lead drains the queue in group flushes until it is empty, then abdicates.
 func (gc *groupCommitter) lead() {
-	if gc.window > 0 {
-		time.Sleep(gc.window)
+	window := gc.window
+	if gc.adaptive != nil {
+		window = gc.adaptive.current()
+	}
+	if window > 0 {
+		time.Sleep(window)
 	}
 	for {
 		gc.mu.Lock()
@@ -469,6 +555,9 @@ func (gc *groupCommitter) lead() {
 		}
 		if res.err == nil {
 			gc.db.counters.ObserveGroupFlush(len(batch))
+		}
+		if gc.adaptive != nil {
+			gc.adaptive.observe(len(batch))
 		}
 		for _, cw := range batch {
 			cw.done <- res

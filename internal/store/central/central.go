@@ -126,6 +126,9 @@ type config struct {
 	epochBlock     int64
 	groupCommit    bool
 	groupWindow    time.Duration
+	adaptiveCommit bool
+	adaptiveMin    time.Duration
+	adaptiveMax    time.Duration
 	tableShards    int
 	shardsExplicit bool
 	snapEvery      int64
@@ -182,6 +185,21 @@ func WithGroupCommit(window time.Duration) Option {
 // group commit against.
 func WithSerialCommit() Option {
 	return func(c *config) { c.groupCommit = false }
+}
+
+// WithAdaptiveGroupCommit enables group commit with a gathering window
+// sized from observed flush queue depth instead of a fixed setting: deep
+// flushes grow the window toward max (amortizing the fsync across more
+// commits), solo flushes shrink it toward min (an idle store pays no
+// gathering latency). See reldb.Options.AdaptiveGroupCommit. Window
+// adaptation changes flush timing only, never durability or replay order.
+func WithAdaptiveGroupCommit(min, max time.Duration) Option {
+	return func(c *config) {
+		c.groupCommit = true
+		c.adaptiveCommit = true
+		c.adaptiveMin = min
+		c.adaptiveMax = max
+	}
 }
 
 // WithTableShards sets how many epoch-shards the epochs/txns/decisions
@@ -404,9 +422,12 @@ func Open(schema *core.Schema, dir string, opts ...Option) (*Store, error) {
 		o(&cfg)
 	}
 	db, err := reldb.Open(reldb.Options{
-		Dir:               dir,
-		GroupCommit:       cfg.groupCommit,
-		GroupCommitWindow: cfg.groupWindow,
+		Dir:                  dir,
+		GroupCommit:          cfg.groupCommit,
+		GroupCommitWindow:    cfg.groupWindow,
+		AdaptiveGroupCommit:  cfg.adaptiveCommit,
+		GroupCommitMinWindow: cfg.adaptiveMin,
+		GroupCommitMaxWindow: cfg.adaptiveMax,
 	})
 	if err != nil {
 		return nil, err

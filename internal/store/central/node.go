@@ -51,9 +51,12 @@ func OpenNode(dir string, opts ...Option) (*Node, error) {
 		o(&cfg)
 	}
 	db, err := reldb.Open(reldb.Options{
-		Dir:               dir,
-		GroupCommit:       cfg.groupCommit,
-		GroupCommitWindow: cfg.groupWindow,
+		Dir:                  dir,
+		GroupCommit:          cfg.groupCommit,
+		GroupCommitWindow:    cfg.groupWindow,
+		AdaptiveGroupCommit:  cfg.adaptiveCommit,
+		GroupCommitMinWindow: cfg.adaptiveMin,
+		GroupCommitMaxWindow: cfg.adaptiveMax,
 	})
 	if err != nil {
 		return nil, err

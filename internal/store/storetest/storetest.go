@@ -130,6 +130,7 @@ func RunConformance(t *testing.T, factory Factory) {
 	t.Run("BatchedDecisions", func(t *testing.T) { testBatchedDecisions(t, factory) })
 	t.Run("ReplayRebuild", func(t *testing.T) { testReplayRebuild(t, factory) })
 	t.Run("SnapshotRebuild", func(t *testing.T) { testSnapshotRebuild(t, factory) })
+	t.Run("ChurnRejoin", func(t *testing.T) { testChurnRejoin(t, factory) })
 	t.Run("IdempotentRetry", func(t *testing.T) { testIdempotentRetry(t, factory) })
 	t.Run("TrustUpdate", func(t *testing.T) { testTrustUpdate(t, factory) })
 }
